@@ -1,0 +1,177 @@
+//! Real-hardware locks over `std::sync::atomic`, with fence accounting.
+//!
+//! These ground the paper's premise — *fences are expensive* — and its
+//! subject — the fence complexity of lock acquisitions — on an actual
+//! machine. Every lock counts the synchronising instructions it issues
+//! (explicit `fence(SeqCst)` calls and read-modify-write operations, which
+//! carry fence semantics on TSO hardware exactly as the paper models CAS).
+//!
+//! The portfolio mirrors the simulated family of [`crate::sim`]:
+//!
+//! | lock | primitives | fences/acquire (solo) |
+//! |---|---|---|
+//! | [`tas::HwTasLock`] | swap | Θ(attempts) |
+//! | [`ttas::HwTtasLock`] | CAS | Θ(attempts) |
+//! | [`ticket::HwTicketLock`] | fetch_add | 2 |
+//! | [`anderson::HwAndersonLock`] | fetch_add | 2 |
+//! | [`clh::HwClhLock`] | swap | 2 |
+//! | [`tree::HwTreeLock`] | loads/stores + fences | Θ(log n) |
+//! | [`fastpath::HwFastPathLock`] | loads/stores + fences | 3 |
+//!
+//! The store/load-only locks rely on the C++ SC-fence idiom (store →
+//! `fence(SeqCst)` → load on both sides), which is portably correct — on
+//! x86/TSO the fence compiles to exactly the `MFENCE` the paper's model
+//! charges for.
+
+pub mod anderson;
+pub mod clh;
+pub mod fastpath;
+pub mod tas;
+pub mod ticket;
+pub mod tree;
+pub mod ttas;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A raw test lock with fence accounting.
+///
+/// `acquire` returns an opaque token that must be passed back to
+/// `release` (queue locks use it to remember their slot). `tid` must be a
+/// stable thread index in `0..n`.
+pub trait RawLock: Send + Sync {
+    /// Acquires the lock for thread `tid`; returns the release token.
+    fn acquire(&self, tid: usize) -> u64;
+
+    /// Releases the lock.
+    fn release(&self, tid: usize, token: u64);
+
+    /// Lock name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Total synchronising instructions issued so far (SeqCst fences plus
+    /// read-modify-writes).
+    fn fences(&self) -> u64;
+}
+
+/// Shared fence counter used by all hw locks.
+#[derive(Debug, Default)]
+pub struct FenceCounter {
+    count: AtomicU64,
+}
+
+impl FenceCounter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` synchronising instructions.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Issues a real `fence(SeqCst)` and records it.
+    #[inline]
+    pub fn fence(&self) {
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantiates the whole hw portfolio for `n` threads.
+pub fn all_hw_locks(n: usize) -> Vec<Arc<dyn RawLock>> {
+    vec![
+        Arc::new(tas::HwTasLock::new()),
+        Arc::new(ttas::HwTtasLock::new()),
+        Arc::new(ticket::HwTicketLock::new()),
+        Arc::new(anderson::HwAndersonLock::new(n)),
+        Arc::new(clh::HwClhLock::new(n)),
+        Arc::new(tree::HwTreeLock::new(n)),
+        Arc::new(fastpath::HwFastPathLock::new(n)),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod hwtest {
+    //! Shared harness: hammer a lock from several threads incrementing a
+    //! plain (non-atomic would need unsafe; we use a u64 under the lock via
+    //! Cell-free trick) counter and check the final count.
+
+    use super::RawLock;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Runs `threads × iters` lock-protected increments and asserts both
+    /// mutual exclusion (via an overlap detector) and the final count.
+    pub fn hammer(lock: Arc<dyn RawLock>, threads: usize, iters: usize) {
+        let in_cs = Arc::new(AtomicU64::new(0));
+        let counter = Arc::new(AtomicU64::new(0));
+        crossbeam::scope(|s| {
+            for tid in 0..threads {
+                let lock = Arc::clone(&lock);
+                let in_cs = Arc::clone(&in_cs);
+                let counter = Arc::clone(&counter);
+                s.spawn(move |_| {
+                    for _ in 0..iters {
+                        let token = lock.acquire(tid);
+                        let now = in_cs.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(now, 0, "two threads inside the CS ({})", lock.name());
+                        // Non-atomic-equivalent read-modify-write under the
+                        // lock: a plain load+store pair would race if the
+                        // lock were broken; emulate with separate ops.
+                        let v = counter.load(Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        counter.store(v + 1, Ordering::Relaxed);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                        lock.release(tid, token);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            (threads * iters) as u64,
+            "lost updates under {}",
+            lock.name()
+        );
+        assert!(lock.fences() > 0, "no fences recorded for {}", lock.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portfolio_hammer_small() {
+        for lock in all_hw_locks(4) {
+            hwtest::hammer(lock, 4, 2_000);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let locks = all_hw_locks(2);
+        let mut names: Vec<_> = locks.iter().map(|l| l.name()).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+
+    #[test]
+    fn fence_counter_counts() {
+        let c = FenceCounter::new();
+        c.fence();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! Hardware test-and-set lock (atomic swap spin).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use super::{FenceCounter, RawLock};
+
+/// Swap-spin lock: every acquisition attempt is a read-modify-write.
+#[derive(Debug, Default)]
+pub struct HwTasLock {
+    locked: AtomicBool,
+    fences: FenceCounter,
+}
+
+impl HwTasLock {
+    /// A fresh, unlocked instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RawLock for HwTasLock {
+    fn acquire(&self, _tid: usize) -> u64 {
+        loop {
+            self.fences.add(1); // the swap is a locked RMW
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return 0;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn release(&self, _tid: usize, _token: u64) {
+        self.locked.store(false, Ordering::Release);
+        self.fences.fence();
+    }
+
+    fn name(&self) -> &'static str {
+        "hw-tas"
+    }
+
+    fn fences(&self) -> u64 {
+        self.fences.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::hwtest::hammer;
+    use std::sync::Arc;
+
+    #[test]
+    fn excludes_and_counts() {
+        let lock = Arc::new(HwTasLock::new());
+        hammer(lock.clone(), 3, 1_000);
+        // At least one RMW + one release fence per passage.
+        assert!(lock.fences() >= 2 * 3 * 1_000);
+    }
+
+    #[test]
+    fn solo_cost_is_two_fences() {
+        let lock = HwTasLock::new();
+        let t = lock.acquire(0);
+        lock.release(0, t);
+        assert_eq!(lock.fences(), 2);
+    }
+}

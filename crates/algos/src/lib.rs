@@ -1,0 +1,37 @@
+//! # tpa-algos — mutual-exclusion algorithms
+//!
+//! Two families of lock implementations:
+//!
+//! * **Simulated** algorithms ([`sim`]): deterministic step machines that
+//!   run on the `tpa-tso` machine, spanning the design space the paper
+//!   reasons about — read/write vs comparison primitives, adaptive vs
+//!   non-adaptive, constant vs growing fence complexity:
+//!
+//!   | module | primitives | RMR shape | fence shape | stands in for |
+//!   |---|---|---|---|---|
+//!   | [`sim::tas`] | CAS | O(k) retries | Θ(retries) | baseline |
+//!   | [`sim::ttas`] | R/W + CAS | O(k) | Θ(retries) | baseline |
+//!   | [`sim::ticketq`] | R/W + CAS | adaptive O(k) | Θ(k) | CAS-loop queue lock |
+//!   | [`sim::mcs`] | R/W + CAS | O(1) + retries (DSM-local spin) | Θ(retries) | Mellor-Crummey–Scott |
+//!   | [`sim::bakery`] | R/W | O(n) | O(1) | Lamport 1974 |
+//!   | [`sim::filter`] | R/W | O(n²) | O(n) | Peterson filter |
+//!   | [`sim::onebit`] | R/W | O(n) | Θ(back-offs) | Burns–Lynch one-bit |
+//!   | [`sim::tournament`] | R/W | O(log n) | Θ(log n) | Yang–Anderson |
+//!   | [`sim::dijkstra`] | R/W | O(n) | Θ(restarts) | Dijkstra 1965 |
+//!   | [`sim::splitter`] | R/W | O(1) solo / O(log n) | O(1) solo / O(log n) | fast-path adaptive (Kim–Anderson flavour) |
+//!
+//! * **Real-hardware** locks ([`hw`]): the same shapes implemented over
+//!   `std::sync::atomic` with per-acquire fence counters, used by the
+//!   motivation benchmarks ("fences are expensive").
+//!
+//! The [`testing`] module provides the exclusion/progress checkers shared
+//! by this crate's tests, the object crate, and the integration suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hw;
+pub mod sim;
+pub mod testing;
+
+pub use sim::{all_locks, lock_by_name, LockSystem};

@@ -1,0 +1,221 @@
+//! Dijkstra's 1965 mutual exclusion algorithm (read/write only).
+//!
+//! The original n-process solution: a process announces interest
+//! (`flag = 1`), grabs the `turn` variable when its holder is passive,
+//! escalates to `flag = 2`, and enters only if no other process is at
+//! stage 2 — otherwise it restarts. Safety rests solely on the
+//! "escalate, fence, scan" step (two stage-2 processes would have seen
+//! each other), so it is insensitive to races on `turn`, which only
+//! arbitrates liveness.
+//!
+//! Complexity: Θ(n) reads per scan and a number of fences proportional to
+//! the number of restarts — constant when uncontended, growing with
+//! contention. Deadlock-free but not starvation-free.
+
+use tpa_tso::{Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec};
+
+/// Dijkstra's lock system.
+#[derive(Clone, Debug)]
+pub struct DijkstraLock {
+    n: usize,
+    passages: usize,
+}
+
+impl DijkstraLock {
+    /// An `n`-process instance performing `passages` passages each.
+    pub fn new(n: usize, passages: usize) -> Self {
+        DijkstraLock { n, passages }
+    }
+}
+
+const TURN: VarId = VarId(0);
+const FLAG_BASE: u32 = 1;
+
+fn flag_var(j: usize) -> VarId {
+    VarId(FLAG_BASE + j as u32)
+}
+
+impl System for DijkstraLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn vars(&self) -> VarSpec {
+        let mut b = VarSpec::builder();
+        b.var("turn", 0, None);
+        b.array("flag", self.n, 0, |_| None);
+        b.build()
+    }
+
+    fn program(&self, pid: ProcId) -> Box<dyn Program> {
+        Box::new(DijkstraProgram {
+            me: pid.index(),
+            n: self.n,
+            state: State::Enter,
+            passages_left: self.passages,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "dijkstra"
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Enter,
+    /// `flag[me] := 1` — announce interest.
+    WriteWant,
+    FenceWant,
+    /// Read `turn`; if it is ours, escalate, otherwise inspect its holder.
+    ReadTurn,
+    /// Read `flag[turn]`; 0 → grab the turn, else spin on `ReadTurn`.
+    ReadHolderFlag { holder: usize },
+    /// `turn := me`.
+    GrabTurn,
+    FenceTurn,
+    /// `flag[me] := 2` — escalate.
+    WriteStage2,
+    FenceStage2,
+    /// Scan all other flags for another stage-2 process.
+    Scan { j: usize },
+    Cs,
+    /// `flag[me] := 0`.
+    ClearFlag,
+    FenceRelease,
+    Exit,
+    Done,
+}
+
+#[derive(Debug)]
+struct DijkstraProgram {
+    me: usize,
+    n: usize,
+    state: State,
+    passages_left: usize,
+}
+
+impl DijkstraProgram {
+    fn scan_start(&self) -> State {
+        match (0..self.n).find(|&j| j != self.me) {
+            Some(j) => State::Scan { j },
+            None => State::Cs,
+        }
+    }
+}
+
+impl Program for DijkstraProgram {
+    fn peek(&self) -> Op {
+        match self.state {
+            State::Enter => Op::Enter,
+            State::WriteWant => Op::Write(flag_var(self.me), 1),
+            State::FenceWant
+            | State::FenceTurn
+            | State::FenceStage2
+            | State::FenceRelease => Op::Fence,
+            State::ReadTurn => Op::Read(TURN),
+            State::ReadHolderFlag { holder } => Op::Read(flag_var(holder)),
+            State::GrabTurn => Op::Write(TURN, self.me as Value),
+            State::WriteStage2 => Op::Write(flag_var(self.me), 2),
+            State::Scan { j } => Op::Read(flag_var(j)),
+            State::Cs => Op::Cs,
+            State::ClearFlag => Op::Write(flag_var(self.me), 0),
+            State::Exit => Op::Exit,
+            State::Done => Op::Halt,
+        }
+    }
+
+    fn apply(&mut self, outcome: Outcome) {
+        let read = |outcome: Outcome| match outcome {
+            Outcome::ReadValue(v) => v,
+            other => panic!("unexpected outcome {other:?} for read"),
+        };
+        self.state = match self.state {
+            State::Enter => State::WriteWant,
+            State::WriteWant => State::FenceWant,
+            State::FenceWant => State::ReadTurn,
+            State::ReadTurn => {
+                let turn = read(outcome) as usize;
+                if turn == self.me {
+                    State::WriteStage2
+                } else {
+                    State::ReadHolderFlag { holder: turn }
+                }
+            }
+            State::ReadHolderFlag { .. } => {
+                if read(outcome) == 0 {
+                    State::GrabTurn
+                } else {
+                    State::ReadTurn // holder active: keep watching
+                }
+            }
+            State::GrabTurn => State::FenceTurn,
+            State::FenceTurn => State::ReadTurn, // re-check we kept it
+            State::WriteStage2 => State::FenceStage2,
+            State::FenceStage2 => self.scan_start(),
+            State::Scan { j } => {
+                if read(outcome) == 2 {
+                    State::WriteWant // conflict: restart from stage 1
+                } else {
+                    match (j + 1..self.n).find(|&j2| j2 != self.me) {
+                        Some(j2) => State::Scan { j: j2 },
+                        None => State::Cs,
+                    }
+                }
+            }
+            State::Cs => State::ClearFlag,
+            State::ClearFlag => State::FenceRelease,
+            State::FenceRelease => State::Exit,
+            State::Exit => {
+                self.passages_left -= 1;
+                if self.passages_left == 0 {
+                    State::Done
+                } else {
+                    State::Enter
+                }
+            }
+            State::Done => panic!("apply on a halted program"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+
+    #[test]
+    fn standard_battery() {
+        testing::standard_lock_battery(&|n, p| Box::new(DijkstraLock::new(n, p)));
+    }
+
+    #[test]
+    fn solo_fence_count_is_constant() {
+        for n in [1, 4, 32] {
+            let sys = DijkstraLock::new(n, 1);
+            let m = testing::check_solo_progress(&sys, ProcId(0), 1, 1_000_000).unwrap();
+            let f = m.metrics().proc(ProcId(0)).completed[0].counters.fences;
+            // Solo p0 with turn == 0 initially: want fence + stage-2 fence +
+            // release fence (no turn grab needed).
+            assert_eq!(f, 3, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn solo_non_turn_holder_pays_one_grab() {
+        let sys = DijkstraLock::new(4, 1);
+        let m = testing::check_solo_progress(&sys, ProcId(2), 1, 1_000_000).unwrap();
+        let f = m.metrics().proc(ProcId(2)).completed[0].counters.fences;
+        assert_eq!(f, 4, "want + turn grab + stage-2 + release");
+    }
+
+    #[test]
+    fn scan_is_linear_in_n() {
+        let cost = |n: usize| {
+            let sys = DijkstraLock::new(n, 1);
+            let m = testing::check_solo_progress(&sys, ProcId(0), 1, 1_000_000).unwrap();
+            m.metrics().proc(ProcId(0)).completed[0].counters.rmr_dsm
+        };
+        assert!(cost(32) > cost(4), "non-adaptive scan grows with n");
+    }
+}

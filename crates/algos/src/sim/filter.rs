@@ -1,0 +1,193 @@
+//! Peterson's filter lock (read/write only).
+//!
+//! `n-1` filter levels; at each level a process volunteers as victim and
+//! waits until either no other process is at its level or above, or it is
+//! no longer the victim. Only reads and writes are used. Complexity: Θ(n)
+//! fences per passage (one per level) and Θ(n²) reads under contention —
+//! a deliberately expensive read/write baseline for the experiment tables.
+
+use tpa_tso::{Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec};
+
+/// The filter lock system.
+#[derive(Clone, Debug)]
+pub struct FilterLock {
+    n: usize,
+    passages: usize,
+}
+
+impl FilterLock {
+    /// An `n`-process instance performing `passages` passages each.
+    pub fn new(n: usize, passages: usize) -> Self {
+        FilterLock { n, passages }
+    }
+}
+
+impl System for FilterLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn vars(&self) -> VarSpec {
+        let mut b = VarSpec::builder();
+        b.array("level", self.n, 0, |_| None);
+        b.array("victim", self.n, 0, |_| None);
+        b.build()
+    }
+
+    fn program(&self, pid: ProcId) -> Box<dyn Program> {
+        Box::new(FilterProgram {
+            me: pid.index(),
+            n: self.n,
+            state: State::Enter,
+            passages_left: self.passages,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "filter"
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Enter,
+    WriteLevel { l: usize },
+    WriteVictim { l: usize },
+    FenceLevel { l: usize },
+    Scan { l: usize, k: usize },
+    CheckVictim { l: usize },
+    Cs,
+    ClearLevel,
+    FenceRelease,
+    Exit,
+    Done,
+}
+
+#[derive(Debug)]
+struct FilterProgram {
+    me: usize,
+    n: usize,
+    state: State,
+    passages_left: usize,
+}
+
+impl FilterProgram {
+    fn level_var(&self, k: usize) -> VarId {
+        VarId(k as u32)
+    }
+
+    fn victim_var(&self, l: usize) -> VarId {
+        VarId((self.n + l) as u32)
+    }
+
+    /// First scan index at level `l` skipping `me`, or the level is clear.
+    fn scan_start(&self, l: usize) -> State {
+        match (0..self.n).find(|&k| k != self.me) {
+            Some(k) => State::Scan { l, k },
+            None => State::Cs, // n == 1
+        }
+    }
+
+    fn after_level(&self, l: usize) -> State {
+        if l + 1 < self.n {
+            State::WriteLevel { l: l + 1 }
+        } else {
+            State::Cs
+        }
+    }
+}
+
+impl Program for FilterProgram {
+    fn peek(&self) -> Op {
+        match self.state {
+            State::Enter => Op::Enter,
+            State::WriteLevel { l } => Op::Write(self.level_var(self.me), l as Value),
+            State::WriteVictim { l } => Op::Write(self.victim_var(l), self.me as Value),
+            State::FenceLevel { .. } | State::FenceRelease => Op::Fence,
+            State::Scan { k, .. } => Op::Read(self.level_var(k)),
+            State::CheckVictim { l } => Op::Read(self.victim_var(l)),
+            State::Cs => Op::Cs,
+            State::ClearLevel => Op::Write(self.level_var(self.me), 0),
+            State::Exit => Op::Exit,
+            State::Done => Op::Halt,
+        }
+    }
+
+    fn apply(&mut self, outcome: Outcome) {
+        self.state = match self.state {
+            State::Enter => {
+                if self.n == 1 {
+                    State::Cs
+                } else {
+                    State::WriteLevel { l: 1 }
+                }
+            }
+            State::WriteLevel { l } => State::WriteVictim { l },
+            State::WriteVictim { l } => State::FenceLevel { l },
+            State::FenceLevel { l } => self.scan_start(l),
+            State::Scan { l, k } => {
+                let lk = match outcome {
+                    Outcome::ReadValue(v) => v,
+                    other => panic!("unexpected outcome {other:?} for scan"),
+                };
+                if lk >= l as Value {
+                    // Conflict at this level: check whether we are still
+                    // the victim.
+                    State::CheckVictim { l }
+                } else {
+                    match (k + 1..self.n).find(|&k2| k2 != self.me) {
+                        Some(k2) => State::Scan { l, k: k2 },
+                        None => self.after_level(l),
+                    }
+                }
+            }
+            State::CheckVictim { l } => match outcome {
+                Outcome::ReadValue(v) if v == self.me as Value => self.scan_start(l),
+                Outcome::ReadValue(_) => self.after_level(l),
+                other => panic!("unexpected outcome {other:?} for victim check"),
+            },
+            State::Cs => State::ClearLevel,
+            State::ClearLevel => State::FenceRelease,
+            State::FenceRelease => State::Exit,
+            State::Exit => {
+                self.passages_left -= 1;
+                if self.passages_left == 0 {
+                    State::Done
+                } else {
+                    State::Enter
+                }
+            }
+            State::Done => panic!("apply on a halted program"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+
+    #[test]
+    fn standard_battery() {
+        testing::standard_lock_battery(&|n, p| Box::new(FilterLock::new(n, p)));
+    }
+
+    #[test]
+    fn fences_grow_linearly_with_n() {
+        let mut fences = Vec::new();
+        for n in [2, 4, 8] {
+            let sys = FilterLock::new(n, 1);
+            let m = testing::check_solo_progress(&sys, ProcId(0), 1, 1_000_000).unwrap();
+            fences.push(m.metrics().proc(ProcId(0)).completed[0].counters.fences);
+        }
+        // One fence per level plus the release fence: n-1 + 1 = n.
+        assert_eq!(fences, vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn single_process_skips_filtering() {
+        let sys = FilterLock::new(1, 1);
+        let m = testing::check_solo_progress(&sys, ProcId(0), 1, 100).unwrap();
+        assert_eq!(m.metrics().proc(ProcId(0)).completed[0].counters.fences, 1);
+    }
+}

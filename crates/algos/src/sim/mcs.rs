@@ -1,0 +1,249 @@
+//! MCS queue lock (simulated), with genuinely local spinning.
+//!
+//! The Mellor-Crummey–Scott list lock: a process appends its queue node by
+//! swapping the tail (a CAS retry loop here — the paper's primitive set
+//! has no atomic swap), links itself behind its predecessor, and spins on
+//! **its own** `locked` flag, which we declare DSM-local to the process.
+//! This is the only lock in the portfolio whose DSM RMR count per passage
+//! is O(1) plus CAS retries — the local-spin discipline the RMR model was
+//! invented for (compare the T7 table). Fences: Θ(retries) on the tail
+//! swap plus a constant.
+
+use tpa_tso::{Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec};
+
+/// The MCS lock system.
+#[derive(Clone, Debug)]
+pub struct McsLock {
+    n: usize,
+    passages: usize,
+}
+
+impl McsLock {
+    /// An `n`-process instance performing `passages` passages each.
+    pub fn new(n: usize, passages: usize) -> Self {
+        McsLock { n, passages }
+    }
+}
+
+const TAIL: VarId = VarId(0);
+
+fn next_var(i: usize) -> VarId {
+    VarId(1 + i as u32)
+}
+
+fn locked_var(n: usize, i: usize) -> VarId {
+    VarId(1 + n as u32 + i as u32)
+}
+
+impl System for McsLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn vars(&self) -> VarSpec {
+        let mut b = VarSpec::builder();
+        b.var("tail", 0, None);
+        // next[i] is written by i's predecessor-to-be and read by i: keep
+        // it remote. locked[i] is spun on only by i: DSM-local.
+        b.array("next", self.n, 0, |_| None);
+        b.array("locked", self.n, 0, |i| Some(ProcId(i as u32)));
+        b.build()
+    }
+
+    fn program(&self, pid: ProcId) -> Box<dyn Program> {
+        Box::new(McsProgram {
+            me: pid.index(),
+            n: self.n,
+            state: State::Enter,
+            pred: 0,
+            passages_left: self.passages,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "mcs"
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Enter,
+    /// Reset `next[me]` and pre-arm `locked[me]` (cleared again if we turn
+    /// out to be the queue head).
+    ResetNext,
+    ArmLocked,
+    FencePrepare,
+    /// Swap ourselves in as the tail: read + CAS retry.
+    ReadTail,
+    CasTail { t: Value },
+    /// Link behind the predecessor and wait for the handoff.
+    WriteLink,
+    FenceLink,
+    SpinLocked,
+    Cs,
+    /// Release: if we have no successor, try to swing the tail back to 0;
+    /// otherwise hand off.
+    ReadNext,
+    CasTailRelease,
+    WaitSuccessor,
+    WriteHandoff { succ: Value },
+    FenceHandoff,
+    Exit,
+    Done,
+}
+
+#[derive(Debug)]
+struct McsProgram {
+    me: usize,
+    n: usize,
+    state: State,
+    pred: Value,
+    passages_left: usize,
+}
+
+impl McsProgram {
+    fn me1(&self) -> Value {
+        self.me as Value + 1
+    }
+}
+
+impl Program for McsProgram {
+    fn peek(&self) -> Op {
+        match self.state {
+            State::Enter => Op::Enter,
+            State::ResetNext => Op::Write(next_var(self.me), 0),
+            State::ArmLocked => Op::Write(locked_var(self.n, self.me), 1),
+            State::FencePrepare | State::FenceLink | State::FenceHandoff => Op::Fence,
+            State::ReadTail => Op::Read(TAIL),
+            State::CasTail { t } => Op::Cas { var: TAIL, expected: t, new: self.me1() },
+            State::WriteLink => Op::Write(next_var(self.pred as usize - 1), self.me1()),
+            State::SpinLocked => Op::Read(locked_var(self.n, self.me)),
+            State::Cs => Op::Cs,
+            State::ReadNext => Op::Read(next_var(self.me)),
+            State::CasTailRelease => Op::Cas { var: TAIL, expected: self.me1(), new: 0 },
+            State::WaitSuccessor => Op::Read(next_var(self.me)),
+            State::WriteHandoff { succ } => {
+                Op::Write(locked_var(self.n, succ as usize - 1), 0)
+            }
+            State::Exit => Op::Exit,
+            State::Done => Op::Halt,
+        }
+    }
+
+    fn apply(&mut self, outcome: Outcome) {
+        let read = |outcome: Outcome| match outcome {
+            Outcome::ReadValue(v) => v,
+            other => panic!("unexpected outcome {other:?} for read"),
+        };
+        self.state = match self.state {
+            State::Enter => State::ResetNext,
+            State::ResetNext => State::ArmLocked,
+            State::ArmLocked => State::FencePrepare,
+            State::FencePrepare => State::ReadTail,
+            State::ReadTail => State::CasTail { t: read(outcome) },
+            State::CasTail { .. } => match outcome {
+                Outcome::CasResult { success: true, observed } => {
+                    self.pred = observed;
+                    if self.pred == 0 {
+                        State::Cs // queue was empty: we hold the lock
+                    } else {
+                        State::WriteLink
+                    }
+                }
+                Outcome::CasResult { success: false, observed } => {
+                    State::CasTail { t: observed }
+                }
+                other => panic!("unexpected outcome {other:?} for CAS"),
+            },
+            State::WriteLink => State::FenceLink,
+            State::FenceLink => State::SpinLocked,
+            State::SpinLocked => {
+                if read(outcome) == 0 {
+                    State::Cs
+                } else {
+                    State::SpinLocked
+                }
+            }
+            State::Cs => State::ReadNext,
+            State::ReadNext => {
+                let succ = read(outcome);
+                if succ == 0 {
+                    State::CasTailRelease
+                } else {
+                    State::WriteHandoff { succ }
+                }
+            }
+            State::CasTailRelease => match outcome {
+                Outcome::CasResult { success: true, .. } => State::Exit,
+                Outcome::CasResult { success: false, .. } => State::WaitSuccessor,
+                other => panic!("unexpected outcome {other:?} for CAS"),
+            },
+            State::WaitSuccessor => {
+                let succ = read(outcome);
+                if succ == 0 {
+                    State::WaitSuccessor // the new tail has not linked yet
+                } else {
+                    State::WriteHandoff { succ }
+                }
+            }
+            State::WriteHandoff { .. } => State::FenceHandoff,
+            State::FenceHandoff => State::Exit,
+            State::Exit => {
+                self.passages_left -= 1;
+                if self.passages_left == 0 {
+                    State::Done
+                } else {
+                    State::Enter
+                }
+            }
+            State::Done => panic!("apply on a halted program"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+
+    #[test]
+    fn standard_battery() {
+        testing::standard_lock_battery(&|n, p| Box::new(McsLock::new(n, p)));
+    }
+
+    #[test]
+    fn solo_dsm_cost_is_constant_in_n() {
+        let cost = |n: usize| {
+            let sys = McsLock::new(n, 1);
+            let m = testing::check_solo_progress(&sys, ProcId(0), 1, 100_000).unwrap();
+            m.metrics().proc(ProcId(0)).completed[0].counters.rmr_dsm
+        };
+        assert_eq!(cost(2), cost(128), "queue node spin is local: O(1) DSM RMRs");
+    }
+
+    #[test]
+    fn contended_spin_is_on_the_local_flag() {
+        use tpa_tso::sched::CommitPolicy;
+        let sys = McsLock::new(4, 1);
+        let m = testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000)
+            .unwrap();
+        for (pid, pm) in m.metrics().iter() {
+            let c = pm.completed[0].counters;
+            // Spinning happens on locked[me] (local), so DSM RMRs stay
+            // bounded even though events (spins) can be many.
+            assert!(
+                c.rmr_dsm <= 16,
+                "{pid}: {} DSM RMRs with {} events — spin not local?",
+                c.rmr_dsm,
+                c.events
+            );
+        }
+    }
+
+    #[test]
+    fn handoff_transfers_in_queue_order() {
+        use tpa_tso::sched::CommitPolicy;
+        let sys = McsLock::new(3, 2);
+        testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 2, 2_000_000).unwrap();
+    }
+}

@@ -1,0 +1,203 @@
+//! The Burns–Lynch one-bit mutual exclusion algorithm (read/write only).
+//!
+//! Space-optimal: a single shared bit per process. A process raises its
+//! flag, backs off if any *smaller*-ID process also has its flag up
+//! (clearing its own bit while it waits), and finally waits for all
+//! *larger*-ID processes to lower theirs. Deadlock-free but not
+//! starvation-free; Θ(n) reads per attempt and a number of fences
+//! proportional to the number of back-offs — contention-sensitive fences
+//! on yet another axis of the portfolio.
+
+use tpa_tso::{Op, Outcome, ProcId, Program, System, VarId, VarSpec};
+
+/// The one-bit lock system.
+#[derive(Clone, Debug)]
+pub struct OneBitLock {
+    n: usize,
+    passages: usize,
+}
+
+impl OneBitLock {
+    /// An `n`-process instance performing `passages` passages each.
+    pub fn new(n: usize, passages: usize) -> Self {
+        OneBitLock { n, passages }
+    }
+}
+
+fn flag_var(j: usize) -> VarId {
+    VarId(j as u32)
+}
+
+impl System for OneBitLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn vars(&self) -> VarSpec {
+        let mut b = VarSpec::builder();
+        b.array("flag", self.n, 0, |_| None);
+        b.build()
+    }
+
+    fn program(&self, pid: ProcId) -> Box<dyn Program> {
+        Box::new(OneBitProgram {
+            me: pid.index(),
+            n: self.n,
+            state: State::Enter,
+            passages_left: self.passages,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "onebit"
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Enter,
+    /// `flag[me] := 1`.
+    Raise,
+    FenceRaise,
+    /// Scan smaller IDs; any raised flag forces a back-off.
+    ScanLow { j: usize },
+    /// Back-off: `flag[me] := 0`, fence, then wait for the blocker.
+    Lower { blocker: usize },
+    FenceLower { blocker: usize },
+    WaitLow { blocker: usize },
+    /// Wait for every larger ID to lower its flag.
+    WaitHigh { j: usize },
+    Cs,
+    Clear,
+    FenceRelease,
+    Exit,
+    Done,
+}
+
+#[derive(Debug)]
+struct OneBitProgram {
+    me: usize,
+    n: usize,
+    state: State,
+    passages_left: usize,
+}
+
+impl OneBitProgram {
+    fn after_low_scan(&self) -> State {
+        if self.me + 1 < self.n {
+            State::WaitHigh { j: self.me + 1 }
+        } else {
+            State::Cs
+        }
+    }
+}
+
+impl Program for OneBitProgram {
+    fn peek(&self) -> Op {
+        match self.state {
+            State::Enter => Op::Enter,
+            State::Raise => Op::Write(flag_var(self.me), 1),
+            State::FenceRaise | State::FenceLower { .. } | State::FenceRelease => Op::Fence,
+            State::ScanLow { j } => Op::Read(flag_var(j)),
+            State::Lower { .. } | State::Clear => Op::Write(flag_var(self.me), 0),
+            State::WaitLow { blocker } => Op::Read(flag_var(blocker)),
+            State::WaitHigh { j } => Op::Read(flag_var(j)),
+            State::Cs => Op::Cs,
+            State::Exit => Op::Exit,
+            State::Done => Op::Halt,
+        }
+    }
+
+    fn apply(&mut self, outcome: Outcome) {
+        let read = |outcome: Outcome| match outcome {
+            Outcome::ReadValue(v) => v,
+            other => panic!("unexpected outcome {other:?} for read"),
+        };
+        self.state = match self.state {
+            State::Enter => State::Raise,
+            State::Raise => State::FenceRaise,
+            State::FenceRaise => {
+                if self.me == 0 {
+                    self.after_low_scan()
+                } else {
+                    State::ScanLow { j: 0 }
+                }
+            }
+            State::ScanLow { j } => {
+                if read(outcome) != 0 {
+                    State::Lower { blocker: j }
+                } else if j + 1 < self.me {
+                    State::ScanLow { j: j + 1 }
+                } else {
+                    self.after_low_scan()
+                }
+            }
+            State::Lower { blocker } => State::FenceLower { blocker },
+            State::FenceLower { blocker } => State::WaitLow { blocker },
+            State::WaitLow { blocker } => {
+                if read(outcome) == 0 {
+                    State::Raise // restart the attempt
+                } else {
+                    State::WaitLow { blocker }
+                }
+            }
+            State::WaitHigh { j } => {
+                if read(outcome) == 0 {
+                    if j + 1 < self.n {
+                        State::WaitHigh { j: j + 1 }
+                    } else {
+                        State::Cs
+                    }
+                } else {
+                    State::WaitHigh { j }
+                }
+            }
+            State::Cs => State::Clear,
+            State::Clear => State::FenceRelease,
+            State::FenceRelease => State::Exit,
+            State::Exit => {
+                self.passages_left -= 1;
+                if self.passages_left == 0 {
+                    State::Done
+                } else {
+                    State::Enter
+                }
+            }
+            State::Done => panic!("apply on a halted program"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+
+    #[test]
+    fn standard_battery() {
+        testing::standard_lock_battery(&|n, p| Box::new(OneBitLock::new(n, p)));
+    }
+
+    #[test]
+    fn space_is_one_bit_per_process() {
+        let sys = OneBitLock::new(10, 1);
+        assert_eq!(sys.vars().count(), 10);
+    }
+
+    #[test]
+    fn lowest_id_never_backs_off_solo() {
+        let sys = OneBitLock::new(8, 1);
+        let m = testing::check_solo_progress(&sys, ProcId(0), 1, 100_000).unwrap();
+        let c = m.metrics().proc(ProcId(0)).completed[0].counters;
+        assert_eq!(c.fences, 2, "raise fence + release fence, no back-offs");
+    }
+
+    #[test]
+    fn high_id_pays_scans_but_constant_fences_solo() {
+        let sys = OneBitLock::new(8, 1);
+        let m = testing::check_solo_progress(&sys, ProcId(7), 1, 100_000).unwrap();
+        let c = m.metrics().proc(ProcId(7)).completed[0].counters;
+        assert_eq!(c.fences, 2);
+        assert!(c.rmr_dsm >= 7, "scans all smaller flags");
+    }
+}

@@ -1,0 +1,254 @@
+//! Shared correctness checkers for mutual-exclusion systems.
+//!
+//! The paper's *exclusion* property says two `CS` events are never
+//! simultaneously enabled (Section 2). On the simulator this is directly
+//! observable: after every step, at most one process' next event may be the
+//! `CS` transition. The checkers here drive a system under round-robin and
+//! seeded random schedules asserting that invariant, and verify progress
+//! (all passages complete under a fair schedule; a solo process completes
+//! unaided — weak obstruction-freedom).
+
+use tpa_tso::machine::NextEvent;
+use tpa_tso::sched::{CommitPolicy, XorShift};
+use tpa_tso::{Directive, Machine, Op, ProcId, System};
+
+/// Number of processes whose next event is the `CS` transition.
+pub fn cs_enabled(machine: &Machine) -> usize {
+    (0..machine.n())
+        .filter(|&i| {
+            machine.peek_next(ProcId(i as u32)) == NextEvent::Transition(Op::Cs)
+        })
+        .count()
+}
+
+/// Report of a checked random run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExclusionReport {
+    /// Directives executed.
+    pub steps: usize,
+    /// Total passages completed across all processes.
+    pub passages: usize,
+    /// Whether every process halted within the budget.
+    pub all_halted: bool,
+}
+
+/// Drives `system` under a seeded random schedule, asserting after every
+/// step that at most one `CS` event is enabled.
+///
+/// # Errors
+///
+/// Returns a description of the first exclusion violation or machine
+/// error.
+pub fn check_exclusion_random(
+    system: &dyn System,
+    seed: u64,
+    commit_num: u8,
+    max_steps: usize,
+) -> Result<ExclusionReport, String> {
+    let mut machine = Machine::new(&system);
+    let n = machine.n();
+    let mut rng = XorShift::new(seed);
+    let mut steps = 0;
+    while steps < max_steps {
+        let runnable: Vec<ProcId> = (0..n)
+            .map(|i| ProcId(i as u32))
+            .filter(|&p| {
+                machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p)
+            })
+            .collect();
+        if runnable.is_empty() {
+            return Ok(ExclusionReport {
+                steps,
+                passages: total_passages(&machine),
+                all_halted: true,
+            });
+        }
+        let p = runnable[rng.below(runnable.len())];
+        let halted = machine.peek_next(p) == NextEvent::Halted;
+        let commit = !machine.buffer_empty(p) && (halted || rng.chance(commit_num));
+        let d = if commit { Directive::Commit(p) } else { Directive::Issue(p) };
+        machine.step(d).map_err(|e| format!("step error at {steps}: {e}"))?;
+        steps += 1;
+        let enabled = cs_enabled(&machine);
+        if enabled > 1 {
+            return Err(format!(
+                "exclusion violated after {steps} steps: {enabled} CS events enabled ({})",
+                system.name()
+            ));
+        }
+    }
+    Ok(ExclusionReport { steps, passages: total_passages(&machine), all_halted: false })
+}
+
+/// Total completed passages across all processes.
+pub fn total_passages(machine: &Machine) -> usize {
+    (0..machine.n()).map(|i| machine.passages_completed(ProcId(i as u32))).sum()
+}
+
+/// Drives `system` round-robin (with the given commit policy) until every
+/// process halts, asserting the exclusion invariant throughout, and that
+/// every process completed `expected_passages`.
+///
+/// # Errors
+///
+/// Returns a description of the violation, the machine error, or the
+/// budget exhaustion.
+pub fn check_round_robin_completion(
+    system: &dyn System,
+    policy: CommitPolicy,
+    expected_passages: usize,
+    max_steps: usize,
+) -> Result<Machine, String> {
+    let mut machine = Machine::new(&system);
+    let n = machine.n();
+    let mut rng = XorShift::new(0xFEED);
+    let mut steps = 0;
+    loop {
+        let mut any = false;
+        for i in 0..n {
+            let p = ProcId(i as u32);
+            if machine.peek_next(p) == NextEvent::Halted {
+                continue;
+            }
+            if steps >= max_steps {
+                return Err(format!(
+                    "budget exhausted after {steps} steps; {} passages done ({})",
+                    total_passages(&machine),
+                    system.name()
+                ));
+            }
+            machine
+                .step(Directive::Issue(p))
+                .map_err(|e| format!("step error: {e} ({})", system.name()))?;
+            steps += 1;
+            match policy {
+                CommitPolicy::Lazy => {}
+                CommitPolicy::Eager => {
+                    while !machine.buffer_empty(p) {
+                        machine.step(Directive::Commit(p)).map_err(|e| e.to_string())?;
+                        steps += 1;
+                    }
+                }
+                CommitPolicy::Random { num } => {
+                    while !machine.buffer_empty(p) && rng.chance(num) {
+                        machine.step(Directive::Commit(p)).map_err(|e| e.to_string())?;
+                        steps += 1;
+                    }
+                }
+            }
+            let enabled = cs_enabled(&machine);
+            if enabled > 1 {
+                return Err(format!(
+                    "exclusion violated: {enabled} CS enabled ({})",
+                    system.name()
+                ));
+            }
+            any = true;
+        }
+        if !any {
+            break;
+        }
+    }
+    for i in 0..n {
+        let p = ProcId(i as u32);
+        let done = machine.passages_completed(p);
+        if done != expected_passages {
+            return Err(format!(
+                "{p} completed {done}/{expected_passages} passages ({})",
+                system.name()
+            ));
+        }
+    }
+    Ok(machine)
+}
+
+/// Weak obstruction-freedom check: process `pid`, running entirely alone
+/// from the initial configuration, completes `passages` passages.
+///
+/// # Errors
+///
+/// Returns a description of the failure.
+pub fn check_solo_progress(
+    system: &dyn System,
+    pid: ProcId,
+    passages: usize,
+    max_steps: usize,
+) -> Result<Machine, String> {
+    let mut machine = Machine::new(&system);
+    machine
+        .run_solo(pid, passages, max_steps)
+        .map_err(|e| format!("solo run failed for {pid}: {e} ({})", system.name()))?;
+    Ok(machine)
+}
+
+/// Runs the full standard battery against a lock system: solo progress,
+/// round-robin completion under lazy/eager/random commit policies, and
+/// random-schedule exclusion across several seeds.
+///
+/// # Panics
+///
+/// Panics with a diagnostic on the first failed check (this is a test
+/// helper).
+pub fn standard_lock_battery(make: &dyn Fn(usize, usize) -> Box<dyn System>) {
+    // Solo progress at a few sizes.
+    for n in [1, 2, 5] {
+        let sys = make(n, 2);
+        check_solo_progress(sys.as_ref(), ProcId(0), 2, 200_000).unwrap();
+        if n > 1 {
+            let sys = make(n, 1);
+            check_solo_progress(sys.as_ref(), ProcId(n as u32 - 1), 1, 200_000).unwrap();
+        }
+    }
+    // Fair completion under all commit policies.
+    for n in [1, 2, 3, 5, 8] {
+        for policy in
+            [CommitPolicy::Lazy, CommitPolicy::Eager, CommitPolicy::Random { num: 96 }]
+        {
+            let sys = make(n, 2);
+            check_round_robin_completion(sys.as_ref(), policy, 2, 4_000_000).unwrap();
+        }
+    }
+    // Random-schedule exclusion.
+    for seed in 1..=8u64 {
+        let sys = make(4, 2);
+        check_exclusion_random(sys.as_ref(), seed, 80, 400_000).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_tso::scripted::{Instr, ScriptSystem};
+
+    /// A deliberately broken "lock": everyone walks straight into the CS.
+    fn broken_lock(n: usize) -> ScriptSystem {
+        ScriptSystem::new(n, 1, |_| {
+            vec![Instr::Enter, Instr::Cs, Instr::Exit, Instr::Halt]
+        })
+        .with_name("broken")
+    }
+
+    #[test]
+    fn broken_lock_is_caught() {
+        let sys = broken_lock(3);
+        let err = check_exclusion_random(&sys, 1, 128, 10_000).unwrap_err();
+        assert!(err.contains("exclusion violated"), "{err}");
+    }
+
+    #[test]
+    fn cs_enabled_counts_ready_processes() {
+        let sys = broken_lock(2);
+        let mut m = Machine::new(&sys);
+        assert_eq!(cs_enabled(&m), 0);
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(1))).unwrap();
+        assert_eq!(cs_enabled(&m), 2);
+    }
+
+    #[test]
+    fn solo_progress_on_trivial_system() {
+        let sys = broken_lock(1);
+        let m = check_solo_progress(&sys, ProcId(0), 1, 100).unwrap();
+        assert_eq!(m.passages_completed(ProcId(0)), 1);
+    }
+}

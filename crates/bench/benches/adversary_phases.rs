@@ -1,0 +1,91 @@
+//! Adversary micro-benchmarks: cost of a full construction per lock and
+//! the erasure-replay ablation (DESIGN.md "design decisions to ablate").
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpa_adversary::{Config, Construction, ConflictGraph};
+use tpa_algos::lock_by_name;
+use tpa_tso::sched::XorShift;
+use tpa_tso::{erase, Directive, Machine, ProcId};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for (algo, n) in [("tournament", 256usize), ("splitter", 128), ("bakery", 64)] {
+        group.bench_with_input(BenchmarkId::new(algo, n), &n, |b, &n| {
+            b.iter(|| {
+                let lock = lock_by_name(algo, n, 1).unwrap();
+                let cfg = Config { max_rounds: 6, ..Config::default() };
+                Construction::new(&lock, cfg).unwrap().run().rounds_completed()
+            })
+        });
+    }
+    // Invariant-checking overhead ablation.
+    for check in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("tournament_n128_check", check),
+            &check,
+            |b, &check| {
+                b.iter(|| {
+                    let lock = lock_by_name("tournament", 128, 1).unwrap();
+                    let cfg =
+                        Config { max_rounds: 6, check_invariants: check, ..Config::default() };
+                    Construction::new(&lock, cfg).unwrap().run().rounds_completed()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_erasure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erasure_replay");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        // Build an execution: every process enters and performs its first
+        // reads; then erase half.
+        let lock = lock_by_name("tournament", n, 1).unwrap();
+        let mut machine = Machine::new(&lock);
+        for i in 0..n {
+            machine.step(Directive::Issue(ProcId(i as u32))).unwrap();
+        }
+        for i in 0..n {
+            machine.run_until_special(ProcId(i as u32), 10_000).unwrap();
+        }
+        let erased: BTreeSet<ProcId> = (0..n as u32 / 2).map(ProcId).collect();
+        group.bench_with_input(BenchmarkId::new("erase_half", n), &n, |b, _| {
+            b.iter(|| {
+                let out = erase::erase(&lock, &machine, &erased).unwrap();
+                assert!(out.projection_identical);
+                out.machine.log().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_turan(c: &mut Criterion) {
+    // Ablation: Turán min-degree greedy vs first-fit, on random conflict
+    // graphs of the density the write phase produces.
+    let mut group = c.benchmark_group("turan_ablation");
+    let mut rng = XorShift::new(7);
+    let n = 512usize;
+    let mut graph = ConflictGraph::new((0..n as u32).map(ProcId));
+    for _ in 0..2 * n {
+        graph.add_edge(
+            ProcId(rng.below(n) as u32),
+            ProcId(rng.below(n) as u32),
+        );
+    }
+    group.bench_function("min_degree_greedy", |b| b.iter(|| graph.independent_set().len()));
+    group.bench_function("first_fit", |b| b.iter(|| graph.independent_set_first_fit().len()));
+    group.finish();
+
+    let greedy = graph.independent_set().len();
+    let ff = graph.independent_set_first_fit().len();
+    println!("turán ablation on G(512, 1024 edges): min-degree {greedy}, first-fit {ff}");
+}
+
+criterion_group!(benches, bench_construction, bench_erasure, bench_turan);
+criterion_main!(benches);

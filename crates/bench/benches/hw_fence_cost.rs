@@ -1,0 +1,42 @@
+//! H1(a) — the premise: fences are expensive.
+//!
+//! Measures the per-operation cost of plain stores, release stores,
+//! sequentially consistent stores, explicit `fence(SeqCst)` (x86:
+//! `MFENCE`), and read-modify-writes — the instruction classes the
+//! paper's fence-complexity metric counts.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fence_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fence_cost");
+    let cell = AtomicU64::new(0);
+
+    group.bench_function("store_relaxed", |b| {
+        b.iter(|| cell.store(black_box(1), Ordering::Relaxed))
+    });
+    group.bench_function("store_release", |b| {
+        b.iter(|| cell.store(black_box(1), Ordering::Release))
+    });
+    group.bench_function("store_seqcst", |b| {
+        b.iter(|| cell.store(black_box(1), Ordering::SeqCst))
+    });
+    group.bench_function("store_release_plus_mfence", |b| {
+        b.iter(|| {
+            cell.store(black_box(1), Ordering::Release);
+            fence(Ordering::SeqCst);
+        })
+    });
+    group.bench_function("rmw_swap_acqrel", |b| {
+        b.iter(|| cell.swap(black_box(1), Ordering::AcqRel))
+    });
+    group.bench_function("rmw_fetch_add_seqcst", |b| {
+        b.iter(|| cell.fetch_add(black_box(1), Ordering::SeqCst))
+    });
+    group.bench_function("load_acquire", |b| b.iter(|| black_box(cell.load(Ordering::Acquire))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fence_cost);
+criterion_main!(benches);

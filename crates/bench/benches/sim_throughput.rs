@@ -1,0 +1,52 @@
+//! Simulator micro-benchmarks: event throughput of the TSO machine and
+//! end-to-end passage cost per simulated lock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpa_algos::all_locks;
+use tpa_tso::sched::{run_round_robin, CommitPolicy};
+use tpa_tso::scripted::{Instr, ScriptSystem};
+use tpa_tso::{Directive, Machine, ProcId};
+
+fn bench_machine_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_steps");
+    group.throughput(Throughput::Elements(1));
+    // A tight read/write loop on one variable.
+    let sys = ScriptSystem::new(1, 1, |_| {
+        vec![
+            Instr::Write { var: 0, value: 1 },
+            Instr::Read { var: 0, reg: 0 },
+            Instr::Jump { target: 0 },
+        ]
+    });
+    group.bench_function("issue_write_then_buffer_read", |b| {
+        let mut m = Machine::new(&sys);
+        b.iter(|| m.step(Directive::Issue(ProcId(0))).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_lock_passages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_lock_passages");
+    group.sample_size(10);
+    for n in [8usize, 32] {
+        for lock in all_locks(n, 1) {
+            group.bench_with_input(
+                BenchmarkId::new(lock.name().to_owned(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let (m, stats) =
+                            run_round_robin(lock.as_ref(), CommitPolicy::Lazy, 50_000_000)
+                                .unwrap();
+                        assert!(stats.all_halted);
+                        m.log().len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine_steps, bench_lock_passages);
+criterion_main!(benches);

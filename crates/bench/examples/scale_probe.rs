@@ -1,0 +1,19 @@
+//! One-off scale probe: how far the fast-erasure backend pushes the
+//! construction on the tournament lock.
+use std::time::Instant;
+use tpa_adversary::{Config, Construction};
+
+fn main() {
+    for n in [4096usize, 8192, 16384] {
+        let lock = tpa_algos::lock_by_name("tournament", n, 1).unwrap();
+        let cfg = Config { max_rounds: 16, fast_erasure: true, ..Default::default() };
+        let t = Instant::now();
+        let out = Construction::new(&lock, cfg).unwrap().run();
+        println!(
+            "tournament n={n:6}: forced {:2} fences (contention {:2}) in {:?}",
+            out.fences_forced(),
+            out.fences_forced() + 1,
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Experiment F1 — Figure 1: the structure of one inductive step.
+//!
+//! Prints the phase-by-phase trace of the adversarial construction (read
+//! iterations, write iterations, regularization) with the active-set size
+//! after every step — the executable rendering of the paper's Figure 1.
+//!
+//! Usage: `exp_f1_construction [algo] [n] [rounds]`
+//! (defaults: tournament 256 8).
+
+use tpa_bench::report;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let algo = args.next().unwrap_or_else(|| "tournament".into());
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let rounds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let out = match tpa_bench::construction_outcome(&algo, n, rounds, true) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("algorithm: {} | n = {} | stop: {}", out.algorithm, out.n, out.stop);
+    println!(
+        "rounds completed: {} | fences forced: {} | final contention: {} | blocked erased: {}",
+        out.rounds_completed(),
+        out.fences_forced(),
+        out.total_contention,
+        out.blocked_erased
+    );
+
+    let rows: Vec<Vec<String>> = out
+        .phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.round.to_string(),
+                p.label.clone(),
+                p.case_taken.clone(),
+                p.act_before.to_string(),
+                p.act_after.to_string(),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "F1: inductive construction trace (Figure 1)",
+        &["round", "phase", "case", "|Act| before", "|Act| after"],
+        &rows,
+    );
+
+    let round_rows: Vec<Vec<String>> = out
+        .rounds
+        .iter()
+        .map(|r| {
+            vec![
+                r.round.to_string(),
+                r.read_iters.to_string(),
+                r.write_iters.to_string(),
+                r.reg_criticals.to_string(),
+                r.criticals_per_active.to_string(),
+                r.act_start.to_string(),
+                r.act_end.to_string(),
+                r.finisher.to_string(),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "F1: per-round summary (H_i conditions)",
+        &["i", "s (read)", "t (write)", "m (reg)", "l_i", "|Act| start", "|Act| end", "finisher"],
+        &round_rows,
+    );
+    report::maybe_write_json("F1", &out.rounds);
+}

@@ -1,0 +1,62 @@
+//! Experiment T2 — Corollary 2: linear adaptivity pays `Ω(log log N)`
+//! fences.
+//!
+//! Sweeps `N = 2^8 … 2^(2^20)` (in log-space) and reports, for
+//! `f(i) = c·i`, the largest `i` satisfying the Theorem 1 inequality next
+//! to the paper's guaranteed feasible point `(1/3c)·log₂log₂N`. The
+//! small-N prefix is cross-checked against the executable construction on
+//! the adaptive splitter lock.
+//!
+//! Usage: `exp_t2_corollary2 [c]` (default 1).
+
+use tpa_bench::report::{self, fmt_f64};
+
+fn main() {
+    let c: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    let log2_ns: Vec<f64> = (3..=20).map(|j| (1u64 << j) as f64).collect();
+    let rows = tpa_bench::t2_rows(c, &log2_ns);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("2^{}", r.log2_n),
+                fmt_f64(r.loglog),
+                r.max_feasible_i.to_string(),
+                fmt_f64(r.guaranteed_point),
+                fmt_f64(r.max_feasible_i as f64 / r.loglog),
+            ]
+        })
+        .collect();
+    report::print_table(
+        &format!("T2: Corollary 2 — f(i) = {c}·i forces Ω(log log N) fences"),
+        &["N", "log2 log2 N", "max feasible i", "(1/3c)·loglog", "i / loglog"],
+        &table,
+    );
+
+    // Small-N executable cross-check: the construction on a real adaptive
+    // read/write lock lives in the same regime as the analytic frontier.
+    let mut check = Vec::new();
+    for n in [16usize, 64, 256, 1024] {
+        if let Ok(out) = tpa_bench::construction_outcome("splitter", n, 12, false) {
+            let ln_n = (n as f64).ln();
+            let analytic = tpa_adversary::bounds::max_feasible_i(
+                ln_n,
+                tpa_adversary::Adaptivity::Linear { c },
+                64,
+            );
+            check.push(vec![
+                n.to_string(),
+                out.fences_forced().to_string(),
+                analytic.to_string(),
+            ]);
+        }
+    }
+    report::print_table(
+        "T2: small-N cross-check (construction on the splitter lock)",
+        &["N", "fences forced (measured)", "analytic frontier"],
+        &check,
+    );
+    report::maybe_write_json("T2", &rows);
+}

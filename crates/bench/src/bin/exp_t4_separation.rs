@@ -1,0 +1,45 @@
+//! Experiment T4 — the adaptive-vs-fence separation (Corollary 1 and the
+//! Section 1/6 discussion).
+//!
+//! Per-passage fence and RMR costs of every simulated lock as the actual
+//! contention `k` sweeps at fixed `n`, under a fair lazy-commit schedule:
+//!
+//! * non-adaptive constant-fence locks (bakery) keep fences flat while
+//!   paying Θ(n) RMRs even solo — the price of escaping the lower bound;
+//! * adaptive locks (ticketq, splitter) are cheap solo but their fences
+//!   grow with `k` — the price of being adaptive;
+//! * the tournament lock pays Θ(log n) of both.
+//!
+//! Usage: `exp_t4_separation [n]` (default 64).
+
+use tpa_bench::report::{self, fmt_f64};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    let algos: &[&str] =
+        &["tas", "ttas", "ticketq", "mcs", "bakery", "filter", "onebit", "tournament", "dijkstra", "splitter"];
+    let ks: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64].iter().copied().filter(|k| *k <= n).collect();
+    let rows = tpa_bench::t4_rows(algos, n, &ks);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algo.clone(),
+                r.k.to_string(),
+                r.fences_max.to_string(),
+                fmt_f64(r.fences_avg),
+                r.rmr_dsm_max.to_string(),
+                r.rmr_wb_max.to_string(),
+                r.point_contention.to_string(),
+            ]
+        })
+        .collect();
+    report::print_table(
+        &format!("T4: per-passage complexity vs contention k (n = {n}, lazy commits)"),
+        &["algo", "k", "fences max", "fences avg", "RMR dsm max", "RMR wb max", "point cont."],
+        &table,
+    );
+    report::maybe_write_json("T4", &rows);
+}

@@ -1,0 +1,37 @@
+//! Experiment T5 — Lemma 9: the object-to-mutex reduction transfers
+//! complexity up to an additive constant.
+//!
+//! For each of counter / queue / stack, measures the worst per-span fence
+//! and RMR cost of (a) a bare ticket operation (`fetch&increment` /
+//! `dequeue` / `pop`) and (b) a full passage of the Algorithm 1 one-time
+//! mutex built on the object. Lemma 9 predicts a constant additive gap.
+//!
+//! Usage: `exp_t5_lemma9`.
+
+use tpa_bench::report;
+
+fn main() {
+    let rows = tpa_bench::t5_rows(&[1, 2, 4, 8, 16, 32]);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.object.clone(),
+                r.n.to_string(),
+                r.bare_fences.to_string(),
+                r.mutex_fences.to_string(),
+                r.fence_gap.to_string(),
+                r.bare_rmr.to_string(),
+                r.mutex_rmr.to_string(),
+                r.rmr_gap.to_string(),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "T5: Lemma 9 — bare object op vs Algorithm 1 passage (worst case per span)",
+        &["object", "N", "op fences", "mutex fences", "gap", "op RMR", "mutex RMR", "RMR gap"],
+        &table,
+    );
+    report::maybe_write_json("T5", &rows);
+}

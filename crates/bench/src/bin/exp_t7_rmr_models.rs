@@ -1,0 +1,41 @@
+//! Experiment T7 (ablation) — DSM vs CC-write-through vs CC-write-back
+//! RMR accounting on identical executions.
+//!
+//! The paper's results hold in all three models (Section 2); the
+//! simulator computes all three simultaneously, so one run prices the
+//! same execution three ways. Spinning locks separate the models sharply:
+//! under write-back a spin is one miss per invalidation, under
+//! write-through every committed write costs an RMR, and under DSM every
+//! access to a remote variable does.
+//!
+//! Usage: `exp_t7_rmr_models [n]` (default 32).
+
+use tpa_bench::report;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let algos: &[&str] = &[
+        "tas", "ttas", "ticketq", "mcs", "bakery", "filter", "onebit", "tournament", "dijkstra",
+        "splitter",
+    ];
+    let rows = tpa_bench::t7_rows(algos, n, &[1, 4, 16, 32]);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algo.clone(),
+                r.k.to_string(),
+                r.rmr_dsm.to_string(),
+                r.rmr_wt.to_string(),
+                r.rmr_wb.to_string(),
+                r.events.to_string(),
+            ]
+        })
+        .collect();
+    report::print_table(
+        &format!("T7: worst per-passage RMRs under the three accounting models (n = {n})"),
+        &["algo", "k", "DSM", "CC-WT", "CC-WB", "events"],
+        &table,
+    );
+    report::maybe_write_json("T7", &rows);
+}

@@ -1,0 +1,447 @@
+//! Experiment implementations (shared by binaries, tests and benches).
+
+use serde::Serialize;
+
+use tpa_adversary::{bounds, Adaptivity, Config, Construction, Outcome};
+use tpa_algos::lock_by_name;
+use tpa_objects::lemma9::{self, TicketObject};
+use tpa_tso::machine::NextEvent;
+use tpa_tso::{Directive, Machine, ProcId, System};
+
+/// Runs the adversarial construction for a named lock.
+///
+/// # Errors
+///
+/// Returns a description for unknown locks or initialisation failures.
+pub fn construction_outcome(
+    algo: &str,
+    n: usize,
+    max_rounds: usize,
+    check_invariants: bool,
+) -> Result<Outcome, String> {
+    let lock = lock_by_name(algo, n, 1).ok_or_else(|| format!("unknown lock `{algo}`"))?;
+    // With invariant checking we also use the slow replay-validated
+    // erasure (maximum fidelity); sweeps use the differentially-tested
+    // fast backend.
+    let cfg = Config {
+        max_rounds,
+        check_invariants,
+        fast_erasure: !check_invariants,
+        ..Config::default()
+    };
+    Ok(Construction::new(&lock, cfg).map_err(|e| e.to_string())?.run())
+}
+
+/// One row of the T1 table: a construction round against Theorem 3.
+#[derive(Clone, Debug, Serialize)]
+pub struct T1Row {
+    /// Algorithm name.
+    pub algo: String,
+    /// Processes.
+    pub n: usize,
+    /// Induction round (`H_round`).
+    pub round: usize,
+    /// Measured `|Act|` at the end of the round.
+    pub act_measured: usize,
+    /// `ln` of Theorem 3's worst-case lower bound on `|Act(H_i)|` given
+    /// the measured `ℓ_i` (negative ⇒ the bound is vacuous at this size).
+    pub theorem3_ln_bound: f64,
+    /// Measured `ℓ_i` (critical events per active process).
+    pub criticals_per_active: u64,
+    /// Read-phase iterations (`s`).
+    pub read_iters: usize,
+    /// Write-phase iterations (`t`).
+    pub write_iters: usize,
+    /// Regularization criticals (`m`).
+    pub reg_criticals: usize,
+}
+
+/// T1: run the construction per algorithm × N and compare the measured
+/// active-set decay with the Theorem 3 analytic bound.
+pub fn t1_rows(algos: &[&str], ns: &[usize], max_rounds: usize) -> Vec<T1Row> {
+    let mut rows = Vec::new();
+    for algo in algos {
+        for &n in ns {
+            let Ok(out) = construction_outcome(algo, n, max_rounds, false) else {
+                continue;
+            };
+            let ln_n = (n as f64).ln();
+            for r in &out.rounds {
+                rows.push(T1Row {
+                    algo: (*algo).to_owned(),
+                    n,
+                    round: r.round,
+                    act_measured: r.act_end,
+                    theorem3_ln_bound: bounds::theorem3_act_ln(
+                        ln_n,
+                        r.criticals_per_active as f64,
+                        r.round as f64,
+                    ),
+                    criticals_per_active: r.criticals_per_active,
+                    read_iters: r.read_iters,
+                    write_iters: r.write_iters,
+                    reg_criticals: r.reg_criticals,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One row of the T2/T3 corollary sweeps.
+#[derive(Clone, Debug, Serialize)]
+pub struct CorollaryRow {
+    /// `log₂ N`.
+    pub log2_n: f64,
+    /// `log₂ log₂ N` (T2's x-axis) — for T3 read `log₂ log₂ log₂ N`.
+    pub loglog: f64,
+    /// Largest feasible `i` per the Theorem 1 inequality.
+    pub max_feasible_i: u64,
+    /// The paper's guaranteed feasible point
+    /// (`(1/3c)·loglog N` resp. `(1/c)(logloglog N − 1)`).
+    pub guaranteed_point: f64,
+}
+
+/// T2: the Corollary 2 sweep for linear adaptivity `f(i) = c·i`.
+pub fn t2_rows(c: f64, log2_ns: &[f64]) -> Vec<CorollaryRow> {
+    log2_ns
+        .iter()
+        .map(|&log2_n| {
+            let ln_n = bounds::ln_of_pow2(log2_n);
+            CorollaryRow {
+                log2_n,
+                loglog: log2_n.log2(),
+                max_feasible_i: bounds::max_feasible_i(ln_n, Adaptivity::Linear { c }, 1 << 22),
+                guaranteed_point: bounds::corollary2_point(ln_n, c),
+            }
+        })
+        .collect()
+}
+
+/// T3: the Corollary 3 sweep for exponential adaptivity `f(i) = 2^(c·i)`.
+pub fn t3_rows(c: f64, log2_ns: &[f64]) -> Vec<CorollaryRow> {
+    log2_ns
+        .iter()
+        .map(|&log2_n| {
+            let ln_n = bounds::ln_of_pow2(log2_n);
+            CorollaryRow {
+                log2_n,
+                loglog: log2_n.log2().log2(),
+                max_feasible_i: bounds::max_feasible_i(
+                    ln_n,
+                    Adaptivity::Exponential { c },
+                    1 << 22,
+                ),
+                guaranteed_point: bounds::corollary3_point(ln_n, c),
+            }
+        })
+        .collect()
+}
+
+/// One row of the T4 separation table.
+#[derive(Clone, Debug, Serialize)]
+pub struct T4Row {
+    /// Algorithm name.
+    pub algo: String,
+    /// Total processes the instance is built for.
+    pub n: usize,
+    /// Contention: how many processes actually run.
+    pub k: usize,
+    /// Worst per-passage fence count across the k participants.
+    pub fences_max: u64,
+    /// Mean per-passage fence count.
+    pub fences_avg: f64,
+    /// Worst per-passage DSM RMRs.
+    pub rmr_dsm_max: u64,
+    /// Worst per-passage CC write-back RMRs.
+    pub rmr_wb_max: u64,
+    /// Measured maximum point contention across the passages (the
+    /// paper's strongest contention gauge; see `tpa_tso::analysis`).
+    pub point_contention: usize,
+    /// Measured maximum interval contention across the passages.
+    pub interval_contention: usize,
+}
+
+/// Drives processes `0..k` of a system round-robin (lazy commits) until
+/// each completes `passages` passages; processes `k..n` never run, so the
+/// total contention is exactly `k`.
+///
+/// # Errors
+///
+/// Returns a description if the budget is exhausted or a step fails.
+pub fn run_contention_subset(
+    system: &dyn System,
+    k: usize,
+    passages: usize,
+    max_steps: usize,
+) -> Result<Machine, String> {
+    let mut machine = Machine::new(&system);
+    let mut steps = 0;
+    loop {
+        let mut done = true;
+        for i in 0..k {
+            let p = ProcId(i as u32);
+            if machine.passages_completed(p) >= passages
+                || machine.peek_next(p) == NextEvent::Halted
+            {
+                continue;
+            }
+            done = false;
+            if steps >= max_steps {
+                return Err(format!("budget exhausted after {steps} steps"));
+            }
+            machine.step(Directive::Issue(p)).map_err(|e| e.to_string())?;
+            steps += 1;
+        }
+        if done {
+            return Ok(machine);
+        }
+    }
+}
+
+/// T4: per-algorithm per-passage costs as contention `k` sweeps at fixed
+/// `n` — the adaptive-vs-fence separation table.
+pub fn t4_rows(algos: &[&str], n: usize, ks: &[usize]) -> Vec<T4Row> {
+    let mut rows = Vec::new();
+    for algo in algos {
+        for &k in ks {
+            if k > n {
+                continue;
+            }
+            let Some(lock) = lock_by_name(algo, n, 1) else { continue };
+            let Ok(machine) = run_contention_subset(lock.as_ref(), k, 1, 30_000_000) else {
+                continue;
+            };
+            let mut fences_max = 0u64;
+            let mut fences_sum = 0u64;
+            let mut rmr_dsm_max = 0u64;
+            let mut rmr_wb_max = 0u64;
+            let mut count = 0u64;
+            for i in 0..k {
+                for span in &machine.metrics().proc(ProcId(i as u32)).completed {
+                    fences_max = fences_max.max(span.counters.fences);
+                    fences_sum += span.counters.fences;
+                    rmr_dsm_max = rmr_dsm_max.max(span.counters.rmr_dsm);
+                    rmr_wb_max = rmr_wb_max.max(span.counters.rmr_wb);
+                    count += 1;
+                }
+            }
+            let mut point_contention = 0;
+            let mut interval_contention = 0;
+            for span in tpa_tso::analysis::spans(machine.log()) {
+                let c = tpa_tso::analysis::contention(machine.log(), span);
+                point_contention = point_contention.max(c.point);
+                interval_contention = interval_contention.max(c.interval);
+            }
+            rows.push(T4Row {
+                algo: (*algo).to_owned(),
+                n,
+                k,
+                fences_max,
+                fences_avg: fences_sum as f64 / count.max(1) as f64,
+                rmr_dsm_max,
+                rmr_wb_max,
+                point_contention,
+                interval_contention,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the T5 (Lemma 9) table.
+#[derive(Clone, Debug, Serialize)]
+pub struct T5Row {
+    /// Backing object.
+    pub object: String,
+    /// Processes (= tickets).
+    pub n: usize,
+    /// Worst fences of a bare ticket operation.
+    pub bare_fences: u64,
+    /// Worst fences of a full reduction passage.
+    pub mutex_fences: u64,
+    /// Additive fence gap (Lemma 9 bounds this by a constant).
+    pub fence_gap: i64,
+    /// Worst DSM RMRs of a bare operation.
+    pub bare_rmr: u64,
+    /// Worst DSM RMRs of a reduction passage.
+    pub mutex_rmr: u64,
+    /// Additive RMR gap.
+    pub rmr_gap: i64,
+}
+
+/// T5: the Lemma 9 cost-transfer table over all three objects.
+pub fn t5_rows(ns: &[usize]) -> Vec<T5Row> {
+    let mut rows = Vec::new();
+    for object in TicketObject::ALL {
+        for &n in ns {
+            let Ok(row) = lemma9::measure(object, n) else { continue };
+            rows.push(T5Row {
+                object: object.name().to_owned(),
+                n,
+                bare_fences: row.bare.fences,
+                mutex_fences: row.mutex.fences,
+                fence_gap: row.fence_gap(),
+                bare_rmr: row.bare.rmr_dsm,
+                mutex_rmr: row.mutex.rmr_dsm,
+                rmr_gap: row.rmr_gap(),
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the T6 feasibility frontier.
+#[derive(Clone, Debug, Serialize)]
+pub struct T6Row {
+    /// Adaptivity family description.
+    pub family: String,
+    /// `log₂ N`.
+    pub log2_n: f64,
+    /// Largest feasible `i` (fences the lower bound forces).
+    pub max_feasible_i: u64,
+}
+
+/// T6: the feasibility frontier across adaptivity families × N grid.
+pub fn t6_rows(log2_ns: &[f64]) -> Vec<T6Row> {
+    let families: Vec<(String, Adaptivity)> = vec![
+        ("f(k)=1·k".into(), Adaptivity::Linear { c: 1.0 }),
+        ("f(k)=4·k".into(), Adaptivity::Linear { c: 4.0 }),
+        ("f(k)=1·k^2".into(), Adaptivity::Poly { c: 1.0, a: 2.0 }),
+        ("f(k)=2^(1·k)".into(), Adaptivity::Exponential { c: 1.0 }),
+        ("f(k)=2·log2(k+1)".into(), Adaptivity::Log { c: 2.0 }),
+        ("f(k)=8".into(), Adaptivity::Constant(8.0)),
+    ];
+    let mut rows = Vec::new();
+    for (name, f) in &families {
+        for &log2_n in log2_ns {
+            let ln_n = bounds::ln_of_pow2(log2_n);
+            rows.push(T6Row {
+                family: name.clone(),
+                log2_n,
+                max_feasible_i: bounds::max_feasible_i(ln_n, *f, 1 << 22),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_produces_rows_for_the_tournament() {
+        let rows = t1_rows(&["tournament"], &[32], 8);
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.algo == "tournament"));
+        // ℓ_i grows round over round.
+        for w in rows.windows(2) {
+            assert!(w[1].criticals_per_active >= w[0].criticals_per_active);
+        }
+    }
+
+    #[test]
+    fn t2_grows_with_n() {
+        let rows = t2_rows(1.0, &[64.0, 4096.0]);
+        assert!(rows[1].max_feasible_i > rows[0].max_feasible_i);
+        for r in &rows {
+            assert!(r.max_feasible_i as f64 >= r.guaranteed_point.floor());
+        }
+    }
+
+    #[test]
+    fn t4_contention_subset_runs_exactly_k() {
+        let lock = lock_by_name("bakery", 8, 1).unwrap();
+        let m = run_contention_subset(lock.as_ref(), 3, 1, 1_000_000).unwrap();
+        for i in 0..3u32 {
+            assert_eq!(m.passages_completed(ProcId(i)), 1);
+        }
+        for i in 3..8u32 {
+            assert_eq!(m.passages_completed(ProcId(i)), 0);
+        }
+    }
+
+    #[test]
+    fn t4_separation_shape() {
+        // The adaptive ticket lock's fences grow with k; bakery's stay
+        // constant.
+        let rows = t4_rows(&["ticketq", "bakery"], 16, &[1, 8]);
+        let get = |algo: &str, k: usize| {
+            rows.iter().find(|r| r.algo == algo && r.k == k).unwrap().fences_max
+        };
+        assert!(get("ticketq", 8) > get("ticketq", 1));
+        assert_eq!(get("bakery", 8), get("bakery", 1));
+    }
+
+    #[test]
+    fn t5_gaps_are_constant() {
+        for row in t5_rows(&[1, 4]) {
+            assert!(row.fence_gap >= 0 && row.fence_gap <= 6, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn t6_orders_families_sanely() {
+        let rows = t6_rows(&[65_536.0]);
+        let get = |fam: &str| {
+            rows.iter().find(|r| r.family == fam).unwrap().max_feasible_i
+        };
+        // Slower-growing adaptivity functions admit more forced fences.
+        assert!(get("f(k)=2·log2(k+1)") >= get("f(k)=1·k"));
+        assert!(get("f(k)=1·k") >= get("f(k)=1·k^2"));
+        assert!(get("f(k)=1·k^2") >= get("f(k)=2^(1·k)"));
+    }
+}
+
+/// One row of the T7 RMR-accounting comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct T7Row {
+    /// Algorithm name.
+    pub algo: String,
+    /// Contention.
+    pub k: usize,
+    /// Worst per-passage RMRs under the DSM model.
+    pub rmr_dsm: u64,
+    /// Worst per-passage RMRs under CC write-through.
+    pub rmr_wt: u64,
+    /// Worst per-passage RMRs under CC write-back.
+    pub rmr_wb: u64,
+    /// Worst per-passage events, for scale.
+    pub events: u64,
+}
+
+/// T7 (ablation): how the three RMR accounting models the paper covers
+/// (DSM, CC write-through, CC write-back) price the same executions.
+pub fn t7_rows(algos: &[&str], n: usize, ks: &[usize]) -> Vec<T7Row> {
+    let mut rows = Vec::new();
+    for algo in algos {
+        for &k in ks {
+            if k > n {
+                continue;
+            }
+            let Some(lock) = lock_by_name(algo, n, 1) else { continue };
+            let Ok(machine) = run_contention_subset(lock.as_ref(), k, 1, 30_000_000) else {
+                continue;
+            };
+            let mut row = T7Row {
+                algo: (*algo).to_owned(),
+                k,
+                rmr_dsm: 0,
+                rmr_wt: 0,
+                rmr_wb: 0,
+                events: 0,
+            };
+            for i in 0..k {
+                for span in &machine.metrics().proc(ProcId(i as u32)).completed {
+                    row.rmr_dsm = row.rmr_dsm.max(span.counters.rmr_dsm);
+                    row.rmr_wt = row.rmr_wt.max(span.counters.rmr_wt);
+                    row.rmr_wb = row.rmr_wb.max(span.counters.rmr_wb);
+                    row.events = row.events.max(span.counters.events);
+                }
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}

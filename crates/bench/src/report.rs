@@ -1,0 +1,90 @@
+//! Table/JSON output helpers shared by the experiment binaries.
+
+use std::fs;
+use std::io::Write as _;
+
+use serde::Serialize;
+
+/// Prints an aligned text table: `headers` then `rows` of equal arity.
+///
+/// # Panics
+///
+/// Panics if a row's arity differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Writes `rows` as pretty JSON to the path named by the `TPA_JSON`
+/// environment variable, if set. Errors are reported to stderr but never
+/// fatal (the table on stdout is the primary artifact).
+pub fn maybe_write_json<T: Serialize>(experiment: &str, rows: &T) {
+    let Ok(path) = std::env::var("TPA_JSON") else { return };
+    let payload = match serde_json::to_string_pretty(rows) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("[{experiment}] JSON serialisation failed: {e}");
+            return;
+        }
+    };
+    match fs::File::create(&path).and_then(|mut f| f.write_all(payload.as_bytes())) {
+        Ok(()) => eprintln!("[{experiment}] rows written to {path}"),
+        Err(e) => eprintln!("[{experiment}] cannot write {path}: {e}"),
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_f64_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1.5), "1.500");
+        assert_eq!(fmt_f64(2.0e9), "2.000e9");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        print_table("demo", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

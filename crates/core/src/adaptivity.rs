@@ -1,0 +1,122 @@
+//! Adaptivity-function families.
+//!
+//! An algorithm is *f-adaptive* if the complexity of every passage is
+//! `O(f(k))` where `k` is the total contention. The paper's corollaries
+//! instantiate its Theorem 1 for specific growth rates of `f`; this module
+//! names those families and evaluates them in log-space so that
+//! astronomically large values stay representable.
+
+use std::fmt;
+
+/// A named adaptivity-function family.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Adaptivity {
+    /// `f(k) = c` — a constant bound (what O(1)-fence adaptivity would
+    /// require; Corollary 1 rules it out).
+    Constant(f64),
+    /// `f(k) = c·k` — linear (Corollary 2; the Kim–Anderson regime).
+    Linear {
+        /// Slope.
+        c: f64,
+    },
+    /// `f(k) = c·k^a` — polynomial.
+    Poly {
+        /// Coefficient.
+        c: f64,
+        /// Exponent.
+        a: f64,
+    },
+    /// `f(k) = 2^(c·k)` — exponential (Corollary 3).
+    Exponential {
+        /// Rate.
+        c: f64,
+    },
+    /// `f(k) = c·log₂(k+1)` — logarithmic (sub-linear).
+    Log {
+        /// Coefficient.
+        c: f64,
+    },
+}
+
+impl Adaptivity {
+    /// `f(k)`.
+    pub fn eval(self, k: f64) -> f64 {
+        match self {
+            Adaptivity::Constant(c) => c,
+            Adaptivity::Linear { c } => c * k,
+            Adaptivity::Poly { c, a } => c * k.powf(a),
+            Adaptivity::Exponential { c } => (c * k).exp2(),
+            Adaptivity::Log { c } => c * (k + 1.0).log2(),
+        }
+    }
+
+    /// `ln f(k)`, stable even when `f(k)` overflows `f64`.
+    pub fn ln_eval(self, k: f64) -> f64 {
+        match self {
+            Adaptivity::Constant(c) => c.ln(),
+            Adaptivity::Linear { c } => c.ln() + k.ln(),
+            Adaptivity::Poly { c, a } => c.ln() + a * k.ln(),
+            Adaptivity::Exponential { c } => c * k * std::f64::consts::LN_2,
+            Adaptivity::Log { c } => (c * (k + 1.0).log2()).ln(),
+        }
+    }
+}
+
+impl fmt::Display for Adaptivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Adaptivity::Constant(c) => write!(f, "f(k)={c}"),
+            Adaptivity::Linear { c } => write!(f, "f(k)={c}·k"),
+            Adaptivity::Poly { c, a } => write!(f, "f(k)={c}·k^{a}"),
+            Adaptivity::Exponential { c } => write!(f, "f(k)=2^({c}·k)"),
+            Adaptivity::Log { c } => write!(f, "f(k)={c}·log2(k+1)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_definitions() {
+        assert_eq!(Adaptivity::Constant(5.0).eval(100.0), 5.0);
+        assert_eq!(Adaptivity::Linear { c: 2.0 }.eval(10.0), 20.0);
+        assert_eq!(Adaptivity::Poly { c: 1.0, a: 2.0 }.eval(3.0), 9.0);
+        assert_eq!(Adaptivity::Exponential { c: 1.0 }.eval(3.0), 8.0);
+        assert!((Adaptivity::Log { c: 1.0 }.eval(7.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_eval_is_consistent_with_eval() {
+        for f in [
+            Adaptivity::Linear { c: 3.0 },
+            Adaptivity::Poly { c: 2.0, a: 1.5 },
+            Adaptivity::Exponential { c: 0.5 },
+        ] {
+            for k in [1.0, 4.0, 16.0] {
+                let direct = f.eval(k).ln();
+                assert!(
+                    (f.ln_eval(k) - direct).abs() < 1e-9,
+                    "{f} at k={k}: {} vs {}",
+                    f.ln_eval(k),
+                    direct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ln_eval_survives_huge_values() {
+        // f(k) = 2^(k) at k = 10^6 overflows f64 but its log must not.
+        let f = Adaptivity::Exponential { c: 1.0 };
+        let ln = f.ln_eval(1e6);
+        assert!(ln.is_finite());
+        assert!((ln - 1e6 * std::f64::consts::LN_2).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Adaptivity::Linear { c: 1.0 }.to_string(), "f(k)=1·k");
+    }
+}

@@ -1,0 +1,278 @@
+//! Analytic evaluation of the paper's bounds (Theorems 1 and 3,
+//! Corollaries 1–3), in log-space so that `N` as large as `2^(2^60)` (and
+//! adaptivity values that overflow `f64`) remain representable.
+//!
+//! The central quantity is the Theorem 1 feasibility condition
+//!
+//! ```text
+//!     f(i) ≤ N^(2^-f(i)) / ( f(i)! · 4^(f(i)+2i) )
+//! ```
+//!
+//! whenever it holds for `i`, the construction yields an execution of
+//! total contention `i+1` in which some process executes `i` fences in a
+//! single passage. The corollaries read off the largest feasible `i` for
+//! specific adaptivity families.
+
+use crate::adaptivity::Adaptivity;
+
+const LN_2: f64 = std::f64::consts::LN_2;
+const LN_4: f64 = 2.0 * std::f64::consts::LN_2;
+
+/// `ln(x!)` for real `x ≥ 0` (exact summation below 256, Stirling above).
+pub fn ln_factorial(x: f64) -> f64 {
+    if x <= 1.0 {
+        return 0.0;
+    }
+    if x < 256.0 && x.fract() == 0.0 {
+        let mut acc = 0.0;
+        let mut k = 2.0;
+        while k <= x {
+            acc += k.ln();
+            k += 1.0;
+        }
+        return acc;
+    }
+    // Stirling with first correction term: ln Γ(x+1).
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+}
+
+/// `ln` of the Theorem 1 right-hand side for given `ln N`, `f = f(i)` and
+/// `i`:
+/// `2^(-f)·ln N − ln(f!) − (f + 2i)·ln 4`.
+///
+/// The leading term is computed as `exp(ln ln N − f·ln 2)` so it stays
+/// meaningful when both `ln N` and `f` are huge.
+pub fn theorem1_rhs_ln(ln_n: f64, f: f64, i: f64) -> f64 {
+    assert!(ln_n > 0.0, "need N > 1");
+    let lead_ln = ln_n.ln() - f * LN_2;
+    let lead = lead_ln.exp(); // 2^(-f) · ln N
+    lead - ln_factorial(f) - (f + 2.0 * i) * LN_4
+}
+
+/// Whether the Theorem 1 feasibility condition holds at `i` for adaptivity
+/// family `f` and `ln N`.
+pub fn feasible(ln_n: f64, f: Adaptivity, i: u64) -> bool {
+    let fi = f.eval(i as f64);
+    if !fi.is_finite() {
+        return false; // f(i) overflowed: the RHS is certainly smaller
+    }
+    let lhs_ln = f.ln_eval(i as f64);
+    lhs_ln <= theorem1_rhs_ln(ln_n, fi, i as f64)
+}
+
+/// The largest `i` (up to `cap`) for which the Theorem 1 condition holds —
+/// i.e. the number of fences the construction provably forces on an
+/// f-adaptive algorithm with `N` processes. Returns 0 when even `i = 1`
+/// fails.
+///
+/// ```
+/// use tpa_adversary::{bounds, Adaptivity};
+///
+/// // Corollary 2's regime: at N = 2^256, a 1·k-adaptive lock can be
+/// // forced to 3 fences; at N = 2^65536, nine.
+/// let f = Adaptivity::Linear { c: 1.0 };
+/// assert_eq!(bounds::max_feasible_i(bounds::ln_of_pow2(256.0), f, 100), 3);
+/// assert_eq!(bounds::max_feasible_i(bounds::ln_of_pow2(65536.0), f, 100), 9);
+/// ```
+pub fn max_feasible_i(ln_n: f64, f: Adaptivity, cap: u64) -> u64 {
+    let mut best = 0;
+    for i in 1..=cap {
+        if feasible(ln_n, f, i) {
+            best = i;
+        } else {
+            break; // the condition is monotone for non-decreasing f
+        }
+    }
+    best
+}
+
+/// Theorem 3's lower bound on `ln |Act(H_i)|`:
+/// `2^(-l_i)·ln N − ln(l_i!) − (l_i + 2i)·ln 4`.
+pub fn theorem3_act_ln(ln_n: f64, l_i: f64, i: f64) -> f64 {
+    theorem1_rhs_ln(ln_n, l_i, i)
+}
+
+/// Corollary 2's explicit feasible point for linear adaptivity
+/// `f(i) = c·i`: `i = (1/3c)·log₂ log₂ N` — `Ω(log log N)` fences.
+pub fn corollary2_point(ln_n: f64, c: f64) -> f64 {
+    let log2_n = ln_n / LN_2;
+    (1.0 / (3.0 * c)) * log2_n.log2()
+}
+
+/// Corollary 3's explicit feasible point for exponential adaptivity
+/// `f(i) = 2^(c·i)`: `i = (1/c)·(log₂ log₂ log₂ N − 1)` —
+/// `Ω(log log log N)` fences.
+pub fn corollary3_point(ln_n: f64, c: f64) -> f64 {
+    let log2_n = ln_n / LN_2;
+    (1.0 / c) * (log2_n.log2().log2() - 1.0)
+}
+
+/// Convenience: `ln N` for `N = 2^log2_n` (so callers can express
+/// `N = 2^1024` without constructing it).
+pub fn ln_of_pow2(log2_n: f64) -> f64 {
+    log2_n * LN_2
+}
+
+/// The inverse query: the smallest `log₂ N` (as a power of two, by
+/// doubling search) at which the construction forces at least `target_i`
+/// fences on an f-adaptive algorithm — "how many processes does it take
+/// to make adaptivity cost `i` fences?". Returns `None` if not reached by
+/// `max_log2n`.
+pub fn min_log2n_to_force(f: Adaptivity, target_i: u64, max_log2n: f64) -> Option<f64> {
+    let mut log2n = 2.0f64;
+    while log2n <= max_log2n {
+        if max_feasible_i(ln_of_pow2(log2n), f, target_i + 1) >= target_i {
+            // Refine by binary search between log2n/2 and log2n.
+            let (mut lo, mut hi) = (log2n / 2.0, log2n);
+            for _ in 0..40 {
+                let mid = (lo + hi) / 2.0;
+                if max_feasible_i(ln_of_pow2(mid), f, target_i + 1) >= target_i {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            return Some(hi);
+        }
+        log2n *= 2.0;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_small_values_exact() {
+        assert_eq!(ln_factorial(0.0), 0.0);
+        assert_eq!(ln_factorial(1.0), 0.0);
+        assert!((ln_factorial(5.0) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10.0) - 3628800f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_is_accurate() {
+        // Compare Stirling (x = 300) against exact summation.
+        let exact: f64 = (2..=300u64).map(|k| (k as f64).ln()).sum();
+        assert!((ln_factorial(300.0) - exact).abs() / exact < 1e-6);
+    }
+
+    #[test]
+    fn feasibility_is_monotone_decreasing_in_i() {
+        let ln_n = ln_of_pow2(64.0);
+        let f = Adaptivity::Linear { c: 1.0 };
+        let mut seen_false = false;
+        for i in 1..50 {
+            let ok = feasible(ln_n, f, i);
+            if seen_false {
+                assert!(!ok, "feasibility regained at i={i}");
+            }
+            if !ok {
+                seen_false = true;
+            }
+        }
+    }
+
+    #[test]
+    fn larger_n_allows_more_fences() {
+        let f = Adaptivity::Linear { c: 1.0 };
+        let small = max_feasible_i(ln_of_pow2(32.0), f, 1000);
+        let large = max_feasible_i(ln_of_pow2(4096.0), f, 1000);
+        assert!(large > small, "{small} vs {large}");
+    }
+
+    #[test]
+    fn corollary2_shape_log_log() {
+        // max_feasible_i should grow roughly like log2 log2 N: doubling
+        // log2 N adds about a constant.
+        let f = Adaptivity::Linear { c: 1.0 };
+        let i1 = max_feasible_i(ln_of_pow2(256.0), f, 10_000);
+        let i2 = max_feasible_i(ln_of_pow2(65_536.0), f, 10_000);
+        let i3 = max_feasible_i(ln_of_pow2(4_294_967_296.0), f, 10_000);
+        // log2 log2 N = 8, 16, 32. The max feasible i is
+        // log2 log2 N − Θ(log log log N): sandwiched between the paper's
+        // guaranteed (1/3c)·loglog point and loglog itself.
+        for (i, loglog) in [(i1, 8.0), (i2, 16.0), (i3, 32.0)] {
+            assert!(
+                (i as f64) >= loglog / 3.0 && (i as f64) <= loglog,
+                "i = {i} outside [loglog/3, loglog] for loglog = {loglog}"
+            );
+        }
+        assert!(i1 < i2 && i2 < i3, "growth must continue: {i1} {i2} {i3}");
+    }
+
+    #[test]
+    fn corollary2_explicit_point_is_feasible() {
+        // The paper: for i = (1/3c)·log2 log2 N the inequality holds.
+        for log2n in [1u64 << 10, 1 << 16, 1 << 24] {
+            let ln_n = ln_of_pow2(log2n as f64);
+            let c = 1.0;
+            let i = corollary2_point(ln_n, c).floor() as u64;
+            assert!(i >= 1);
+            assert!(
+                feasible(ln_n, Adaptivity::Linear { c }, i),
+                "corollary 2 point i={i} infeasible at log2 N = {log2n}"
+            );
+        }
+    }
+
+    #[test]
+    fn corollary3_explicit_point_is_feasible() {
+        for log2n in [1u64 << 16, 1 << 32, 1 << 52] {
+            let ln_n = ln_of_pow2(log2n as f64);
+            let c = 1.0;
+            let i = corollary3_point(ln_n, c).floor() as u64;
+            assert!(i >= 1, "log2 N = {log2n}");
+            assert!(
+                feasible(ln_n, Adaptivity::Exponential { c }, i),
+                "corollary 3 point i={i} infeasible at log2 N = {log2n}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_adaptivity_is_feasible_for_any_target_with_big_enough_n() {
+        // Corollary 1's contrapositive: for any fence budget c there is an
+        // N making c fences unavoidable — here f(k) = 10 and i = 11.
+        let f = Adaptivity::Constant(10.0);
+        let ln_n = ln_of_pow2((1u64 << 40) as f64);
+        assert!(feasible(ln_n, f, 11));
+    }
+
+    #[test]
+    fn min_log2n_is_the_inverse_of_max_feasible_i() {
+        let f = Adaptivity::Linear { c: 1.0 };
+        for target in [1u64, 3, 6] {
+            let log2n = min_log2n_to_force(f, target, 1e9).unwrap();
+            assert!(
+                max_feasible_i(ln_of_pow2(log2n), f, target + 1) >= target,
+                "forcing point not feasible at its own N"
+            );
+            assert!(
+                max_feasible_i(ln_of_pow2(log2n * 0.9), f, target + 1) < target,
+                "forcing point not minimal (target {target})"
+            );
+        }
+    }
+
+    #[test]
+    fn forcing_point_grows_doubly_exponentially() {
+        // Corollary 2 inverted: each extra forced fence costs roughly a
+        // squaring of N.
+        let f = Adaptivity::Linear { c: 1.0 };
+        let n3 = min_log2n_to_force(f, 3, 1e12).unwrap();
+        let n6 = min_log2n_to_force(f, 6, 1e12).unwrap();
+        let n9 = min_log2n_to_force(f, 9, 1e12).unwrap();
+        assert!(n6 / n3 > 4.0, "{n3} {n6}");
+        assert!(n9 / n6 > 4.0, "{n6} {n9}");
+    }
+
+    #[test]
+    fn theorem3_bound_shrinks_per_round() {
+        let ln_n = ln_of_pow2(64.0);
+        let b1 = theorem3_act_ln(ln_n, 2.0, 1.0);
+        let b2 = theorem3_act_ln(ln_n, 4.0, 2.0);
+        assert!(b2 < b1);
+    }
+}

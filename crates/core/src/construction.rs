@@ -1,0 +1,641 @@
+//! The adversarial inductive construction (Section 4 of the paper).
+//!
+//! Starting from `H_0` — every process has executed only `Enter` — the
+//! adversary builds executions `H_1, H_2, …` such that in `H_i` exactly
+//! `i` processes have completed a passage and every surviving *active*
+//! process has completed exactly `i` fences inside its single passage.
+//! Each induction step runs three phases (Figure 1):
+//!
+//! 1. **read phase** — active processes perform critical reads, one per
+//!    iteration, with a Turán independent set of a conflict graph erased
+//!    around each batch to prevent information flow;
+//! 2. **write phase** — buffered writes commit, low-contention variables
+//!    keep one writer each, high-contention variables absorb an ID-ordered
+//!    commit sequence;
+//! 3. **regularization** — the largest-ID active process runs to
+//!    completion, erasing at most one invisible process per critical
+//!    event it performs.
+//!
+//! The [`Construction`] here is the *operational* counterpart: it runs the
+//! three phases against any concrete [`System`] (a lock built with one
+//! passage per process), using real erasure-with-replay, and optionally
+//! asserts the paper's IN-set invariants after every phase. For an
+//! f-adaptive algorithm the construction sustains rounds as long as
+//! Theorem 3's bound keeps `|Act(H_i)|` positive; for non-adaptive or
+//! CAS-heavy algorithms it degrades early — and *where* it degrades is
+//! itself the experimental signal (see EXPERIMENTS.md).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tpa_tso::machine::NextEvent;
+use tpa_tso::{erase, Directive, Machine, ProcId, StepError, System};
+
+use serde::Serialize;
+
+use crate::inset;
+
+/// Configuration of a construction run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of induction rounds to attempt (each completed round forces
+    /// one more fence on every surviving process).
+    pub max_rounds: usize,
+    /// Budget for each run-to-special segment; exceeding it marks the
+    /// process blocked (it is then erased).
+    pub step_budget: usize,
+    /// Budget for phase iterations inside one round.
+    pub max_phase_iters: usize,
+    /// Verify IN-set/regularity invariants after every phase (costly; on
+    /// by default for tests, off for large sweeps).
+    pub check_invariants: bool,
+    /// Use in-place erasure ([`Machine::erase_in_place`]) instead of
+    /// filtered replay: ~10-50× faster on large executions, skipping the
+    /// per-erasure Lemma 1 replay validation (the invisibility
+    /// precondition is still checked). The differential test suite pins
+    /// both backends to identical outcomes.
+    pub fast_erasure: bool,
+    /// Stop when fewer than this many active processes remain.
+    pub min_active: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_rounds: 8,
+            step_budget: 100_000,
+            max_phase_iters: 10_000,
+            check_invariants: false,
+            fast_erasure: false,
+            min_active: 2,
+        }
+    }
+}
+
+/// Why a construction run stopped.
+#[derive(Clone, Debug)]
+pub enum StopReason {
+    /// All requested rounds completed.
+    CompletedRounds,
+    /// The active set shrank below `min_active`.
+    ActiveExhausted,
+    /// A phase exceeded its iteration budget.
+    PhaseBudget {
+        /// Phase name.
+        phase: &'static str,
+    },
+    /// Erasure validation failed (the erased set was not invisible) — for
+    /// read/write algorithms this indicates a construction bug; for
+    /// CAS-heavy algorithms it can reflect genuine information flow.
+    EraseInvalid(String),
+    /// An invariant check failed.
+    InvariantViolated(String),
+    /// The machine reported an error.
+    Step(StepError),
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::CompletedRounds => write!(f, "completed all rounds"),
+            StopReason::ActiveExhausted => write!(f, "active set exhausted"),
+            StopReason::PhaseBudget { phase } => write!(f, "{phase} phase budget exhausted"),
+            StopReason::EraseInvalid(s) => write!(f, "erasure invalid: {s}"),
+            StopReason::InvariantViolated(s) => write!(f, "invariant violated: {s}"),
+            StopReason::Step(e) => write!(f, "machine error: {e}"),
+        }
+    }
+}
+
+/// Statistics of one phase step (one line of the Figure 1 trace).
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseTrace {
+    /// Round number (1-based).
+    pub round: usize,
+    /// `read[k]`, `write[k]`, `regularize[k]`.
+    pub label: String,
+    /// Which case of the phase applied.
+    pub case_taken: String,
+    /// Active processes before the step.
+    pub act_before: usize,
+    /// Active processes after the step.
+    pub act_after: usize,
+}
+
+/// Statistics of one completed induction round.
+#[derive(Clone, Debug, Serialize)]
+pub struct RoundTrace {
+    /// Round number (1-based); the round constructs `H_round`.
+    pub round: usize,
+    /// Read-phase iterations (`s` in the paper).
+    pub read_iters: usize,
+    /// Write-phase iterations (`t`).
+    pub write_iters: usize,
+    /// Critical events executed by `p_max` during regularization (`m`).
+    pub reg_criticals: usize,
+    /// Active set size at the start of the round.
+    pub act_start: usize,
+    /// Active set size at the end (after `p_max` finished).
+    pub act_end: usize,
+    /// Critical events executed so far by each surviving active process —
+    /// the paper's `ℓ_i` (all survivors have executed equally many).
+    pub criticals_per_active: u64,
+    /// The process that completed its passage this round.
+    pub finisher: ProcId,
+}
+
+/// Result of a construction run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes the system was built with.
+    pub n: usize,
+    /// Completed rounds, in order.
+    pub rounds: Vec<RoundTrace>,
+    /// Fine-grained per-phase trace (Figure 1).
+    pub phases: Vec<PhaseTrace>,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Active (invisible, mid-passage) processes at the end.
+    pub final_active: usize,
+    /// Fences completed by a surviving active process within its single
+    /// passage — the quantity Theorem 1 lower-bounds.
+    pub survivor_fences: u64,
+    /// A surviving witness process, if any.
+    pub survivor: Option<ProcId>,
+    /// Total contention of the final execution if all other active
+    /// processes were erased: finished processes + the witness.
+    pub total_contention: usize,
+    /// Processes erased because they could not reach another special event
+    /// invisibly (livelocked spinners — the operational counterpart of the
+    /// paper's Lemma 5 contradiction argument).
+    pub blocked_erased: usize,
+}
+
+impl Outcome {
+    /// Rounds completed = fences forced per surviving passage.
+    pub fn rounds_completed(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The largest `i` such that `H_i` still has an active witness — i.e.
+    /// the number of fences the construction demonstrably forced inside a
+    /// single (still incomplete) passage, at total contention `i + 1`.
+    pub fn fences_forced(&self) -> usize {
+        self.rounds.iter().take_while(|r| r.act_end >= 1).count()
+    }
+}
+
+pub(crate) enum Failure {
+    Stop(StopReason),
+}
+
+impl From<StepError> for Failure {
+    fn from(e: StepError) -> Self {
+        Failure::Stop(StopReason::Step(e))
+    }
+}
+
+/// The running construction state.
+pub struct Construction<'a> {
+    pub(crate) system: &'a dyn System,
+    pub(crate) machine: Machine,
+    /// The invisible active set the induction maintains (equal to
+    /// `Act(E)` for the machine, minus erased processes — erasure removes
+    /// them from the machine too).
+    pub(crate) active: BTreeSet<ProcId>,
+    pub(crate) cfg: Config,
+    pub(crate) phases: Vec<PhaseTrace>,
+    pub(crate) round: usize,
+    completed_rounds: Vec<RoundTrace>,
+    blocked_erased: usize,
+}
+
+impl<'a> Construction<'a> {
+    /// Prepares `H_0`: every process executes its `Enter` event.
+    ///
+    /// The system must give each process exactly **one** passage (the
+    /// construction studies single passages, as the paper does).
+    ///
+    /// # Errors
+    ///
+    /// Returns the stop reason if even the `Enter` events fail.
+    pub fn new(system: &'a dyn System, cfg: Config) -> Result<Self, StopReason> {
+        let mut machine = Machine::new(&system);
+        let mut active = BTreeSet::new();
+        for i in 0..system.n() {
+            let p = ProcId(i as u32);
+            machine.step(Directive::Issue(p)).map_err(StopReason::Step)?;
+            active.insert(p);
+        }
+        Ok(Construction {
+            system,
+            machine,
+            active,
+            cfg,
+            phases: Vec::new(),
+            round: 0,
+            completed_rounds: Vec::new(),
+            blocked_erased: 0,
+        })
+    }
+
+    /// Runs the full construction and returns the outcome.
+    pub fn run(self) -> Outcome {
+        self.run_with_machine().0
+    }
+
+    /// Runs the full construction, returning both the outcome and the
+    /// final machine (the execution `H_i`), so callers can perform the
+    /// Theorem 1 finale themselves: erase all active processes but the
+    /// witness and inspect the resulting execution `H`.
+    pub fn run_with_machine(mut self) -> (Outcome, Machine) {
+        let stop = self.run_inner();
+        self.finish(stop)
+    }
+
+    /// The current active (invisible) set.
+    pub fn active(&self) -> &BTreeSet<ProcId> {
+        &self.active
+    }
+
+    fn run_inner(&mut self) -> StopReason {
+        let mut rounds = Vec::new();
+        for round in 1..=self.cfg.max_rounds {
+            self.round = round;
+            if self.active.len() < self.cfg.min_active {
+                self.rounds_out(rounds);
+                return StopReason::ActiveExhausted;
+            }
+            let act_start = self.active.len();
+            let read_iters = match self.read_phase() {
+                Ok(k) => k,
+                Err(Failure::Stop(s)) => {
+                    self.rounds_out(rounds);
+                    return s;
+                }
+            };
+            let write_iters = match self.write_phase() {
+                Ok(k) => k,
+                Err(Failure::Stop(s)) => {
+                    self.rounds_out(rounds);
+                    return s;
+                }
+            };
+            let (reg_criticals, finisher) = match self.regularize() {
+                Ok(v) => v,
+                Err(Failure::Stop(s)) => {
+                    self.rounds_out(rounds);
+                    return s;
+                }
+            };
+            let criticals_per_active = self
+                .active
+                .iter()
+                .next()
+                .map(|p| self.machine.criticals(*p))
+                .unwrap_or(0);
+            if self.cfg.check_invariants {
+                // Induction conditions (b) and (d) on H_round: every
+                // active process has executed the same number of critical
+                // events, has completed exactly `round` fences, and is in
+                // read mode; |Fin| = round (condition (c)).
+                let mut violation: Option<String> = None;
+                for p in self.active.iter().copied().collect::<Vec<_>>() {
+                    if self.machine.criticals(p) != criticals_per_active {
+                        violation = Some(format!(
+                            "unequal critical counts among actives at round {round}"
+                        ));
+                    } else if self.machine.fences_completed(p) != round as u64 {
+                        violation = Some(format!(
+                            "{p} completed {} fences at H_{round}",
+                            self.machine.fences_completed(p)
+                        ));
+                    } else if self.machine.mode(p) != tpa_tso::Mode::Read {
+                        violation = Some(format!("{p} not in read mode at H_{round}"));
+                    }
+                    if violation.is_some() {
+                        break;
+                    }
+                }
+                if violation.is_none() && self.machine.fin().len() != round {
+                    violation = Some(format!(
+                        "|Fin(H_{round})| = {} != {round}",
+                        self.machine.fin().len()
+                    ));
+                }
+                if let Some(v) = violation {
+                    self.rounds_out(rounds);
+                    return StopReason::InvariantViolated(v);
+                }
+            }
+            rounds.push(RoundTrace {
+                round,
+                read_iters,
+                write_iters,
+                reg_criticals,
+                act_start,
+                act_end: self.active.len(),
+                criticals_per_active,
+                finisher,
+            });
+            if let Err(Failure::Stop(s)) = self.check("round end", false) {
+                self.rounds_out(rounds);
+                return s;
+            }
+        }
+        self.rounds_out(rounds);
+        StopReason::CompletedRounds
+    }
+
+    fn rounds_out(&mut self, rounds: Vec<RoundTrace>) {
+        self.completed_rounds = rounds;
+    }
+
+    fn finish(self, stop: StopReason) -> (Outcome, Machine) {
+        let survivor = self.active.iter().copied().next_back();
+        let survivor_fences = survivor.map(|p| self.machine.fences_completed(p)).unwrap_or(0);
+        let total_contention = self.machine.fin().len() + usize::from(survivor.is_some());
+        let outcome = Outcome {
+            algorithm: self.system.name().to_owned(),
+            n: self.system.n(),
+            rounds: self.completed_rounds,
+            phases: self.phases,
+            stop,
+            final_active: self.active.len(),
+            survivor_fences,
+            survivor,
+            total_contention,
+            blocked_erased: self.blocked_erased,
+        };
+        (outcome, self.machine)
+    }
+
+    /// Records a phase-trace line.
+    pub(crate) fn trace(&mut self, label: String, case_taken: String, act_before: usize) {
+        self.phases.push(PhaseTrace {
+            round: self.round,
+            label,
+            case_taken,
+            act_before,
+            act_after: self.active.len(),
+        });
+    }
+
+    /// Erases `set` from the construction: verifies the set is invisible
+    /// (IN1 w.r.t. the remaining processes), replays the filtered
+    /// schedule, validates Lemma 1/IN3, and swaps in the new machine.
+    pub(crate) fn erase_set(&mut self, set: &BTreeSet<ProcId>) -> Result<(), Failure> {
+        if set.is_empty() {
+            return Ok(());
+        }
+        if self.cfg.fast_erasure {
+            self.machine
+                .erase_in_place(set)
+                .map_err(|e| Failure::Stop(StopReason::EraseInvalid(e.to_string())))?;
+            for p in set {
+                self.active.remove(p);
+            }
+            return Ok(());
+        }
+        // Invisibility precondition: no remaining process may be aware of
+        // an erased one.
+        for i in 0..self.machine.n() {
+            let p = ProcId(i as u32);
+            if set.contains(&p) {
+                continue;
+            }
+            if !self.machine.awareness(p).intersects_only_self(p, set) {
+                return Err(Failure::Stop(StopReason::EraseInvalid(format!(
+                    "{p} is aware of an erased process (round {})",
+                    self.round
+                ))));
+            }
+        }
+        let out = erase::erase(self.system, &self.machine, set)
+            .map_err(|e| Failure::Stop(StopReason::EraseInvalid(e.to_string())))?;
+        if !out.projection_identical {
+            return Err(Failure::Stop(StopReason::EraseInvalid(format!(
+                "replay diverged: {:?}",
+                out.first_mismatch
+            ))));
+        }
+        if !out.criticality_preserved {
+            return Err(Failure::Stop(StopReason::EraseInvalid(
+                "criticality changed under erasure (IN3)".to_owned(),
+            )));
+        }
+        self.machine = out.machine;
+        for p in set {
+            self.active.remove(p);
+        }
+        Ok(())
+    }
+
+    /// Runs every active process to its next special event, erasing the
+    /// ones that livelock or halt. Returns the pending events in
+    /// increasing ID order.
+    pub(crate) fn run_all_to_special(
+        &mut self,
+    ) -> Result<Vec<(ProcId, NextEvent)>, Failure> {
+        let mut blocked = BTreeSet::new();
+        let mut nexts = Vec::new();
+        let ids: Vec<ProcId> = self.active.iter().copied().collect();
+        for p in ids {
+            match self.machine.run_until_special(p, self.cfg.step_budget) {
+                Ok(NextEvent::Halted) => {
+                    blocked.insert(p);
+                }
+                Ok(next) => nexts.push((p, next)),
+                Err(StepError::NonTermination { .. }) => {
+                    // Spinning on state that only erased/finished processes
+                    // justify: the process cannot act invisibly any more.
+                    blocked.insert(p);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if !blocked.is_empty() {
+            self.blocked_erased += blocked.len();
+            self.erase_set(&blocked)?;
+            nexts.retain(|(p, _)| !blocked.contains(p));
+        }
+        Ok(nexts)
+    }
+
+    /// Optionally verifies the IN-set invariants for the current active
+    /// set; `ordered` additionally checks Definition 6.
+    pub(crate) fn check(&mut self, context: &str, ordered: bool) -> Result<(), Failure> {
+        if !self.cfg.check_invariants {
+            return Ok(());
+        }
+        let mut report = inset::check_inset(&self.machine, &self.active);
+        if ordered {
+            // During the write phase the execution is only semi-regular:
+            // IN5 may be replaced by the ordered condition.
+            report.violations.retain(|v| !v.starts_with("IN5"));
+            let ord = inset::check_ordered(&self.machine);
+            report.violations.extend(ord.violations);
+        }
+        if !report.ok() {
+            return Err(Failure::Stop(StopReason::InvariantViolated(format!(
+                "{context} (round {}): {}",
+                self.round,
+                report.violations.join("; ")
+            ))));
+        }
+        Ok(())
+    }
+
+    /// The largest-ID active process.
+    pub(crate) fn p_max(&self) -> Option<ProcId> {
+        self.active.iter().copied().next_back()
+    }
+
+    /// Claim 4.3.1 check: `W₀ = Act ∖ {p_max}` is an IN-set (the execution
+    /// entering regularization is semi-regular with `p_max` the designated
+    /// visible process).
+    pub(crate) fn check_w0(&mut self, context: &str) -> Result<(), Failure> {
+        if !self.cfg.check_invariants {
+            return Ok(());
+        }
+        let mut w0 = self.active.clone();
+        if let Some(p_max) = self.p_max() {
+            w0.remove(&p_max);
+        }
+        let report = inset::check_inset(&self.machine, &w0);
+        if !report.ok() {
+            return Err(Failure::Stop(StopReason::InvariantViolated(format!(
+                "{context} (round {}): {}",
+                self.round,
+                report.violations.join("; ")
+            ))));
+        }
+        Ok(())
+    }
+}
+
+impl Construction<'_> {
+    /// Read access to the underlying machine (for inspection in tests and
+    /// experiment harnesses).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_algos::lock_by_name;
+
+    fn run_lock(name: &str, n: usize, max_rounds: usize) -> Outcome {
+        let lock = lock_by_name(name, n, 1).expect("unknown lock");
+        let cfg = Config { max_rounds, check_invariants: true, ..Config::default() };
+        Construction::new(&lock, cfg).unwrap().run()
+    }
+
+    #[test]
+    fn h0_is_regular_with_all_processes_active() {
+        let lock = lock_by_name("tournament", 8, 1).unwrap();
+        let c = Construction::new(&lock, Config::default()).unwrap();
+        assert_eq!(c.active.len(), 8);
+        let report = crate::inset::check_regular(c.machine());
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn construction_respects_invariants_on_every_lock() {
+        // check_invariants = true: any IN-set violation stops the run with
+        // InvariantViolated, which this test treats as a failure.
+        for name in [
+            "tournament", "splitter", "bakery", "filter", "dijkstra", "tas", "ttas",
+            "ticketq", "mcs", "onebit",
+        ] {
+            let out = run_lock(name, 16, 6);
+            match out.stop {
+                StopReason::InvariantViolated(v) => panic!("{name}: {v}"),
+                StopReason::EraseInvalid(v) => panic!("{name}: erasure invalid: {v}"),
+                StopReason::Step(e) => panic!("{name}: machine error: {e}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn tournament_rounds_grow_with_n() {
+        let r16 = run_lock("tournament", 16, 16).fences_forced();
+        let r256 = run_lock("tournament", 256, 16).fences_forced();
+        assert!(r256 > r16, "forced fences must grow with n: {r16} vs {r256}");
+    }
+
+    #[test]
+    fn every_completed_round_forces_one_fence_on_survivors() {
+        let lock = lock_by_name("tournament", 64, 1).unwrap();
+        let cfg = Config { max_rounds: 3, check_invariants: true, ..Config::default() };
+        let out = Construction::new(&lock, cfg).unwrap().run();
+        assert!(matches!(out.stop, StopReason::CompletedRounds), "{}", out.stop);
+        assert_eq!(out.rounds_completed(), 3);
+        assert!(out.final_active >= 1);
+        assert_eq!(out.survivor_fences, 3, "survivor completed one fence per round");
+    }
+
+    #[test]
+    fn one_finisher_per_round() {
+        let out = run_lock("tournament", 64, 4);
+        let mut finishers: Vec<ProcId> = out.rounds.iter().map(|r| r.finisher).collect();
+        let total = finishers.len();
+        finishers.dedup();
+        assert_eq!(finishers.len(), total, "each round finishes a distinct process");
+    }
+
+    #[test]
+    fn active_set_only_shrinks() {
+        let out = run_lock("tournament", 128, 8);
+        for w in out.rounds.windows(2) {
+            assert!(w[1].act_start <= w[0].act_end + 1);
+        }
+        for r in &out.rounds {
+            assert!(r.act_end <= r.act_start);
+        }
+    }
+
+    #[test]
+    fn phase_trace_is_recorded() {
+        let out = run_lock("tournament", 32, 2);
+        assert!(!out.phases.is_empty());
+        assert!(out.phases.iter().any(|p| p.label.starts_with("read")));
+        assert!(out.phases.iter().any(|p| p.label.starts_with("write")));
+        assert!(out.phases.iter().any(|p| p.label.starts_with("regularize")));
+    }
+
+    #[test]
+    fn construction_works_on_the_object_reductions() {
+        use tpa_objects::{ArrayQueue, CasCounter, OneTimeMutex, TreiberStack};
+        let n = 16;
+        let systems: Vec<Box<dyn tpa_tso::System>> = vec![
+            Box::new(OneTimeMutex::new(CasCounter::new(), n)),
+            Box::new(OneTimeMutex::new(ArrayQueue::counter_prefill(n), n)),
+            Box::new(OneTimeMutex::new(TreiberStack::counter_prefill(n), n)),
+        ];
+        for sys in systems {
+            let cfg = Config { max_rounds: 4, check_invariants: true, ..Config::default() };
+            let out = Construction::new(sys.as_ref(), cfg).unwrap().run();
+            match out.stop {
+                StopReason::InvariantViolated(v) | StopReason::EraseInvalid(v) => {
+                    panic!("{}: {v}", out.algorithm)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let a = run_lock("tournament", 64, 6);
+        let b = run_lock("tournament", 64, 6);
+        assert_eq!(a.rounds_completed(), b.rounds_completed());
+        assert_eq!(a.final_active, b.final_active);
+        assert_eq!(a.survivor, b.survivor);
+    }
+}

@@ -1,0 +1,334 @@
+//! Invisible-set (IN-set) and execution-shape checkers.
+//!
+//! Definition 4 of the paper: a set `INV ⊆ Act(E)` is an *IN-set* when
+//!
+//! * **IN1** no process is aware of any invisible process other than
+//!   itself;
+//! * **IN2** all invisible processes are in their entry section;
+//! * **IN3** erasing invisible processes does not affect the criticality
+//!   of remaining events;
+//! * **IN4** remotely accessed variables are not local to active
+//!   processes;
+//! * **IN5** a variable accessed by more than one active process is not
+//!   last written by an invisible process.
+//!
+//! An execution is *regular* when `Act(E)` is an IN-set (Definition 5) and
+//! *ordered* when every variable satisfies one of the three conditions of
+//! Definition 6. The construction asserts these invariants after every
+//! phase when `check_invariants` is enabled — turning the paper's
+//! induction hypotheses into runtime checks. IN3 needs an erasure replay
+//! and is exposed separately ([`check_in3`]).
+
+use std::collections::BTreeSet;
+
+use tpa_tso::{erase, EventKind, Machine, ProcId, Section, System, VarId};
+
+/// Outcome of an IN-set check: empty means all conditions hold.
+#[derive(Clone, Debug, Default)]
+pub struct InSetReport {
+    /// Human-readable descriptions of each violated condition.
+    pub violations: Vec<String>,
+}
+
+impl InSetReport {
+    /// `true` when no condition was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks IN1, IN2, IN4 and IN5 for `inv` in the machine's current
+/// execution (IN3 requires an erasure replay; see [`check_in3`]).
+pub fn check_inset(machine: &Machine, inv: &BTreeSet<ProcId>) -> InSetReport {
+    let mut report = InSetReport::default();
+    let act: BTreeSet<ProcId> = machine.act().into_iter().collect();
+
+    if !inv.is_subset(&act) {
+        report.violations.push("INV is not a subset of Act(E)".to_owned());
+    }
+
+    // IN1: ∀p: AW(p, E) ∩ INV ⊆ {p}.
+    for i in 0..machine.n() {
+        let p = ProcId(i as u32);
+        let aw = machine.awareness(p);
+        if !aw.intersects_only_self(p, inv) {
+            report
+                .violations
+                .push(format!("IN1: {p} is aware of an invisible process (AW = {aw:?})"));
+        }
+    }
+
+    // IN2: invisible processes are in the entry section.
+    for &p in inv {
+        if machine.section(p) != Section::Entry {
+            report.violations.push(format!(
+                "IN2: {p} is in section {:?}, not entry",
+                machine.section(p)
+            ));
+        }
+    }
+
+    // IN4: a variable local to an active process is accessed only by it.
+    for v in 0..machine.spec().count() {
+        let var = VarId(v as u32);
+        if let Some(owner) = machine.owner(var) {
+            if act.contains(&owner) {
+                for &accessor in machine.accessed(var) {
+                    if accessor != owner {
+                        report.violations.push(format!(
+                            "IN4: {accessor} accessed {var}, local to active {owner}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // IN5: multi-(active-)accessed variables are not last written by an
+    // invisible process.
+    for v in 0..machine.spec().count() {
+        let var = VarId(v as u32);
+        let active_accessors =
+            machine.accessed(var).iter().filter(|p| act.contains(p)).count();
+        if active_accessors > 1 {
+            if let Some(w) = machine.writer(var) {
+                if inv.contains(&w) {
+                    report.violations.push(format!(
+                        "IN5: {var} accessed by {active_accessors} active processes but last \
+                         written by invisible {w}"
+                    ));
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// Checks IN3 (criticality preservation) and Lemma 1 (identical
+/// projections) by actually erasing `inv` and replaying.
+///
+/// # Errors
+///
+/// Returns a description if the replay itself fails.
+pub fn check_in3<S: System + ?Sized>(
+    system: &S,
+    machine: &Machine,
+    inv: &BTreeSet<ProcId>,
+) -> Result<InSetReport, String> {
+    let out = erase::erase(system, machine, inv).map_err(|e| e.to_string())?;
+    let mut report = InSetReport::default();
+    if !out.projection_identical {
+        report.violations.push(format!(
+            "Lemma 1: erased replay diverged: {:?}",
+            out.first_mismatch
+        ));
+    }
+    if !out.criticality_preserved {
+        report.violations.push("IN3: criticality changed under erasure".to_owned());
+    }
+    Ok(report)
+}
+
+/// Checks Definition 5: `Act(E)` is an IN-set (conditions IN1/2/4/5).
+pub fn check_regular(machine: &Machine) -> InSetReport {
+    let act: BTreeSet<ProcId> = machine.act().into_iter().collect();
+    check_inset(machine, &act)
+}
+
+/// Checks Definition 6 (*ordered* execution): every variable satisfies
+/// (a) its writer is not active, (b) its writer is the sole active
+/// accessor, or (c) the most recent commits to it are by exactly the
+/// active processes in increasing ID order, all still inside the fence
+/// that committed them.
+pub fn check_ordered(machine: &Machine) -> InSetReport {
+    let mut report = InSetReport::default();
+    let act: BTreeSet<ProcId> = machine.act().into_iter().collect();
+
+    'vars: for v in 0..machine.spec().count() {
+        let var = VarId(v as u32);
+        let writer = match machine.writer(var) {
+            Some(w) => w,
+            None => continue,
+        };
+        // (a)
+        if !act.contains(&writer) {
+            continue;
+        }
+        // (b)
+        let active_accessors: BTreeSet<ProcId> =
+            machine.accessed(var).iter().filter(|p| act.contains(p)).copied().collect();
+        if active_accessors.len() <= 1 {
+            continue;
+        }
+        // (c): trailing commits to var = all active processes, increasing
+        // IDs, all currently in write mode.
+        let commits: Vec<ProcId> = machine
+            .log()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::CommitWrite { var: w, .. } | EventKind::Cas { var: w, .. }
+                    if w == var =>
+                {
+                    Some(e.pid)
+                }
+                _ => None,
+            })
+            .collect();
+        if commits.len() >= act.len() {
+            let tail = &commits[commits.len() - act.len()..];
+            let expected: Vec<ProcId> = act.iter().copied().collect();
+            if tail == expected.as_slice() {
+                for &p in tail {
+                    if machine.mode(p) != tpa_tso::Mode::Write {
+                        report.violations.push(format!(
+                            "ordered(c): {p} already completed the fence that wrote {var}"
+                        ));
+                        continue 'vars;
+                    }
+                }
+                continue;
+            }
+        }
+        report.violations.push(format!(
+            "ordered: {var} (writer {writer}) satisfies none of (a)/(b)/(c)"
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_tso::scripted::{Instr, ScriptSystem};
+    use tpa_tso::Directive;
+
+    #[test]
+    fn fresh_execution_is_regular() {
+        let sys = ScriptSystem::new(3, 1, |_| {
+            vec![Instr::Enter, Instr::Read { var: 0, reg: 0 }, Instr::Cs, Instr::Exit, Instr::Halt]
+        });
+        let mut m = Machine::new(&sys);
+        for i in 0..3 {
+            m.step(Directive::Issue(ProcId(i))).unwrap(); // Enter
+        }
+        let report = check_regular(&m);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn awareness_violation_is_detected() {
+        // p0 commits, p1 reads it: p1 is aware of p0, so {p0} is no IN-set.
+        let sys = ScriptSystem::new(2, 1, |pid| {
+            if pid.0 == 0 {
+                vec![
+                    Instr::Enter,
+                    Instr::Write { var: 0, value: 1 },
+                    Instr::Fence,
+                    Instr::Cs,
+                    Instr::Exit,
+                    Instr::Halt,
+                ]
+            } else {
+                vec![Instr::Enter, Instr::Read { var: 0, reg: 0 }, Instr::Cs, Instr::Exit, Instr::Halt]
+            }
+        });
+        let mut m = Machine::new(&sys);
+        m.step(Directive::Issue(ProcId(0))).unwrap(); // Enter
+        m.step(Directive::Issue(ProcId(0))).unwrap(); // issue write
+        m.step(Directive::Issue(ProcId(0))).unwrap(); // BeginFence
+        m.step(Directive::Issue(ProcId(0))).unwrap(); // commit
+        m.step(Directive::Issue(ProcId(0))).unwrap(); // EndFence
+        m.step(Directive::Issue(ProcId(1))).unwrap(); // Enter
+        m.step(Directive::Issue(ProcId(1))).unwrap(); // read -> aware of p0
+        let inv: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+        let report = check_inset(&m, &inv);
+        assert!(!report.ok());
+        assert!(report.violations.iter().any(|v| v.contains("IN1")), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn in5_violation_is_detected() {
+        // Both processes access v0; p1 (invisible) is its last writer.
+        let sys = ScriptSystem::new(2, 1, |pid| {
+            if pid.0 == 0 {
+                vec![Instr::Enter, Instr::Read { var: 0, reg: 0 }, Instr::Cs, Instr::Exit, Instr::Halt]
+            } else {
+                vec![
+                    Instr::Enter,
+                    Instr::Write { var: 0, value: 7 },
+                    Instr::Fence,
+                    Instr::Cs,
+                    Instr::Exit,
+                    Instr::Halt,
+                ]
+            }
+        });
+        let mut m = Machine::new(&sys);
+        m.step(Directive::Issue(ProcId(0))).unwrap(); // p0 Enter
+        m.step(Directive::Issue(ProcId(0))).unwrap(); // p0 reads v0 (accesses)
+        m.step(Directive::Issue(ProcId(1))).unwrap(); // p1 Enter
+        m.step(Directive::Issue(ProcId(1))).unwrap(); // p1 issues write
+        m.step(Directive::Issue(ProcId(1))).unwrap(); // BeginFence
+        m.step(Directive::Issue(ProcId(1))).unwrap(); // commit (p1 accesses + writes)
+        let inv: BTreeSet<ProcId> = [ProcId(1)].into_iter().collect();
+        let report = check_inset(&m, &inv);
+        assert!(report.violations.iter().any(|v| v.contains("IN5")), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn in4_violation_is_detected() {
+        use tpa_tso::{Program, VarSpec};
+        struct LocalVarSys;
+        impl System for LocalVarSys {
+            fn n(&self) -> usize {
+                2
+            }
+            fn vars(&self) -> VarSpec {
+                let mut b = VarSpec::builder();
+                b.var("mine", 0, Some(ProcId(0)));
+                b.build()
+            }
+            fn program(&self, pid: ProcId) -> Box<dyn Program> {
+                if pid.0 == 0 {
+                    tpa_tso::scripted::script(vec![Instr::Enter, Instr::Cs, Instr::Exit, Instr::Halt])
+                } else {
+                    tpa_tso::scripted::script(vec![
+                        Instr::Enter,
+                        Instr::Read { var: 0, reg: 0 },
+                        Instr::Cs,
+                        Instr::Exit,
+                        Instr::Halt,
+                    ])
+                }
+            }
+        }
+        let mut m = Machine::new(&LocalVarSys);
+        m.step(Directive::Issue(ProcId(0))).unwrap(); // p0 Enter (owner active)
+        m.step(Directive::Issue(ProcId(1))).unwrap(); // p1 Enter
+        m.step(Directive::Issue(ProcId(1))).unwrap(); // p1 remotely reads p0's var
+        let report = check_regular(&m);
+        assert!(report.violations.iter().any(|v| v.contains("IN4")), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn in3_check_via_erasure() {
+        let sys = ScriptSystem::new(2, 2, |pid| {
+            vec![
+                Instr::Enter,
+                Instr::Read { var: pid.0, reg: 0 },
+                Instr::Cs,
+                Instr::Exit,
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        for i in 0..2 {
+            m.step(Directive::Issue(ProcId(i))).unwrap();
+            m.step(Directive::Issue(ProcId(i))).unwrap();
+        }
+        let inv: BTreeSet<ProcId> = [ProcId(1)].into_iter().collect();
+        let report = check_in3(&sys, &m, &inv).unwrap();
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,58 @@
+//! # tpa-adversary — *The Price of being Adaptive*, made executable
+//!
+//! This crate is the primary contribution of the repository: an
+//! operational implementation of the lower-bound machinery of Ben-Baruch
+//! and Hendler (PODC 2015), which proves that adaptive mutual-exclusion
+//! algorithms (and obstruction-free counters/stacks/queues) on TSO cannot
+//! have constant fence complexity — specifically, any algorithm with a
+//! linear (or sub-linear) adaptivity function has fence complexity
+//! `Ω(log log n)`.
+//!
+//! Two complementary halves:
+//!
+//! * **The adversarial construction** ([`construction`], the phase
+//!   machinery, [`turan`], [`inset`]): the read / write / regularization
+//!   machine of Section 4, runnable against any concrete algorithm
+//!   implemented on the `tpa-tso` simulator. It maintains a set of
+//!   mutually *invisible* active processes, erases processes (with
+//!   replay-validated Lemma 1 erasure) to cut information flow, and
+//!   forces every surviving process to execute one additional fence per
+//!   induction round — producing, after `i` rounds, the Theorem 1 witness:
+//!   an execution of total contention `i+1` whose surviving passage
+//!   contains `i` fences.
+//!
+//! * **The analytic bounds** ([`bounds`], [`adaptivity`]): log-space
+//!   evaluation of the Theorem 1 feasibility inequality
+//!   `f(i) ≤ N^(2^-f(i)) / (f(i)!·4^(f(i)+2i))`, Theorem 3's lower bound
+//!   on `|Act(H_i)|`, and the Corollary 2/3 thresholds
+//!   (`Ω(log log N)` for linear `f`, `Ω(log log log N)` for exponential
+//!   `f`).
+//!
+//! ```
+//! use tpa_adversary::{Construction, Config};
+//! use tpa_algos::sim::tournament::TournamentLock;
+//!
+//! // Force three fences inside a single passage of a 64-process lock.
+//! let lock = TournamentLock::new(64, 1);
+//! let cfg = Config { max_rounds: 3, ..Config::default() };
+//! let outcome = Construction::new(&lock, cfg)?.run();
+//! // Every completed round forced one more fence on the survivors.
+//! assert_eq!(outcome.survivor_fences, 3);
+//! assert_eq!(outcome.total_contention, 4); // 3 finishers + the witness
+//! # Ok::<(), tpa_adversary::StopReason>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptivity;
+pub mod bounds;
+pub mod construction;
+pub mod inset;
+mod phases;
+pub mod turan;
+
+pub use adaptivity::Adaptivity;
+pub use construction::{Config, Construction, Outcome, PhaseTrace, RoundTrace, StopReason};
+pub use inset::{check_in3, check_inset, check_ordered, check_regular, InSetReport};
+pub use turan::ConflictGraph;

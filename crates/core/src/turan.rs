@@ -1,0 +1,238 @@
+//! Independent sets with Turán's guarantee (Theorem 2 of the paper).
+//!
+//! Turán's theorem: a graph with average degree `d` has an independent set
+//! of at least `⌈|V|/(d+1)⌉` vertices. The classic greedy proof is
+//! constructive — repeatedly take a minimum-degree vertex and delete its
+//! neighbourhood — and that is what [`ConflictGraph::independent_set`]
+//! implements, with
+//! deterministic ID tie-breaking so the whole construction is replayable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tpa_tso::ProcId;
+
+/// An undirected conflict graph over process IDs.
+///
+/// ```
+/// use tpa_adversary::ConflictGraph;
+/// use tpa_tso::ProcId;
+///
+/// // A star: the greedy set keeps all nine leaves, beating Turán's
+/// // ⌈10/(1.8+1)⌉ = 4 guarantee.
+/// let mut g = ConflictGraph::new((0..10).map(ProcId));
+/// for i in 1..10 {
+///     g.add_edge(ProcId(0), ProcId(i));
+/// }
+/// let set = g.independent_set();
+/// assert!(set.len() >= g.turan_guarantee());
+/// assert_eq!(set.len(), 9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ConflictGraph {
+    adj: BTreeMap<ProcId, BTreeSet<ProcId>>,
+}
+
+impl ConflictGraph {
+    /// A graph over the given vertices, initially edgeless.
+    pub fn new(vertices: impl IntoIterator<Item = ProcId>) -> Self {
+        let adj = vertices.into_iter().map(|v| (v, BTreeSet::new())).collect();
+        ConflictGraph { adj }
+    }
+
+    /// Adds an undirected edge (ignores self-loops and unknown vertices).
+    pub fn add_edge(&mut self, a: ProcId, b: ProcId) {
+        if a == b || !self.adj.contains_key(&a) || !self.adj.contains_key(&b) {
+            return;
+        }
+        self.adj.get_mut(&a).unwrap().insert(b);
+        self.adj.get_mut(&b).unwrap().insert(a);
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Average degree (0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.vertex_count() as f64
+        }
+    }
+
+    /// Turán's guaranteed independent-set size `⌈|V|/(d+1)⌉`.
+    pub fn turan_guarantee(&self) -> usize {
+        if self.adj.is_empty() {
+            return 0;
+        }
+        let bound = self.vertex_count() as f64 / (self.average_degree() + 1.0);
+        bound.ceil() as usize
+    }
+
+    /// First-fit independent set in increasing ID order — the ablation
+    /// baseline: still independent, but without the Turán size guarantee.
+    pub fn independent_set_first_fit(&self) -> BTreeSet<ProcId> {
+        let mut result: BTreeSet<ProcId> = BTreeSet::new();
+        for v in self.adj.keys() {
+            if self.adj[v].iter().all(|n| !result.contains(n)) {
+                result.insert(*v);
+            }
+        }
+        result
+    }
+
+    /// Greedy minimum-degree independent set. Deterministic (ties broken
+    /// by smallest ID) and guaranteed to reach the Turán bound.
+    pub fn independent_set(&self) -> BTreeSet<ProcId> {
+        let mut degrees: BTreeMap<ProcId, usize> =
+            self.adj.iter().map(|(v, ns)| (*v, ns.len())).collect();
+        let mut alive: BTreeSet<ProcId> = self.adj.keys().copied().collect();
+        let mut result = BTreeSet::new();
+
+        while let Some(&v) = alive.iter().min_by_key(|v| (degrees[v], **v)) {
+            result.insert(v);
+            // Remove v and its whole neighbourhood.
+            let mut removed = vec![v];
+            for n in &self.adj[&v] {
+                if alive.contains(n) {
+                    removed.push(*n);
+                }
+            }
+            for r in removed {
+                alive.remove(&r);
+                for n in &self.adj[&r] {
+                    if let Some(d) = degrees.get_mut(n) {
+                        *d = d.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn empty_graph_keeps_everyone() {
+        let g = ConflictGraph::new((0..10).map(p));
+        let s = g.independent_set();
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn independent_set_is_independent() {
+        let mut g = ConflictGraph::new((0..6).map(p));
+        g.add_edge(p(0), p(1));
+        g.add_edge(p(1), p(2));
+        g.add_edge(p(3), p(4));
+        let s = g.independent_set();
+        for &a in &s {
+            for &b in &s {
+                if a != b {
+                    assert!(!g.adj[&a].contains(&b), "{a} and {b} are adjacent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meets_turan_guarantee_on_cliques() {
+        // Two disjoint triangles: average degree 2, guarantee ⌈6/3⌉ = 2.
+        let mut g = ConflictGraph::new((0..6).map(p));
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(p(a), p(b));
+        }
+        assert_eq!(g.turan_guarantee(), 2);
+        assert!(g.independent_set().len() >= 2);
+    }
+
+    #[test]
+    fn meets_turan_guarantee_on_star() {
+        // Star K_{1,9}: average degree 1.8, guarantee ⌈10/2.8⌉ = 4; greedy
+        // picks all 9 leaves.
+        let mut g = ConflictGraph::new((0..10).map(p));
+        for i in 1..10 {
+            g.add_edge(p(0), p(i));
+        }
+        let s = g.independent_set();
+        assert!(s.len() >= g.turan_guarantee());
+        assert_eq!(s.len(), 9);
+        assert!(!s.contains(&p(0)));
+    }
+
+    #[test]
+    fn self_loops_and_foreign_vertices_are_ignored() {
+        let mut g = ConflictGraph::new((0..3).map(p));
+        g.add_edge(p(0), p(0));
+        g.add_edge(p(0), p(99));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || {
+            let mut g = ConflictGraph::new((0..20).map(p));
+            for i in 0..19 {
+                g.add_edge(p(i), p(i + 1));
+            }
+            g.independent_set()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn first_fit_is_independent_but_can_be_smaller() {
+        // Star graph with CENTER at the smallest ID: first-fit grabs the
+        // center and loses every leaf; min-degree greedy keeps the leaves.
+        let mut g = ConflictGraph::new((0..10).map(p));
+        for i in 1..10 {
+            g.add_edge(p(0), p(i));
+        }
+        let ff = g.independent_set_first_fit();
+        assert_eq!(ff.len(), 1, "first-fit takes the hub");
+        for &a in &ff {
+            for &b in &ff {
+                if a != b {
+                    assert!(!g.adj[&a].contains(&b));
+                }
+            }
+        }
+        assert_eq!(g.independent_set().len(), 9);
+    }
+
+    #[test]
+    fn random_graphs_meet_the_guarantee() {
+        use tpa_tso::sched::XorShift;
+        let mut rng = XorShift::new(42);
+        for _ in 0..20 {
+            let n = 30;
+            let mut g = ConflictGraph::new((0..n).map(p));
+            for _ in 0..60 {
+                let a = rng.below(n as usize) as u32;
+                let b = rng.below(n as usize) as u32;
+                g.add_edge(p(a), p(b));
+            }
+            let s = g.independent_set();
+            assert!(
+                s.len() >= g.turan_guarantee(),
+                "greedy {} < guarantee {}",
+                s.len(),
+                g.turan_guarantee()
+            );
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Erasure of processes from an execution (`E^{-Y}`, Section 2).
+//!
+//! The lower-bound construction repeatedly *erases* sets of invisible
+//! processes: all their events are removed from the execution. Lemma 1 of
+//! the paper shows the result is again a valid execution provided no
+//! remaining process is aware of an erased one.
+//!
+//! Operationally we erase by **filtered replay**: the schedule (directive
+//! sequence) that produced the execution is filtered to drop the erased
+//! processes' directives, and a fresh machine re-runs it. Because programs
+//! are deterministic, every retained process re-executes its program; if
+//! the erased set was indeed invisible, each retained process reads the
+//! same values and produces the *identical* event subsequence — which the
+//! returned [`EraseOutcome`] verifies, turning Lemma 1 into a runtime
+//! check.
+
+use std::collections::BTreeSet;
+
+use crate::event::Event;
+use crate::ids::ProcId;
+use crate::machine::{Directive, Machine, StepError};
+use crate::program::System;
+
+/// Result of erasing a set of processes.
+pub struct EraseOutcome {
+    /// The machine after replaying the filtered schedule.
+    pub machine: Machine,
+    /// Per-process projection comparison: `true` iff every retained
+    /// process executed the identical event sequence (kinds *and* values)
+    /// in the erased execution — the conclusion of Lemma 1.
+    pub projection_identical: bool,
+    /// Weaker check: projections are pairwise congruent (same operations
+    /// on the same variables, values may differ).
+    pub projection_congruent: bool,
+    /// `true` iff every retained event kept its criticality status (the
+    /// IN3 condition of Definition 4).
+    pub criticality_preserved: bool,
+    /// First differing (original, replayed) event pair per the identical
+    /// check, for diagnostics.
+    pub first_mismatch: Option<(Event, Event)>,
+}
+
+/// Computes `E^{-Y}` by filtered replay and validates Lemma 1 / IN3.
+///
+/// `original` must be the machine whose recorded schedule produced `E`;
+/// `system` must be the same system it was created from (the replay spawns
+/// fresh programs from it).
+///
+/// # Errors
+///
+/// Propagates any [`StepError`] raised during replay. A replay error means
+/// the erased set was *not* invisible (a retained process branched on a
+/// value an erased process wrote), which the construction treats as a bug.
+pub fn erase<S: System + ?Sized>(
+    system: &S,
+    original: &Machine,
+    erased: &BTreeSet<ProcId>,
+) -> Result<EraseOutcome, StepError> {
+    let filtered: Vec<Directive> = original
+        .schedule()
+        .iter()
+        .copied()
+        .filter(|d| !erased.contains(&d.pid()))
+        .collect();
+
+    let mut machine = Machine::new(system);
+    for d in filtered {
+        machine.step(d)?;
+    }
+
+    // Compare per-process projections.
+    let mut projection_identical = true;
+    let mut projection_congruent = true;
+    let mut criticality_preserved = true;
+    let mut first_mismatch = None;
+
+    let mut replay_iters: Vec<std::iter::Peekable<_>> = Vec::new();
+    for i in 0..original.n() {
+        let pid = ProcId(i as u32);
+        let iter = machine
+            .log()
+            .iter()
+            .filter(move |e| e.pid == pid)
+            .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .peekable();
+        replay_iters.push(iter);
+    }
+
+    for orig in original.log() {
+        if erased.contains(&orig.pid) {
+            continue;
+        }
+        match replay_iters[orig.pid.index()].next() {
+            Some(replayed) => {
+                if !orig.congruent(&replayed) {
+                    projection_congruent = false;
+                }
+                if orig.kind != replayed.kind {
+                    projection_identical = false;
+                    if first_mismatch.is_none() {
+                        first_mismatch = Some((*orig, replayed));
+                    }
+                }
+                if orig.critical != replayed.critical {
+                    criticality_preserved = false;
+                }
+            }
+            None => {
+                projection_identical = false;
+                projection_congruent = false;
+            }
+        }
+    }
+    // Extra replayed events (should not happen with a filtered schedule of
+    // the same length, but check anyway).
+    for iter in &mut replay_iters {
+        if iter.peek().is_some() {
+            projection_identical = false;
+            projection_congruent = false;
+        }
+    }
+
+    Ok(EraseOutcome {
+        machine,
+        projection_identical,
+        projection_congruent,
+        criticality_preserved,
+        first_mismatch,
+    })
+}
+
+/// Projects an event log onto one process (`E | p`).
+pub fn project(log: &[Event], p: ProcId) -> Vec<Event> {
+    log.iter().filter(|e| e.pid == p).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Directive;
+    use crate::scripted::{Instr, ScriptSystem};
+
+    /// Three processes; p2 never observes p0/p1 (disjoint variables).
+    fn independent_system() -> ScriptSystem {
+        ScriptSystem::new(3, 3, |pid| {
+            let v = pid.0;
+            vec![
+                Instr::Write { var: v, value: 1 },
+                Instr::Fence,
+                Instr::Read { var: v, reg: 0 },
+                Instr::Halt,
+            ]
+        })
+    }
+
+    fn run_all(sys: &ScriptSystem) -> Machine {
+        let mut m = Machine::new(sys);
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for i in 0..m.n() {
+                let p = ProcId(i as u32);
+                if m.peek_next(p) != crate::machine::NextEvent::Halted {
+                    m.step(Directive::Issue(p)).unwrap();
+                    progress = true;
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn erasing_invisible_processes_preserves_projections() {
+        let sys = independent_system();
+        let m = run_all(&sys);
+        let erased: BTreeSet<ProcId> = [ProcId(1)].into_iter().collect();
+        let out = erase(&sys, &m, &erased).unwrap();
+        assert!(out.projection_identical, "mismatch: {:?}", out.first_mismatch);
+        assert!(out.criticality_preserved);
+        assert_eq!(out.machine.log().len(), m.log().len() - project(m.log(), ProcId(1)).len());
+    }
+
+    #[test]
+    fn erasing_everyone_leaves_empty_execution() {
+        let sys = independent_system();
+        let m = run_all(&sys);
+        let erased: BTreeSet<ProcId> = (0..3).map(ProcId).collect();
+        let out = erase(&sys, &m, &erased).unwrap();
+        assert!(out.machine.log().is_empty());
+        assert!(out.projection_identical);
+    }
+
+    #[test]
+    fn erasing_a_visible_process_is_detected() {
+        // p1 reads what p0 committed and branches on it; erasing p0 changes
+        // p1's value.
+        let sys = ScriptSystem::new(2, 1, |pid| {
+            if pid.0 == 0 {
+                vec![Instr::Write { var: 0, value: 1 }, Instr::Fence, Instr::Halt]
+            } else {
+                vec![Instr::Read { var: 0, reg: 0 }, Instr::Halt]
+            }
+        });
+        let mut m = Machine::new(&sys);
+        // p0 commits, then p1 reads 1.
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(1))).unwrap();
+        assert!(m.awareness(ProcId(1)).contains(ProcId(0)));
+
+        let erased: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+        let out = erase(&sys, &m, &erased).unwrap();
+        // The replayed read returns 0 instead of 1: congruent but not
+        // identical.
+        assert!(!out.projection_identical);
+        assert!(out.projection_congruent);
+    }
+
+    #[test]
+    fn fact1_composition_of_erasures() {
+        // (E^{-Y})^{-Z} == E^{-(Y ∪ Z)} — Fact 1(2), checked on schedules.
+        let sys = independent_system();
+        let m = run_all(&sys);
+        let y: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+        let z: BTreeSet<ProcId> = [ProcId(2)].into_iter().collect();
+        let yz: BTreeSet<ProcId> = y.union(&z).copied().collect();
+
+        let step1 = erase(&sys, &m, &y).unwrap();
+        let step2 = erase(&sys, &step1.machine, &z).unwrap();
+        let direct = erase(&sys, &m, &yz).unwrap();
+        let a: Vec<_> = step2.machine.log().iter().map(|e| (e.pid, e.kind)).collect();
+        let b: Vec<_> = direct.machine.log().iter().map(|e| (e.pid, e.kind)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn project_returns_only_that_process() {
+        let sys = independent_system();
+        let m = run_all(&sys);
+        let proj = project(m.log(), ProcId(2));
+        assert!(proj.iter().all(|e| e.pid == ProcId(2)));
+        assert!(!proj.is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! Execution events.
+//!
+//! An *execution* is a sequence of events (Section 2 of the paper). Events
+//! record what actually happened on the shared-memory machine: reads with
+//! their source, write issues and write commits (the TSO split), fence
+//! begin/end markers, transition events, and object invoke/return markers.
+
+use std::fmt;
+
+use crate::ids::{ProcId, Value, VarId};
+
+/// Where a read obtained its value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReadSource {
+    /// From the issuer's own write buffer. Such reads do not *access* the
+    /// variable in the paper's sense: they create no information flow and
+    /// can never be critical.
+    Buffer,
+    /// From shared memory (or, equivalently for values, from a coherent
+    /// cached copy). These reads access the variable.
+    Memory,
+}
+
+/// The kind of an executed event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EventKind {
+    /// A read of `var` returning `value` from `source`.
+    Read {
+        /// Variable read.
+        var: VarId,
+        /// Value obtained.
+        value: Value,
+        /// Whether the value came from the write buffer or from memory.
+        source: ReadSource,
+    },
+    /// A write of `value` to `var` issued into the write buffer (not yet
+    /// visible to other processes).
+    IssueWrite {
+        /// Variable written.
+        var: VarId,
+        /// Value placed in the buffer.
+        value: Value,
+    },
+    /// A buffered write of `value` to `var` committed to shared memory
+    /// (now visible).
+    CommitWrite {
+        /// Variable written.
+        var: VarId,
+        /// Value committed.
+        value: Value,
+    },
+    /// Start of a fence: from here until the matching [`EventKind::EndFence`]
+    /// the process is in write mode and may only commit buffered writes.
+    BeginFence,
+    /// End of a fence: the write buffer is empty.
+    EndFence,
+    /// An atomic compare-and-swap executed directly on memory (the issuer's
+    /// buffer was empty; the machine drains it first).
+    Cas {
+        /// Variable operated on.
+        var: VarId,
+        /// Expected value.
+        expected: Value,
+        /// Replacement value.
+        new: Value,
+        /// Whether the swap succeeded.
+        success: bool,
+        /// The value observed (pre-swap).
+        observed: Value,
+    },
+    /// `Enter_p`: transition ncs → entry.
+    Enter,
+    /// `CS_p`: transition entry → exit (instantaneous critical section).
+    Cs,
+    /// `Exit_p`: transition exit → ncs, completing a passage.
+    Exit,
+    /// Start of an object operation (Section 5 programs).
+    Invoke {
+        /// Operation code.
+        op: u32,
+        /// Operation argument.
+        arg: Value,
+    },
+    /// Completion of an object operation.
+    Return {
+        /// The operation's result.
+        value: Value,
+    },
+}
+
+/// Classification of *special* events (Definition 3 of the paper): critical
+/// events, transition events, and fence events. The lower-bound adversary
+/// lets processes run freely between special events and takes control at
+/// each special event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpecialKind {
+    /// A critical read or critical write (Definition 2).
+    Critical,
+    /// `Enter`, `CS` or `Exit` (and, for object programs, invoke/return).
+    Transition,
+    /// `BeginFence` or `EndFence` (and `Cas`, which carries fence semantics).
+    Fence,
+}
+
+/// One event of an execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Position of the event in the execution (0-based).
+    pub seq: usize,
+    /// The process that executed the event.
+    pub pid: ProcId,
+    /// What happened.
+    pub kind: EventKind,
+    /// Whether the event is critical in this execution (Definition 2),
+    /// as determined by the machine when the event was executed.
+    pub critical: bool,
+}
+
+impl Event {
+    /// Returns the variable the event touches, if any.
+    pub fn var(&self) -> Option<VarId> {
+        match self.kind {
+            EventKind::Read { var, .. }
+            | EventKind::IssueWrite { var, .. }
+            | EventKind::CommitWrite { var, .. }
+            | EventKind::Cas { var, .. } => Some(var),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this event *accesses* its variable in the paper's
+    /// sense: it is a write commit, a CAS, or a read not served from the
+    /// issuer's own write buffer.
+    pub fn is_access(&self) -> bool {
+        match self.kind {
+            EventKind::Read { source, .. } => source == ReadSource::Memory,
+            EventKind::CommitWrite { .. } | EventKind::Cas { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Returns `true` for transition events (`Enter`/`CS`/`Exit`, and the
+    /// object-operation markers which play the same role for Section 5
+    /// programs).
+    pub fn is_transition(&self) -> bool {
+        matches!(
+            self.kind,
+            EventKind::Enter
+                | EventKind::Cs
+                | EventKind::Exit
+                | EventKind::Invoke { .. }
+                | EventKind::Return { .. }
+        )
+    }
+
+    /// Returns `true` for fence events (`BeginFence`/`EndFence`; `Cas`
+    /// carries fence semantics and counts here too).
+    pub fn is_fence(&self) -> bool {
+        matches!(
+            self.kind,
+            EventKind::BeginFence | EventKind::EndFence | EventKind::Cas { .. }
+        )
+    }
+
+    /// Classifies the event as special, if it is (Definition 3).
+    pub fn special_kind(&self) -> Option<SpecialKind> {
+        if self.critical {
+            Some(SpecialKind::Critical)
+        } else if self.is_transition() {
+            Some(SpecialKind::Transition)
+        } else if self.is_fence() {
+            Some(SpecialKind::Fence)
+        } else {
+            None
+        }
+    }
+
+    /// Event congruence `e ~ f` (Section 2): same process and either the
+    /// same transition/fence event, or both reads / both writes of the same
+    /// variable (values may differ).
+    pub fn congruent(&self, other: &Event) -> bool {
+        if self.pid != other.pid {
+            return false;
+        }
+        use EventKind::*;
+        match (self.kind, other.kind) {
+            (Read { var: a, .. }, Read { var: b, .. }) => a == b,
+            (IssueWrite { var: a, .. }, IssueWrite { var: b, .. }) => a == b,
+            (CommitWrite { var: a, .. }, CommitWrite { var: b, .. }) => a == b,
+            (Cas { var: a, .. }, Cas { var: b, .. }) => a == b,
+            (BeginFence, BeginFence)
+            | (EndFence, EndFence)
+            | (Enter, Enter)
+            | (Cs, Cs)
+            | (Exit, Exit) => true,
+            (Invoke { op: a, .. }, Invoke { op: b, .. }) => a == b,
+            (Return { .. }, Return { .. }) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let crit = if self.critical { "!" } else { "" };
+        match self.kind {
+            EventKind::Read { var, value, source } => {
+                let src = match source {
+                    ReadSource::Buffer => "buf",
+                    ReadSource::Memory => "mem",
+                };
+                write!(f, "[{}] {} read{}({})={} <{}>", self.seq, self.pid, crit, var, value, src)
+            }
+            EventKind::IssueWrite { var, value } => {
+                write!(f, "[{}] {} issue({}:={})", self.seq, self.pid, var, value)
+            }
+            EventKind::CommitWrite { var, value } => {
+                write!(f, "[{}] {} commit{}({}:={})", self.seq, self.pid, crit, var, value)
+            }
+            EventKind::BeginFence => write!(f, "[{}] {} begin-fence", self.seq, self.pid),
+            EventKind::EndFence => write!(f, "[{}] {} end-fence", self.seq, self.pid),
+            EventKind::Cas { var, expected, new, success, observed } => write!(
+                f,
+                "[{}] {} cas{}({}: {}->{}) = {} (saw {})",
+                self.seq, self.pid, crit, var, expected, new, success, observed
+            ),
+            EventKind::Enter => write!(f, "[{}] {} ENTER", self.seq, self.pid),
+            EventKind::Cs => write!(f, "[{}] {} CS", self.seq, self.pid),
+            EventKind::Exit => write!(f, "[{}] {} EXIT", self.seq, self.pid),
+            EventKind::Invoke { op, arg } => {
+                write!(f, "[{}] {} invoke(op{}, {})", self.seq, self.pid, op, arg)
+            }
+            EventKind::Return { value } => write!(f, "[{}] {} return({})", self.seq, self.pid, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pid: u32, kind: EventKind) -> Event {
+        Event { seq: 0, pid: ProcId(pid), kind, critical: false }
+    }
+
+    #[test]
+    fn buffer_reads_are_not_accesses() {
+        let e = ev(0, EventKind::Read { var: VarId(1), value: 5, source: ReadSource::Buffer });
+        assert!(!e.is_access());
+        let e = ev(0, EventKind::Read { var: VarId(1), value: 5, source: ReadSource::Memory });
+        assert!(e.is_access());
+    }
+
+    #[test]
+    fn issue_writes_are_not_accesses_but_commits_are() {
+        assert!(!ev(0, EventKind::IssueWrite { var: VarId(1), value: 5 }).is_access());
+        assert!(ev(0, EventKind::CommitWrite { var: VarId(1), value: 5 }).is_access());
+    }
+
+    #[test]
+    fn congruence_ignores_values() {
+        let a = ev(2, EventKind::Read { var: VarId(1), value: 5, source: ReadSource::Memory });
+        let b = ev(2, EventKind::Read { var: VarId(1), value: 9, source: ReadSource::Buffer });
+        assert!(a.congruent(&b));
+        let c = ev(3, EventKind::Read { var: VarId(1), value: 5, source: ReadSource::Memory });
+        assert!(!a.congruent(&c), "different processes are never congruent");
+        let d = ev(2, EventKind::Read { var: VarId(2), value: 5, source: ReadSource::Memory });
+        assert!(!a.congruent(&d), "different variables are not congruent");
+    }
+
+    #[test]
+    fn congruence_of_writes_and_fences() {
+        let w1 = ev(1, EventKind::IssueWrite { var: VarId(0), value: 1 });
+        let w2 = ev(1, EventKind::IssueWrite { var: VarId(0), value: 2 });
+        assert!(w1.congruent(&w2));
+        assert!(ev(1, EventKind::BeginFence).congruent(&ev(1, EventKind::BeginFence)));
+        assert!(!ev(1, EventKind::BeginFence).congruent(&ev(1, EventKind::EndFence)));
+        assert!(!w1.congruent(&ev(1, EventKind::CommitWrite { var: VarId(0), value: 1 })));
+    }
+
+    #[test]
+    fn special_kind_classification() {
+        let mut crit =
+            ev(0, EventKind::Read { var: VarId(1), value: 0, source: ReadSource::Memory });
+        crit.critical = true;
+        assert_eq!(crit.special_kind(), Some(SpecialKind::Critical));
+        assert_eq!(ev(0, EventKind::Enter).special_kind(), Some(SpecialKind::Transition));
+        assert_eq!(ev(0, EventKind::BeginFence).special_kind(), Some(SpecialKind::Fence));
+        let plain = ev(0, EventKind::IssueWrite { var: VarId(1), value: 0 });
+        assert_eq!(plain.special_kind(), None);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let e = ev(0, EventKind::Cs);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Identifier newtypes for processes and shared variables.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The value domain of shared variables.
+///
+/// The paper assumes, WLOG, that distinct writes write distinct values; we
+/// do not need that assumption because awareness is tracked structurally
+/// (see [`crate::awareness`]), so algorithm values are plain integers.
+pub type Value = u64;
+
+/// Identifier of a simulated process, `p_0 … p_{n-1}`.
+///
+/// Process identifiers double as the total order used by the lower-bound
+/// construction ("increasing ID order" in the write phase).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// Returns the identifier as a `usize` index into per-process tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for ProcId {
+    fn from(raw: u32) -> Self {
+        ProcId(raw)
+    }
+}
+
+/// Identifier of a shared variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Returns the identifier as a `usize` index into the variable table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VarId {
+    fn from(raw: u32) -> Self {
+        VarId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_display_and_index() {
+        let p = ProcId(7);
+        assert_eq!(p.to_string(), "p7");
+        assert_eq!(p.index(), 7);
+        assert_eq!(ProcId::from(7u32), p);
+    }
+
+    #[test]
+    fn var_id_display_and_index() {
+        let v = VarId(3);
+        assert_eq!(v.to_string(), "v3");
+        assert_eq!(v.index(), 3);
+        assert_eq!(VarId::from(3u32), v);
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(ProcId(1) < ProcId(2));
+        assert!(VarId(0) < VarId(10));
+    }
+}

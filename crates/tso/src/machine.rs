@@ -1,0 +1,1378 @@
+//! The operational TSO machine.
+//!
+//! A [`Machine`] instantiates a [`System`] and executes scheduling
+//! [`Directive`]s, one event per step, exactly as in the paper's model
+//! (Section 2): the scheduling adversary picks a process and decides
+//! whether it executes its next program event or commits the oldest write
+//! in its write buffer. Fences are split into `BeginFence`/`EndFence`
+//! events with the buffer drained in between; a process that is executing
+//! a fence is in *write mode* and can only commit.
+//!
+//! The machine simultaneously maintains all the bookkeeping the lower
+//! bound is stated in: RMR counters for DSM / CC-write-through /
+//! CC-write-back, critical events, awareness sets, per-variable
+//! `writer(v, E)` and `Accessed(v, E)`, and per-passage statistics.
+
+use std::collections::HashSet;
+
+use crate::awareness::AwSet;
+use crate::buffer::WriteBuffer;
+use crate::cache::CacheDir;
+use crate::event::{Event, EventKind, ReadSource, SpecialKind};
+use crate::ids::{ProcId, Value, VarId};
+use crate::metrics::{Metrics, SpanKind};
+use crate::op::{Op, Outcome};
+use crate::program::{Program, System};
+use crate::vars::{VarSpec, VarTable};
+
+/// The store-ordering discipline the machine enforces.
+///
+/// The paper's model (and all of its results) is [`MemoryModel::Tso`]:
+/// writes commit in issue order. [`MemoryModel::Pso`] is the weaker
+/// partial-store-ordering model its Section 6 discusses (older SPARC):
+/// writes to *different* variables may commit in any order, so the
+/// adversary gains the [`Directive::CommitVar`] move. Attiya, Hendler and
+/// Woelfel (PODC 2015) prove TSO and PSO are separated: the constant-fence
+/// algorithms this repository studies are TSO-correct but need extra
+/// fences under PSO — see the `pso` integration tests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum MemoryModel {
+    /// Total store ordering (the paper's model): FIFO commits.
+    #[default]
+    Tso,
+    /// Partial store ordering: per-variable order only.
+    Pso,
+}
+
+/// One scheduling decision of the adversary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Directive {
+    /// Let the process execute its next event. If the process is executing
+    /// a fence, this commits the oldest buffered write (or executes
+    /// `EndFence` when the buffer is empty).
+    Issue(ProcId),
+    /// Commit the oldest write in the process' write buffer.
+    Commit(ProcId),
+    /// Commit the pending write to a specific variable — only legal under
+    /// [`MemoryModel::Pso`] unless it happens to be the oldest write.
+    CommitVar(ProcId, VarId),
+}
+
+impl Directive {
+    /// The process this directive schedules.
+    pub fn pid(self) -> ProcId {
+        match self {
+            Directive::Issue(p) | Directive::Commit(p) | Directive::CommitVar(p, _) => p,
+        }
+    }
+}
+
+/// Whether a process is between fences (`Read`) or executing one (`Write`).
+///
+/// This is `mode(p, E)` from the paper: in write mode the only shared-memory
+/// events performed on the process' behalf are write commits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Between fences: writes are delayed, reads execute.
+    Read,
+    /// Executing a fence: draining the write buffer.
+    Write,
+}
+
+/// Mutual-exclusion section of a process (`section_p` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Section {
+    /// Non-critical section.
+    Ncs,
+    /// Entry section (trying to reach the critical section). Object
+    /// programs are in this section while an operation is in progress.
+    Entry,
+    /// Exit section (critical section was executed; passage not complete).
+    Exit,
+}
+
+/// Errors returned by [`Machine::step`] and the run helpers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepError {
+    /// The scheduled process has halted (its program returned [`Op::Halt`]).
+    Halted(ProcId),
+    /// A `Commit` directive was issued for a process with an empty buffer.
+    EmptyBuffer(ProcId),
+    /// A transition operation was attempted from the wrong section.
+    BadTransition {
+        /// Offending process.
+        pid: ProcId,
+        /// The transition it attempted.
+        op: Op,
+        /// The section it was in.
+        section: Section,
+    },
+    /// A `CommitVar` directive would reorder writes under TSO, or names a
+    /// variable with no pending write.
+    BadCommit {
+        /// Offending process.
+        pid: ProcId,
+        /// The variable named by the directive.
+        var: VarId,
+    },
+    /// [`Machine::run_until_special`] exceeded its step budget, indicating
+    /// a livelock (a violation of weak obstruction-freedom in context).
+    NonTermination {
+        /// Offending process.
+        pid: ProcId,
+        /// Budget that was exhausted.
+        steps: usize,
+    },
+    /// An in-place erasure violated Lemma 1's invisibility precondition.
+    InvalidErasure(String),
+    /// No process supplied to a helper that needs one.
+    NothingToSchedule,
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::Halted(p) => write!(f, "process {p} has halted"),
+            StepError::EmptyBuffer(p) => write!(f, "commit scheduled for {p} with empty buffer"),
+            StepError::BadCommit { pid, var } => {
+                write!(f, "{pid} cannot commit {var}: not pending, or reordering under TSO")
+            }
+            StepError::BadTransition { pid, op, section } => {
+                write!(f, "{pid} attempted {op:?} while in section {section:?}")
+            }
+            StepError::NonTermination { pid, steps } => {
+                write!(f, "{pid} ran {steps} steps without reaching a special event")
+            }
+            StepError::InvalidErasure(why) => write!(f, "invalid in-place erasure: {why}"),
+            StepError::NothingToSchedule => write!(f, "no process to schedule"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// Description of the event a process would execute if issued now, used by
+/// the adversary to steer the construction without executing anything.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NextEvent {
+    /// The program has halted.
+    Halted,
+    /// In a fence (or stalled CAS) with a non-empty buffer: the next event
+    /// commits the oldest buffered write.
+    CommitNext {
+        /// Variable the pending write targets.
+        var: VarId,
+        /// Whether the commit would be critical.
+        critical: bool,
+    },
+    /// In a fence with an empty buffer: the next event is `EndFence`.
+    EndFence,
+    /// A read.
+    Read {
+        /// Variable to read.
+        var: VarId,
+        /// Whether it would be served from the process' own buffer.
+        from_buffer: bool,
+        /// Whether it would be a critical read.
+        critical: bool,
+    },
+    /// A write issue (always non-special).
+    IssueWrite {
+        /// Variable to write.
+        var: VarId,
+    },
+    /// The next event is `BeginFence`.
+    BeginFence,
+    /// The next event executes a CAS (buffer already empty).
+    Cas {
+        /// Variable operated on.
+        var: VarId,
+        /// Whether it would be critical.
+        critical: bool,
+    },
+    /// A transition (`Enter`/`Cs`/`Exit`) or object marker.
+    Transition(Op),
+}
+
+impl NextEvent {
+    /// Whether the next event would be special (Definition 3), and how.
+    pub fn special_kind(&self) -> Option<SpecialKind> {
+        match self {
+            NextEvent::Halted => None,
+            NextEvent::CommitNext { critical, .. } => {
+                critical.then_some(SpecialKind::Critical)
+            }
+            NextEvent::EndFence | NextEvent::BeginFence => Some(SpecialKind::Fence),
+            NextEvent::Read { critical, .. } => critical.then_some(SpecialKind::Critical),
+            NextEvent::IssueWrite { .. } => None,
+            NextEvent::Cas { .. } => Some(SpecialKind::Fence),
+            NextEvent::Transition(_) => Some(SpecialKind::Transition),
+        }
+    }
+}
+
+struct ProcEntry {
+    program: Box<dyn Program>,
+    buffer: WriteBuffer,
+    in_fence: bool,
+    section: Section,
+    aw: AwSet,
+    /// Variables this process has remotely read (for critical-read
+    /// detection).
+    remote_reads: HashSet<VarId>,
+    passages_completed: usize,
+    /// Tombstone set by [`Machine::erase_in_place`]: the process' events
+    /// were removed from the execution and it may not be scheduled again.
+    erased: bool,
+}
+
+/// The TSO machine: system state plus the recorded execution.
+///
+/// `Debug` prints a summary (model, process count, log length, active and
+/// finished sets) rather than the full state — programs are opaque trait
+/// objects.
+pub struct Machine {
+    model: MemoryModel,
+    spec: VarSpec,
+    vars: VarTable,
+    cache: CacheDir,
+    procs: Vec<ProcEntry>,
+    accessed: Vec<HashSet<ProcId>>,
+    log: Vec<Event>,
+    schedule: Vec<Directive>,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("model", &self.model)
+            .field("n", &self.procs.len())
+            .field("events", &self.log.len())
+            .field("act", &self.act())
+            .field("fin", &self.fin())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Instantiates a TSO machine for the given system: fresh programs,
+    /// empty buffers, all variables at their initial values.
+    pub fn new<S: System + ?Sized>(system: &S) -> Self {
+        Self::with_model(system, MemoryModel::Tso)
+    }
+
+    /// Instantiates a machine with an explicit store-ordering model.
+    pub fn with_model<S: System + ?Sized>(system: &S, model: MemoryModel) -> Self {
+        let n = system.n();
+        let spec = system.vars();
+        let vars = VarTable::new(&spec);
+        let cache = CacheDir::new(spec.count());
+        let procs = (0..n)
+            .map(|i| {
+                let pid = ProcId(i as u32);
+                ProcEntry {
+                    program: system.program(pid),
+                    buffer: WriteBuffer::new(),
+                    in_fence: false,
+                    section: Section::Ncs,
+                    aw: AwSet::singleton(pid),
+                    remote_reads: HashSet::new(),
+                    passages_completed: 0,
+                    erased: false,
+                }
+            })
+            .collect();
+        let accessed = vec![HashSet::new(); spec.count()];
+        Machine {
+            model,
+            spec,
+            vars,
+            cache,
+            procs,
+            accessed,
+            log: Vec::new(),
+            schedule: Vec::new(),
+            metrics: Metrics::new(n),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The store-ordering model this machine enforces.
+    pub fn model(&self) -> MemoryModel {
+        self.model
+    }
+
+    /// Variables with pending (uncommitted) writes in `p`'s buffer, in
+    /// issue order — the commit choices a PSO adversary has.
+    pub fn pending_vars(&self, p: ProcId) -> Vec<VarId> {
+        self.procs[p.index()].buffer.iter().map(|w| w.var).collect()
+    }
+
+    /// The executed event log (the execution `E`).
+    pub fn log(&self) -> &[Event] {
+        &self.log
+    }
+
+    /// The directives executed so far (the schedule that produced the log).
+    pub fn schedule(&self) -> &[Directive] {
+        &self.schedule
+    }
+
+    /// The complexity metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The variable layout.
+    pub fn spec(&self) -> &VarSpec {
+        &self.spec
+    }
+
+    /// `mode(p, E)`: write mode iff `p` is executing a fence.
+    pub fn mode(&self, p: ProcId) -> Mode {
+        if self.procs[p.index()].in_fence {
+            Mode::Write
+        } else {
+            Mode::Read
+        }
+    }
+
+    /// `status(p, E)`: which section `p` is in.
+    pub fn section(&self, p: ProcId) -> Section {
+        self.procs[p.index()].section
+    }
+
+    /// `Act(E)`: processes that started a passage and are yet to complete
+    /// it, in increasing ID order.
+    pub fn act(&self) -> Vec<ProcId> {
+        (0..self.n())
+            .map(|i| ProcId(i as u32))
+            .filter(|p| self.procs[p.index()].section != Section::Ncs)
+            .collect()
+    }
+
+    /// `Fin(E)`: processes that completed at least one passage.
+    pub fn fin(&self) -> Vec<ProcId> {
+        (0..self.n())
+            .map(|i| ProcId(i as u32))
+            .filter(|p| self.procs[p.index()].passages_completed > 0)
+            .collect()
+    }
+
+    /// Number of passages `p` has completed.
+    pub fn passages_completed(&self, p: ProcId) -> usize {
+        self.procs[p.index()].passages_completed
+    }
+
+    /// `writer(v, E)`: the last process to commit a write to `v`.
+    pub fn writer(&self, v: VarId) -> Option<ProcId> {
+        self.vars.get(v).writer
+    }
+
+    /// The current committed value of `v`.
+    pub fn value(&self, v: VarId) -> Value {
+        self.vars.get(v).value
+    }
+
+    /// `owner(v)`: the process `v` is local to, if any.
+    pub fn owner(&self, v: VarId) -> Option<ProcId> {
+        self.spec.owner(v)
+    }
+
+    /// `AW(p, E)`: the awareness set of `p`.
+    pub fn awareness(&self, p: ProcId) -> &AwSet {
+        &self.procs[p.index()].aw
+    }
+
+    /// `Accessed(v, E)`: processes that accessed `v`.
+    pub fn accessed(&self, v: VarId) -> &HashSet<ProcId> {
+        &self.accessed[v.index()]
+    }
+
+    /// Read-only view of `p`'s program (for litmus-test assertions).
+    pub fn program(&self, p: ProcId) -> Option<&dyn Program> {
+        self.procs.get(p.index()).map(|e| &*e.program)
+    }
+
+    /// Whether `p`'s write buffer is empty.
+    pub fn buffer_empty(&self, p: ProcId) -> bool {
+        self.procs[p.index()].buffer.is_empty()
+    }
+
+    /// Number of pending writes in `p`'s buffer.
+    pub fn buffer_len(&self, p: ProcId) -> usize {
+        self.procs[p.index()].buffer.len()
+    }
+
+    /// Whether `v` is remote with respect to `p`.
+    pub fn is_remote(&self, p: ProcId, v: VarId) -> bool {
+        self.spec.owner(v) != Some(p)
+    }
+
+    /// Whether `p` has already performed a remote read of `v`.
+    pub fn has_remote_read(&self, p: ProcId, v: VarId) -> bool {
+        self.procs[p.index()].remote_reads.contains(&v)
+    }
+
+    /// Describes the event `Issue(p)` would execute, without executing it.
+    pub fn peek_next(&self, p: ProcId) -> NextEvent {
+        let entry = &self.procs[p.index()];
+        if entry.erased {
+            return NextEvent::Halted;
+        }
+        if entry.in_fence {
+            return match entry.buffer.peek_oldest() {
+                Some(w) => NextEvent::CommitNext {
+                    var: w.var,
+                    critical: self.commit_would_be_critical(p, w.var),
+                },
+                None => NextEvent::EndFence,
+            };
+        }
+        match entry.program.peek() {
+            Op::Halt => NextEvent::Halted,
+            Op::Read(v) => {
+                if entry.buffer.contains(v) {
+                    NextEvent::Read { var: v, from_buffer: true, critical: false }
+                } else {
+                    let critical =
+                        self.is_remote(p, v) && !entry.remote_reads.contains(&v);
+                    NextEvent::Read { var: v, from_buffer: false, critical }
+                }
+            }
+            Op::Write(v, _) => NextEvent::IssueWrite { var: v },
+            Op::Fence => NextEvent::BeginFence,
+            Op::Cas { var, .. } => {
+                if let Some(w) = entry.buffer.peek_oldest() {
+                    // CAS stalls until the buffer drains; the next event
+                    // commits the oldest write.
+                    NextEvent::CommitNext {
+                        var: w.var,
+                        critical: self.commit_would_be_critical(p, w.var),
+                    }
+                } else {
+                    NextEvent::Cas { var, critical: self.cas_would_be_critical(p, var) }
+                }
+            }
+            op @ (Op::Enter | Op::Cs | Op::Exit | Op::Invoke { .. } | Op::Return(_)) => {
+                NextEvent::Transition(op)
+            }
+        }
+    }
+
+    fn commit_would_be_critical(&self, p: ProcId, v: VarId) -> bool {
+        self.is_remote(p, v) && self.vars.get(v).writer != Some(p)
+    }
+
+    fn cas_would_be_critical(&self, p: ProcId, v: VarId) -> bool {
+        self.is_remote(p, v)
+            && (!self.procs[p.index()].remote_reads.contains(&v)
+                || self.vars.get(v).writer != Some(p))
+    }
+
+    /// Executes one scheduling directive and returns the resulting event.
+    ///
+    /// # Errors
+    ///
+    /// * [`StepError::Halted`] if the process' program has halted;
+    /// * [`StepError::EmptyBuffer`] for a `Commit` with nothing to commit;
+    /// * [`StepError::BadTransition`] if the program attempts a transition
+    ///   from the wrong section (an algorithm bug).
+    pub fn step(&mut self, d: Directive) -> Result<Event, StepError> {
+        if self.procs[d.pid().index()].erased {
+            return Err(StepError::Halted(d.pid()));
+        }
+        let event = match d {
+            Directive::Commit(p) => self.do_commit(p)?,
+            Directive::CommitVar(p, v) => self.do_commit_var(p, v)?,
+            Directive::Issue(p) => self.do_issue(p)?,
+        };
+        self.schedule.push(d);
+        self.log.push(event);
+        Ok(event)
+    }
+
+    fn next_seq(&self) -> usize {
+        self.log.len()
+    }
+
+    fn do_commit(&mut self, p: ProcId) -> Result<Event, StepError> {
+        let entry = &mut self.procs[p.index()];
+        let w = entry.buffer.pop_oldest().ok_or(StepError::EmptyBuffer(p))?;
+        self.apply_commit(p, w)
+    }
+
+    fn do_commit_var(&mut self, p: ProcId, v: VarId) -> Result<Event, StepError> {
+        let entry = &mut self.procs[p.index()];
+        if self.model == MemoryModel::Tso
+            && entry.buffer.peek_oldest().map(|w| w.var) != Some(v)
+        {
+            // TSO forbids reordering commits; only the oldest may go.
+            return Err(StepError::BadCommit { pid: p, var: v });
+        }
+        let w = entry.buffer.pop_var(v).ok_or(StepError::BadCommit { pid: p, var: v })?;
+        self.apply_commit(p, w)
+    }
+
+    fn apply_commit(
+        &mut self,
+        p: ProcId,
+        w: crate::buffer::PendingWrite,
+    ) -> Result<Event, StepError> {
+        let critical = self.commit_would_be_critical(p, w.var);
+        self.vars.commit(w.var, w.value, p, w.aw_snapshot);
+        let cc = self.cache.write(p, w.var);
+        self.accessed[w.var.index()].insert(p);
+
+        let totals = self.metrics.proc_mut(p);
+        totals.events += 1;
+        if self.spec.owner(w.var) != Some(p) {
+            totals.rmr_dsm += 1;
+        }
+        totals.rmr_wt += cc.wt_rmr as u64;
+        totals.rmr_wb += cc.wb_rmr as u64;
+        totals.critical += critical as u64;
+
+        Ok(Event {
+            seq: self.next_seq(),
+            pid: p,
+            kind: EventKind::CommitWrite { var: w.var, value: w.value },
+            critical,
+        })
+    }
+
+    fn do_issue(&mut self, p: ProcId) -> Result<Event, StepError> {
+        if self.procs[p.index()].in_fence {
+            if !self.procs[p.index()].buffer.is_empty() {
+                return self.do_commit(p);
+            }
+            // EndFence.
+            let entry = &mut self.procs[p.index()];
+            entry.in_fence = false;
+            entry.program.apply(Outcome::FenceDone);
+            let totals = self.metrics.proc_mut(p);
+            totals.events += 1;
+            totals.fences += 1;
+            return Ok(Event {
+                seq: self.next_seq(),
+                pid: p,
+                kind: EventKind::EndFence,
+                critical: false,
+            });
+        }
+
+        let op = self.procs[p.index()].program.peek();
+        match op {
+            Op::Halt => Err(StepError::Halted(p)),
+            Op::Read(v) => Ok(self.do_read(p, v)),
+            Op::Write(v, value) => {
+                let entry = &mut self.procs[p.index()];
+                let snapshot = entry.aw.snapshot();
+                entry.buffer.issue(v, value, snapshot);
+                entry.program.apply(Outcome::WriteIssued);
+                self.metrics.proc_mut(p).events += 1;
+                Ok(Event {
+                    seq: self.next_seq(),
+                    pid: p,
+                    kind: EventKind::IssueWrite { var: v, value },
+                    critical: false,
+                })
+            }
+            Op::Fence => {
+                let entry = &mut self.procs[p.index()];
+                entry.in_fence = true;
+                // The program is not advanced until EndFence.
+                self.metrics.proc_mut(p).events += 1;
+                Ok(Event {
+                    seq: self.next_seq(),
+                    pid: p,
+                    kind: EventKind::BeginFence,
+                    critical: false,
+                })
+            }
+            Op::Cas { var, expected, new } => {
+                if !self.procs[p.index()].buffer.is_empty() {
+                    // CAS drains the buffer first (fence semantics).
+                    return self.do_commit(p);
+                }
+                Ok(self.do_cas(p, var, expected, new))
+            }
+            Op::Enter | Op::Cs | Op::Exit | Op::Invoke { .. } | Op::Return(_) => {
+                self.do_transition(p, op)
+            }
+        }
+    }
+
+    fn do_read(&mut self, p: ProcId, v: VarId) -> Event {
+        let entry = &mut self.procs[p.index()];
+        if let Some(value) = entry.buffer.pending_value(v) {
+            entry.program.apply(Outcome::ReadValue(value));
+            self.metrics.proc_mut(p).events += 1;
+            return Event {
+                seq: self.next_seq(),
+                pid: p,
+                kind: EventKind::Read { var: v, value, source: ReadSource::Buffer },
+                critical: false,
+            };
+        }
+
+        let state = self.vars.get(v);
+        let value = state.value;
+        // Awareness: reading v makes p aware of its last writer and of
+        // everything that writer was aware of when it issued the write.
+        if let Some(q) = state.writer {
+            let writer_aw = state.writer_aw.clone();
+            let entry = &mut self.procs[p.index()];
+            entry.aw.insert(q);
+            entry.aw.union_with(&writer_aw);
+        }
+
+        let remote = self.is_remote(p, v);
+        let entry = &mut self.procs[p.index()];
+        let critical = remote && !entry.remote_reads.contains(&v);
+        if remote {
+            entry.remote_reads.insert(v);
+        }
+        entry.program.apply(Outcome::ReadValue(value));
+
+        let cc = self.cache.read(p, v);
+        self.accessed[v.index()].insert(p);
+        let totals = self.metrics.proc_mut(p);
+        totals.events += 1;
+        totals.rmr_dsm += remote as u64;
+        totals.rmr_wt += cc.wt_rmr as u64;
+        totals.rmr_wb += cc.wb_rmr as u64;
+        totals.critical += critical as u64;
+
+        Event {
+            seq: self.next_seq(),
+            pid: p,
+            kind: EventKind::Read { var: v, value, source: ReadSource::Memory },
+            critical,
+        }
+    }
+
+    fn do_cas(&mut self, p: ProcId, var: VarId, expected: Value, new: Value) -> Event {
+        let critical = self.cas_would_be_critical(p, var);
+        let state = self.vars.get(var);
+        let observed = state.value;
+        let success = observed == expected;
+
+        // Awareness from the read half.
+        if let Some(q) = state.writer {
+            let writer_aw = state.writer_aw.clone();
+            let entry = &mut self.procs[p.index()];
+            entry.aw.insert(q);
+            entry.aw.union_with(&writer_aw);
+        }
+
+        let remote = self.is_remote(p, var);
+        {
+            let entry = &mut self.procs[p.index()];
+            if remote {
+                entry.remote_reads.insert(var);
+            }
+        }
+        if success {
+            let snapshot = self.procs[p.index()].aw.snapshot();
+            self.vars.commit(var, new, p, snapshot);
+        }
+        // For coherence, a CAS (even a failed one) behaves as a write: the
+        // LOCK prefix acquires the line exclusively.
+        let cc = self.cache.write(p, var);
+        self.accessed[var.index()].insert(p);
+
+        let totals = self.metrics.proc_mut(p);
+        totals.events += 1;
+        totals.rmr_dsm += remote as u64;
+        totals.rmr_wt += cc.wt_rmr as u64;
+        totals.rmr_wb += cc.wb_rmr as u64;
+        totals.critical += critical as u64;
+        totals.fences += 1;
+
+        self.procs[p.index()].program.apply(Outcome::CasResult { success, observed });
+
+        Event {
+            seq: self.next_seq(),
+            pid: p,
+            kind: EventKind::Cas { var, expected, new, success, observed },
+            critical,
+        }
+    }
+
+    fn do_transition(&mut self, p: ProcId, op: Op) -> Result<Event, StepError> {
+        let section = self.procs[p.index()].section;
+        let (kind, new_section) = match (op, section) {
+            (Op::Enter, Section::Ncs) => (EventKind::Enter, Section::Entry),
+            (Op::Cs, Section::Entry) => (EventKind::Cs, Section::Exit),
+            (Op::Exit, Section::Exit) => (EventKind::Exit, Section::Ncs),
+            (Op::Invoke { op, arg }, Section::Ncs) => {
+                (EventKind::Invoke { op, arg }, Section::Entry)
+            }
+            (Op::Return(value), Section::Entry) => {
+                (EventKind::Return { value }, Section::Ncs)
+            }
+            (op, section) => return Err(StepError::BadTransition { pid: p, op, section }),
+        };
+
+        match kind {
+            EventKind::Enter => self.metrics.open_span(p, SpanKind::Passage),
+            EventKind::Invoke { op, .. } => {
+                self.metrics.open_span(p, SpanKind::Operation(op))
+            }
+            _ => {}
+        }
+        self.metrics.proc_mut(p).events += 1;
+        match kind {
+            EventKind::Exit | EventKind::Return { .. } => {
+                self.metrics.close_span(p);
+                self.procs[p.index()].passages_completed += 1;
+            }
+            _ => {}
+        }
+
+        let entry = &mut self.procs[p.index()];
+        entry.section = new_section;
+        entry.program.apply(Outcome::Progressed);
+
+        Ok(Event { seq: self.next_seq(), pid: p, kind, critical: false })
+    }
+
+    /// Whether `p` was erased in place.
+    pub fn is_erased(&self, p: ProcId) -> bool {
+        self.procs[p.index()].erased
+    }
+
+    /// Erases a set of processes **in place** — the fast alternative to
+    /// filtered replay ([`crate::erase::erase`]).
+    ///
+    /// Requires (and checks) the Lemma 1 precondition: no surviving process
+    /// may be aware of an erased one, and erased processes must not have
+    /// completed a passage. The erased processes' events are removed from
+    /// the log and schedule, every variable they are visible on is rewound
+    /// to its latest surviving commit, their cached copies are dropped, and
+    /// they are tombstoned (never schedulable again — unlike replay
+    /// erasure, which leaves them fresh).
+    ///
+    /// Equivalence contract with replay erasure: identical event log,
+    /// variable state, writers, awareness, criticality and future
+    /// behaviour; only the CC RMR counters of *future* survivor accesses
+    /// may differ, because cache occupancy is history-dependent (see
+    /// [`crate::cache::CacheDir::purge`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::InvalidErasure`] if a survivor is aware of an erased
+    /// process or an erased process already finished a passage.
+    pub fn erase_in_place(
+        &mut self,
+        erased: &std::collections::BTreeSet<ProcId>,
+    ) -> Result<(), StepError> {
+        if erased.is_empty() {
+            return Ok(());
+        }
+        // Preconditions.
+        for i in 0..self.n() {
+            let p = ProcId(i as u32);
+            if erased.contains(&p) {
+                if self.procs[p.index()].passages_completed > 0 {
+                    return Err(StepError::InvalidErasure(format!(
+                        "{p} already completed a passage"
+                    )));
+                }
+                continue;
+            }
+            if !self.procs[p.index()].aw.intersects_only_self(p, erased) {
+                return Err(StepError::InvalidErasure(format!(
+                    "{p} is aware of an erased process"
+                )));
+            }
+        }
+
+        // Log and schedule surgery.
+        let mut log = Vec::with_capacity(self.log.len());
+        let mut schedule = Vec::with_capacity(self.schedule.len());
+        for (event, directive) in self.log.iter().zip(&self.schedule) {
+            if erased.contains(&event.pid) {
+                continue;
+            }
+            let mut e = *event;
+            e.seq = log.len();
+            log.push(e);
+            schedule.push(*directive);
+        }
+        self.log = log;
+        self.schedule = schedule;
+
+        // Shared memory rewind.
+        for v in 0..self.vars.count() {
+            self.vars.revert_erased(VarId(v as u32), erased);
+        }
+        for set in &mut self.accessed {
+            set.retain(|p| !erased.contains(p));
+        }
+        self.cache.purge(erased);
+
+        // Tombstone the processes.
+        for &p in erased {
+            let entry = &mut self.procs[p.index()];
+            entry.erased = true;
+            entry.in_fence = false;
+            entry.section = Section::Ncs;
+            entry.buffer = WriteBuffer::new();
+            entry.aw = AwSet::singleton(p);
+            entry.remote_reads.clear();
+            self.metrics.reset_proc(p);
+        }
+        Ok(())
+    }
+
+    /// Issues events for `p` until its next event would be special
+    /// (Definition 3), without executing that special event. Returns the
+    /// pending special event description.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::NonTermination`] if `max_steps` events execute without
+    /// reaching a special event — in the construction's context this is a
+    /// weak-obstruction-freedom violation by the algorithm under test.
+    pub fn run_until_special(
+        &mut self,
+        p: ProcId,
+        max_steps: usize,
+    ) -> Result<NextEvent, StepError> {
+        for _ in 0..max_steps {
+            let next = self.peek_next(p);
+            if next == NextEvent::Halted {
+                return Ok(next);
+            }
+            if next.special_kind().is_some() {
+                return Ok(next);
+            }
+            self.step(Directive::Issue(p))?;
+        }
+        Err(StepError::NonTermination { pid: p, steps: max_steps })
+    }
+
+    /// Runs `p` solo until it completes `passages` full passages (or
+    /// operations), committing writes eagerly. Used for progress tests and
+    /// the regularization phase.
+    ///
+    /// # Errors
+    ///
+    /// [`StepError::NonTermination`] if the budget is exhausted first, plus
+    /// any error surfaced by [`Machine::step`].
+    pub fn run_solo(
+        &mut self,
+        p: ProcId,
+        passages: usize,
+        max_steps: usize,
+    ) -> Result<(), StepError> {
+        let target = self.procs[p.index()].passages_completed + passages;
+        for _ in 0..max_steps {
+            if self.procs[p.index()].passages_completed >= target {
+                return Ok(());
+            }
+            if self.peek_next(p) == NextEvent::Halted {
+                return Err(StepError::Halted(p));
+            }
+            self.step(Directive::Issue(p))?;
+        }
+        if self.procs[p.index()].passages_completed >= target {
+            Ok(())
+        } else {
+            Err(StepError::NonTermination { pid: p, steps: max_steps })
+        }
+    }
+
+    /// Convenience: fences completed by `p` (EndFence events plus CAS
+    /// operations).
+    pub fn fences_completed(&self, p: ProcId) -> u64 {
+        self.metrics.proc(p).totals.fences
+    }
+
+    /// Convenience: critical events executed by `p`.
+    pub fn criticals(&self, p: ProcId) -> u64 {
+        self.metrics.proc(p).totals.critical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scripted::{Instr, ScriptSystem};
+
+    /// p0: write v0:=1; read v1. p1: write v1:=1; read v0.
+    fn store_buffer_litmus() -> ScriptSystem {
+        ScriptSystem::new(2, 2, |pid| {
+            let me = pid.0;
+            let other = 1 - me;
+            vec![
+                Instr::Write { var: me, value: 1 },
+                Instr::Read { var: other, reg: 0 },
+                Instr::Halt,
+            ]
+        })
+    }
+
+    #[test]
+    fn tso_allows_both_reads_to_miss_the_writes() {
+        let sys = store_buffer_litmus();
+        let mut m = Machine::new(&sys);
+        // Issue both writes (buffered), then both reads.
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(1))).unwrap();
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(1))).unwrap();
+        assert_eq!(m.program(ProcId(0)).unwrap().register(0), Some(0));
+        assert_eq!(m.program(ProcId(1)).unwrap().register(0), Some(0));
+    }
+
+    #[test]
+    fn sequential_schedule_sees_committed_values() {
+        let sys = store_buffer_litmus();
+        let mut m = Machine::new(&sys);
+        // p0 writes and commits, then p1 runs.
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Commit(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(1))).unwrap();
+        m.step(Directive::Commit(ProcId(1))).unwrap();
+        m.step(Directive::Issue(ProcId(1))).unwrap(); // p1 reads v0 = 1
+        assert_eq!(m.program(ProcId(1)).unwrap().register(0), Some(1));
+    }
+
+    #[test]
+    fn read_own_buffered_write() {
+        let sys = ScriptSystem::new(1, 1, |_| {
+            vec![
+                Instr::Write { var: 0, value: 7 },
+                Instr::Read { var: 0, reg: 0 },
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        let e = m.step(Directive::Issue(ProcId(0))).unwrap();
+        assert_eq!(
+            e.kind,
+            EventKind::Read { var: VarId(0), value: 7, source: ReadSource::Buffer }
+        );
+        assert!(!e.is_access(), "buffer reads do not access the variable");
+        assert_eq!(m.value(VarId(0)), 0, "memory unchanged until commit");
+    }
+
+    #[test]
+    fn fence_drains_buffer_in_issue_order() {
+        let sys = ScriptSystem::new(1, 3, |_| {
+            vec![
+                Instr::Write { var: 0, value: 1 },
+                Instr::Write { var: 1, value: 2 },
+                Instr::Write { var: 2, value: 3 },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        let p = ProcId(0);
+        for _ in 0..3 {
+            m.step(Directive::Issue(p)).unwrap();
+        }
+        let e = m.step(Directive::Issue(p)).unwrap();
+        assert_eq!(e.kind, EventKind::BeginFence);
+        assert_eq!(m.mode(p), Mode::Write);
+        let e = m.step(Directive::Issue(p)).unwrap();
+        assert_eq!(e.kind, EventKind::CommitWrite { var: VarId(0), value: 1 });
+        let e = m.step(Directive::Issue(p)).unwrap();
+        assert_eq!(e.kind, EventKind::CommitWrite { var: VarId(1), value: 2 });
+        let e = m.step(Directive::Issue(p)).unwrap();
+        assert_eq!(e.kind, EventKind::CommitWrite { var: VarId(2), value: 3 });
+        let e = m.step(Directive::Issue(p)).unwrap();
+        assert_eq!(e.kind, EventKind::EndFence);
+        assert_eq!(m.mode(p), Mode::Read);
+        assert_eq!(m.fences_completed(p), 1);
+        assert_eq!(m.value(VarId(2)), 3);
+    }
+
+    #[test]
+    fn critical_events_first_remote_read_and_foreign_overwrite() {
+        let sys = ScriptSystem::new(2, 1, |pid| {
+            if pid.0 == 0 {
+                vec![
+                    Instr::Read { var: 0, reg: 0 },
+                    Instr::Read { var: 0, reg: 1 },
+                    Instr::Write { var: 0, value: 5 },
+                    Instr::Fence,
+                    Instr::Write { var: 0, value: 6 },
+                    Instr::Fence,
+                    Instr::Halt,
+                ]
+            } else {
+                vec![Instr::Write { var: 0, value: 9 }, Instr::Fence, Instr::Halt]
+            }
+        });
+        let mut m = Machine::new(&sys);
+        let p = ProcId(0);
+        let e = m.step(Directive::Issue(p)).unwrap();
+        assert!(e.critical, "first remote read is critical");
+        let e = m.step(Directive::Issue(p)).unwrap();
+        assert!(!e.critical, "second remote read is not critical");
+        m.step(Directive::Issue(p)).unwrap(); // issue write (non-critical)
+        m.step(Directive::Issue(p)).unwrap(); // BeginFence
+        let e = m.step(Directive::Issue(p)).unwrap(); // commit write
+        assert!(e.critical, "first commit overwrites initial (writer != p)");
+        m.step(Directive::Issue(p)).unwrap(); // EndFence
+        m.step(Directive::Issue(p)).unwrap(); // issue write 6
+        m.step(Directive::Issue(p)).unwrap(); // BeginFence
+        let e = m.step(Directive::Issue(p)).unwrap(); // commit write 6
+        assert!(!e.critical, "overwriting own value is not critical");
+        // Now p1 overwrites p0's value: critical.
+        let q = ProcId(1);
+        m.step(Directive::Issue(q)).unwrap();
+        m.step(Directive::Issue(q)).unwrap();
+        let e = m.step(Directive::Issue(q)).unwrap();
+        assert!(e.critical, "overwriting another process' value is critical");
+        assert_eq!(m.criticals(p), 2);
+        assert_eq!(m.criticals(q), 1);
+    }
+
+    #[test]
+    fn awareness_flows_through_committed_writes_only() {
+        let sys = ScriptSystem::new(3, 2, |pid| match pid.0 {
+            0 => vec![Instr::Write { var: 0, value: 1 }, Instr::Fence, Instr::Halt],
+            1 => vec![
+                Instr::Read { var: 0, reg: 0 },
+                Instr::Write { var: 1, value: 2 },
+                Instr::Fence,
+                Instr::Halt,
+            ],
+            _ => vec![Instr::Read { var: 1, reg: 0 }, Instr::Halt],
+        });
+        let mut m = Machine::new(&sys);
+        let (p0, p1, p2) = (ProcId(0), ProcId(1), ProcId(2));
+        // p1 reads v0 before p0 commits: no awareness.
+        // (First schedule p0's issue so the write exists but is buffered.)
+        m.step(Directive::Issue(p0)).unwrap();
+        m.step(Directive::Issue(p1)).unwrap();
+        assert!(!m.awareness(p1).contains(p0), "buffered writes are invisible");
+        // p0 commits via its fence; p2 reads v1 after p1 commits: p2 learns
+        // of p1 but NOT of p0 (p1 issued its write before reading v0? No —
+        // p1 read v0 first, then issued; but the read saw the OLD value, so
+        // p1 was not aware of p0 at issue time).
+        m.step(Directive::Issue(p0)).unwrap(); // BeginFence
+        m.step(Directive::Issue(p0)).unwrap(); // commit v0:=1
+        m.step(Directive::Issue(p0)).unwrap(); // EndFence
+        m.step(Directive::Issue(p1)).unwrap(); // issue write v1:=2
+        m.step(Directive::Issue(p1)).unwrap(); // BeginFence
+        m.step(Directive::Issue(p1)).unwrap(); // commit v1:=2
+        m.step(Directive::Issue(p1)).unwrap(); // EndFence
+        m.step(Directive::Issue(p2)).unwrap(); // p2 reads v1
+        assert!(m.awareness(p2).contains(p1));
+        assert!(
+            !m.awareness(p2).contains(p0),
+            "issue-time snapshot: p1 did not know p0 when it issued"
+        );
+    }
+
+    #[test]
+    fn awareness_snapshot_is_issue_time_not_commit_time() {
+        // p1 issues its write to v1 BEFORE reading v0; then reads v0 = 1
+        // (committed by p0), then fences. p2 reading v1 must NOT become
+        // aware of p0, because at issue time p1 was unaware.
+        let sys = ScriptSystem::new(3, 2, |pid| match pid.0 {
+            0 => vec![Instr::Write { var: 0, value: 1 }, Instr::Fence, Instr::Halt],
+            1 => vec![
+                Instr::Write { var: 1, value: 2 },
+                Instr::Read { var: 0, reg: 0 },
+                Instr::Fence,
+                Instr::Halt,
+            ],
+            _ => vec![Instr::Read { var: 1, reg: 0 }, Instr::Halt],
+        });
+        let mut m = Machine::new(&sys);
+        let (p0, p1, p2) = (ProcId(0), ProcId(1), ProcId(2));
+        // p0 writes and commits v0 = 1.
+        m.step(Directive::Issue(p0)).unwrap();
+        m.step(Directive::Issue(p0)).unwrap();
+        m.step(Directive::Issue(p0)).unwrap();
+        m.step(Directive::Issue(p0)).unwrap();
+        // p1 issues v1:=2 first, then reads v0 = 1 (becomes aware of p0).
+        m.step(Directive::Issue(p1)).unwrap();
+        m.step(Directive::Issue(p1)).unwrap();
+        assert!(m.awareness(p1).contains(p0));
+        // p1 commits v1 via fence; the commit carries the ISSUE-time snapshot.
+        m.step(Directive::Issue(p1)).unwrap();
+        m.step(Directive::Issue(p1)).unwrap();
+        m.step(Directive::Issue(p1)).unwrap();
+        // p2 reads v1: aware of p1 only.
+        m.step(Directive::Issue(p2)).unwrap();
+        assert!(m.awareness(p2).contains(p1));
+        assert!(!m.awareness(p2).contains(p0));
+    }
+
+    #[test]
+    fn transitions_enforce_section_protocol() {
+        let sys = ScriptSystem::new(1, 1, |_| vec![Instr::Cs, Instr::Halt]);
+        let mut m = Machine::new(&sys);
+        let err = m.step(Directive::Issue(ProcId(0))).unwrap_err();
+        assert!(matches!(err, StepError::BadTransition { .. }));
+    }
+
+    #[test]
+    fn passage_accounting() {
+        let sys = ScriptSystem::new(1, 1, |_| {
+            vec![
+                Instr::Enter,
+                Instr::Read { var: 0, reg: 0 },
+                Instr::Cs,
+                Instr::Write { var: 0, value: 1 },
+                Instr::Fence,
+                Instr::Exit,
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        let p = ProcId(0);
+        assert_eq!(m.act(), Vec::<ProcId>::new());
+        m.step(Directive::Issue(p)).unwrap(); // Enter
+        assert_eq!(m.act(), vec![p]);
+        assert_eq!(m.section(p), Section::Entry);
+        m.run_solo(p, 1, 100).unwrap();
+        assert_eq!(m.act(), Vec::<ProcId>::new());
+        assert_eq!(m.fin(), vec![p]);
+        let stats = &m.metrics().proc(p).completed[0];
+        assert_eq!(stats.counters.fences, 1);
+        assert_eq!(stats.counters.critical, 2); // remote read + foreign overwrite
+        assert_eq!(m.passages_completed(p), 1);
+    }
+
+    #[test]
+    fn cas_semantics_success_and_failure() {
+        let sys = ScriptSystem::new(2, 1, |_| {
+            vec![Instr::Cas { var: 0, expected: 0, new: 1, success_reg: 0 }, Instr::Halt]
+        });
+        let mut m = Machine::new(&sys);
+        let e = m.step(Directive::Issue(ProcId(0))).unwrap();
+        assert!(matches!(e.kind, EventKind::Cas { success: true, observed: 0, .. }));
+        let e = m.step(Directive::Issue(ProcId(1))).unwrap();
+        assert!(matches!(e.kind, EventKind::Cas { success: false, observed: 1, .. }));
+        assert_eq!(m.value(VarId(0)), 1);
+        assert_eq!(m.program(ProcId(0)).unwrap().register(0), Some(1));
+        assert_eq!(m.program(ProcId(1)).unwrap().register(0), Some(0));
+        assert_eq!(m.fences_completed(ProcId(0)), 1, "CAS counts as a fence");
+        // The failed CASer becomes aware of the successful one (it read its
+        // write).
+        assert!(m.awareness(ProcId(1)).contains(ProcId(0)));
+    }
+
+    #[test]
+    fn cas_stalls_until_buffer_drained() {
+        let sys = ScriptSystem::new(1, 2, |_| {
+            vec![
+                Instr::Write { var: 1, value: 9 },
+                Instr::Cas { var: 0, expected: 0, new: 1, success_reg: 0 },
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        let p = ProcId(0);
+        m.step(Directive::Issue(p)).unwrap(); // buffered write to v1
+        assert!(matches!(m.peek_next(p), NextEvent::CommitNext { var: VarId(1), .. }));
+        let e = m.step(Directive::Issue(p)).unwrap(); // drains buffer first
+        assert!(matches!(e.kind, EventKind::CommitWrite { var: VarId(1), .. }));
+        let e = m.step(Directive::Issue(p)).unwrap(); // now the CAS
+        assert!(matches!(e.kind, EventKind::Cas { success: true, .. }));
+    }
+
+    #[test]
+    fn run_until_special_stops_before_specials() {
+        let sys = ScriptSystem::new(1, 2, |_| {
+            vec![
+                Instr::Enter,
+                Instr::Write { var: 0, value: 1 }, // non-special
+                Instr::Write { var: 1, value: 2 }, // non-special
+                Instr::Read { var: 0, reg: 0 },    // buffer read: non-special
+                Instr::Read { var: 1, reg: 1 },    // buffer read: non-special
+                Instr::Fence,                      // special
+                Instr::Cs,
+                Instr::Exit,
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        let p = ProcId(0);
+        let next = m.run_until_special(p, 100).unwrap();
+        assert_eq!(next, NextEvent::Transition(Op::Enter));
+        m.step(Directive::Issue(p)).unwrap();
+        let next = m.run_until_special(p, 100).unwrap();
+        assert_eq!(next, NextEvent::BeginFence);
+        assert_eq!(m.metrics().proc(p).totals.events, 5); // Enter + 2 writes + 2 buffer reads
+    }
+
+    #[test]
+    fn run_until_special_detects_livelock() {
+        // An (incorrect) program that spins on a cached read forever: after
+        // the first remote read the re-reads are non-special.
+        let sys = ScriptSystem::new(1, 1, |_| {
+            vec![
+                Instr::Read { var: 0, reg: 0 },
+                // Loop to self while v0 == 0 (it always is).
+                Instr::JumpIfZero { reg: 0, target: 0 },
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        let p = ProcId(0);
+        // First step: the critical read is special, execute it manually.
+        assert!(matches!(m.peek_next(p), NextEvent::Read { critical: true, .. }));
+        m.step(Directive::Issue(p)).unwrap();
+        let err = m.run_until_special(p, 50).unwrap_err();
+        assert!(matches!(err, StepError::NonTermination { .. }));
+    }
+
+    #[test]
+    fn commit_on_empty_buffer_errors() {
+        let sys = ScriptSystem::new(1, 1, |_| vec![Instr::Halt]);
+        let mut m = Machine::new(&sys);
+        assert_eq!(
+            m.step(Directive::Commit(ProcId(0))).unwrap_err(),
+            StepError::EmptyBuffer(ProcId(0))
+        );
+    }
+
+    #[test]
+    fn halted_process_cannot_be_issued() {
+        let sys = ScriptSystem::new(1, 1, |_| vec![Instr::Halt]);
+        let mut m = Machine::new(&sys);
+        assert_eq!(m.peek_next(ProcId(0)), NextEvent::Halted);
+        assert_eq!(
+            m.step(Directive::Issue(ProcId(0))).unwrap_err(),
+            StepError::Halted(ProcId(0))
+        );
+    }
+
+    #[test]
+    fn dsm_ownership_makes_local_accesses_free() {
+        use crate::vars::VarSpec;
+        use crate::program::System;
+
+        struct LocalSpin;
+        impl System for LocalSpin {
+            fn n(&self) -> usize {
+                1
+            }
+            fn vars(&self) -> VarSpec {
+                let mut b = VarSpec::builder();
+                b.var("mine", 0, Some(ProcId(0)));
+                b.var("theirs", 0, Some(ProcId(1)));
+                b.build()
+            }
+            fn program(&self, _pid: ProcId) -> Box<dyn Program> {
+                crate::scripted::script(vec![
+                    Instr::Read { var: 0, reg: 0 }, // local
+                    Instr::Read { var: 1, reg: 1 }, // remote
+                    Instr::Halt,
+                ])
+            }
+        }
+        let mut m = Machine::new(&LocalSpin);
+        let e = m.step(Directive::Issue(ProcId(0))).unwrap();
+        assert!(!e.critical, "local reads are never critical");
+        let e = m.step(Directive::Issue(ProcId(0))).unwrap();
+        assert!(e.critical);
+        assert_eq!(m.metrics().proc(ProcId(0)).totals.rmr_dsm, 1);
+    }
+}
+
+#[cfg(test)]
+mod pso_tests {
+    use super::*;
+    use crate::scripted::{Instr, ScriptSystem};
+
+    fn two_writes() -> ScriptSystem {
+        ScriptSystem::new(1, 2, |_| {
+            vec![
+                Instr::Write { var: 0, value: 1 },
+                Instr::Write { var: 1, value: 2 },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        })
+    }
+
+    #[test]
+    fn pending_vars_lists_buffer_in_issue_order() {
+        let sys = two_writes();
+        let mut m = Machine::new(&sys);
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        assert_eq!(m.pending_vars(ProcId(0)), vec![VarId(0), VarId(1)]);
+    }
+
+    #[test]
+    fn pso_commit_var_reorders_and_tso_rejects() {
+        let sys = two_writes();
+        let mut m = Machine::with_model(&sys, MemoryModel::Pso);
+        assert_eq!(m.model(), MemoryModel::Pso);
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::CommitVar(ProcId(0), VarId(1))).unwrap();
+        assert_eq!(m.value(VarId(1)), 2);
+        assert_eq!(m.value(VarId(0)), 0, "older write still buffered");
+        // The per-variable order is still enforced (no double commit).
+        assert!(matches!(
+            m.step(Directive::CommitVar(ProcId(0), VarId(1))),
+            Err(StepError::BadCommit { .. })
+        ));
+
+        let mut m = Machine::new(&sys);
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        assert!(matches!(
+            m.step(Directive::CommitVar(ProcId(0), VarId(1))),
+            Err(StepError::BadCommit { .. })
+        ));
+    }
+
+    #[test]
+    fn pso_fence_still_drains_everything() {
+        let sys = two_writes();
+        let mut m = Machine::with_model(&sys, MemoryModel::Pso);
+        let p = ProcId(0);
+        m.step(Directive::Issue(p)).unwrap();
+        m.step(Directive::Issue(p)).unwrap();
+        m.step(Directive::Issue(p)).unwrap(); // BeginFence
+        while m.mode(p) == Mode::Write {
+            m.step(Directive::Issue(p)).unwrap();
+        }
+        assert!(m.buffer_empty(p));
+        assert_eq!(m.value(VarId(0)), 1);
+        assert_eq!(m.value(VarId(1)), 2);
+        assert_eq!(m.fences_completed(p), 1);
+    }
+
+    #[test]
+    fn pso_commit_var_criticality_matches_commit_semantics() {
+        let sys = ScriptSystem::new(2, 2, |pid| {
+            vec![
+                Instr::Write { var: pid.0, value: 5 },
+                Instr::Write { var: 1 - pid.0, value: 6 },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::with_model(&sys, MemoryModel::Pso);
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        // Out-of-order commit of v1 (first commit to v1 ever): critical.
+        let e = m.step(Directive::CommitVar(ProcId(0), VarId(1))).unwrap();
+        assert!(e.critical);
+        // In-order commit of v0: also critical (writer was nobody).
+        let e = m.step(Directive::CommitVar(ProcId(0), VarId(0))).unwrap();
+        assert!(e.critical);
+    }
+}

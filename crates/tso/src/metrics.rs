@@ -1,0 +1,196 @@
+//! Complexity accounting: RMRs (DSM / CC-WT / CC-WB), critical events
+//! (Definition 2) and fence counts, both cumulatively and per passage.
+//!
+//! A *passage* spans an `Enter` to the matching `Exit`; for object programs
+//! an operation spans an `Invoke` to the matching `Return` and is accounted
+//! the same way (Section 5 of the paper treats a passage as a single object
+//! operation plus a constant number of extra steps).
+
+use std::ops::Sub;
+
+use crate::ids::ProcId;
+
+/// A bundle of complexity counters.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct Counters {
+    /// Events executed (of any kind).
+    pub events: u64,
+    /// RMRs in the DSM model (remote accesses).
+    pub rmr_dsm: u64,
+    /// RMRs in the CC model with a write-through protocol.
+    pub rmr_wt: u64,
+    /// RMRs in the CC model with a write-back protocol.
+    pub rmr_wb: u64,
+    /// Critical events (Definition 2; includes CAS counted conservatively).
+    pub critical: u64,
+    /// Completed fences (`EndFence` events, plus `Cas` which carries fence
+    /// semantics).
+    pub fences: u64,
+}
+
+impl Sub for Counters {
+    type Output = Counters;
+
+    fn sub(self, rhs: Counters) -> Counters {
+        Counters {
+            events: self.events - rhs.events,
+            rmr_dsm: self.rmr_dsm - rhs.rmr_dsm,
+            rmr_wt: self.rmr_wt - rhs.rmr_wt,
+            rmr_wb: self.rmr_wb - rhs.rmr_wb,
+            critical: self.critical - rhs.critical,
+            fences: self.fences - rhs.fences,
+        }
+    }
+}
+
+/// What a completed accounting span was.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanKind {
+    /// A mutual-exclusion passage (`Enter` → `Exit`).
+    Passage,
+    /// An object operation (`Invoke(op)` → `Return`), tagged with the
+    /// operation code.
+    Operation(u32),
+}
+
+/// Complexity counters of one completed passage or operation.
+#[derive(Clone, Copy, Debug)]
+pub struct PassageStats {
+    /// The process that performed the passage.
+    pub pid: ProcId,
+    /// 0-based index among this process' completed spans.
+    pub index: usize,
+    /// What kind of span this was.
+    pub kind: SpanKind,
+    /// The counters accumulated strictly within the span.
+    pub counters: Counters,
+}
+
+/// Per-process accounting state.
+#[derive(Clone, Debug)]
+pub struct ProcMetrics {
+    /// Running totals over the whole execution.
+    pub totals: Counters,
+    /// Completed passages/operations, in order.
+    pub completed: Vec<PassageStats>,
+    /// Snapshot of `totals` at the start of the currently open span.
+    open_snapshot: Option<(SpanKind, Counters)>,
+}
+
+impl ProcMetrics {
+    fn new() -> Self {
+        ProcMetrics { totals: Counters::default(), completed: Vec::new(), open_snapshot: None }
+    }
+
+    /// Counters accumulated in the currently open span, if one is open.
+    pub fn open_span(&self) -> Option<(SpanKind, Counters)> {
+        self.open_snapshot.map(|(kind, snap)| (kind, self.totals - snap))
+    }
+}
+
+/// Accounting for a whole machine run.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    procs: Vec<ProcMetrics>,
+}
+
+impl Metrics {
+    /// Fresh metrics for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Metrics { procs: (0..n).map(|_| ProcMetrics::new()).collect() }
+    }
+
+    /// Per-process metrics.
+    pub fn proc(&self, pid: ProcId) -> &ProcMetrics {
+        &self.procs[pid.index()]
+    }
+
+    /// Iterates over all per-process metrics in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, &ProcMetrics)> {
+        self.procs.iter().enumerate().map(|(i, m)| (ProcId(i as u32), m))
+    }
+
+    pub(crate) fn proc_mut(&mut self, pid: ProcId) -> &mut Counters {
+        &mut self.procs[pid.index()].totals
+    }
+
+    pub(crate) fn open_span(&mut self, pid: ProcId, kind: SpanKind) {
+        let m = &mut self.procs[pid.index()];
+        debug_assert!(m.open_snapshot.is_none(), "span already open for {pid}");
+        m.open_snapshot = Some((kind, m.totals));
+    }
+
+    pub(crate) fn reset_proc(&mut self, pid: ProcId) {
+        self.procs[pid.index()] = ProcMetrics::new();
+    }
+
+    pub(crate) fn close_span(&mut self, pid: ProcId) {
+        let m = &mut self.procs[pid.index()];
+        let (kind, snap) =
+            m.open_snapshot.take().expect("closing a span that was never opened");
+        let stats = PassageStats {
+            pid,
+            index: m.completed.len(),
+            kind,
+            counters: m.totals - snap,
+        };
+        m.completed.push(stats);
+    }
+
+    /// Sums a counter across all completed spans of all processes, using
+    /// the supplied projection.
+    pub fn sum_completed(&self, f: impl Fn(&PassageStats) -> u64) -> u64 {
+        self.procs.iter().flat_map(|m| m.completed.iter()).map(f).sum()
+    }
+
+    /// The maximum of a projected counter across completed spans, if any
+    /// span completed.
+    pub fn max_completed(&self, f: impl Fn(&PassageStats) -> u64) -> Option<u64> {
+        self.procs.iter().flat_map(|m| m.completed.iter()).map(f).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_subtract_componentwise() {
+        let a = Counters { events: 10, rmr_dsm: 5, rmr_wt: 4, rmr_wb: 3, critical: 2, fences: 1 };
+        let b = Counters { events: 4, rmr_dsm: 2, rmr_wt: 2, rmr_wb: 1, critical: 1, fences: 0 };
+        let d = a - b;
+        assert_eq!(d.events, 6);
+        assert_eq!(d.rmr_dsm, 3);
+        assert_eq!(d.fences, 1);
+    }
+
+    #[test]
+    fn span_accounting_diffs_totals() {
+        let mut m = Metrics::new(1);
+        m.proc_mut(ProcId(0)).events = 3;
+        m.open_span(ProcId(0), SpanKind::Passage);
+        m.proc_mut(ProcId(0)).events = 10;
+        m.proc_mut(ProcId(0)).fences = 2;
+        let (kind, open) = m.proc(ProcId(0)).open_span().unwrap();
+        assert_eq!(kind, SpanKind::Passage);
+        assert_eq!(open.events, 7);
+        m.close_span(ProcId(0));
+        let p = &m.proc(ProcId(0)).completed[0];
+        assert_eq!(p.counters.events, 7);
+        assert_eq!(p.counters.fences, 2);
+        assert_eq!(p.index, 0);
+        assert!(m.proc(ProcId(0)).open_span().is_none());
+    }
+
+    #[test]
+    fn sum_and_max_over_completed() {
+        let mut m = Metrics::new(2);
+        for pid in [ProcId(0), ProcId(1)] {
+            m.open_span(pid, SpanKind::Passage);
+            m.proc_mut(pid).fences = 1 + pid.0 as u64;
+            m.close_span(pid);
+        }
+        assert_eq!(m.sum_completed(|p| p.counters.fences), 3);
+        assert_eq!(m.max_completed(|p| p.counters.fences), Some(2));
+    }
+}

@@ -1,0 +1,121 @@
+//! Program-level operations and their outcomes.
+//!
+//! A [`crate::Program`] communicates with the [`crate::Machine`] through a
+//! peek/apply protocol: [`Program::peek`](crate::Program::peek) exposes the
+//! next operation the process wants to perform, and once the machine has
+//! executed it, [`Program::apply`](crate::Program::apply) delivers the
+//! [`Outcome`] so the program can advance its local state.
+
+use crate::ids::{Value, VarId};
+
+/// The next operation a program wants to perform.
+///
+/// `Op` is the *program-order* view; how an operation maps to shared-memory
+/// events is decided by the TSO machine (e.g. a [`Op::Write`] only issues
+/// into the write buffer, and a [`Op::Fence`] expands into a `BeginFence`,
+/// a run of write commits, and an `EndFence`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Read a shared variable. Served from the process' own write buffer
+    /// when it holds a pending write to the variable, otherwise from memory.
+    Read(VarId),
+    /// Write a value to a shared variable. The write is placed in the write
+    /// buffer (replacing, in place, any pending write to the same variable)
+    /// and becomes visible only when committed.
+    Write(VarId, Value),
+    /// Atomic compare-and-swap. Comparison primitives carry fence semantics
+    /// on TSO hardware (e.g. x86 `LOCK CMPXCHG` drains the store buffer), so
+    /// the machine drains the issuer's write buffer before executing the
+    /// operation and accounts one completed fence for it.
+    Cas {
+        /// Variable operated on.
+        var: VarId,
+        /// Value the variable must hold for the swap to succeed.
+        expected: Value,
+        /// Value stored on success.
+        new: Value,
+    },
+    /// Memory fence: force all buffered writes to commit, in issue order.
+    Fence,
+    /// Transition from the non-critical section to the entry section.
+    Enter,
+    /// Transition from the entry section to the exit section (the critical
+    /// section itself is instantaneous, as in the paper).
+    Cs,
+    /// Transition from the exit section back to the non-critical section,
+    /// completing a passage.
+    Exit,
+    /// Begin an operation on an implemented object (used by the object
+    /// programs of Section 5; a no-op on shared memory).
+    Invoke {
+        /// Operation code, algorithm-defined (e.g. 0 = `fetch&increment`).
+        op: u32,
+        /// Operation argument (e.g. the value to enqueue).
+        arg: Value,
+    },
+    /// Complete an operation on an implemented object with a result value.
+    Return(Value),
+    /// The program has terminated; the process must not be scheduled again.
+    Halt,
+}
+
+impl Op {
+    /// Returns `true` for the three mutual-exclusion transition operations.
+    pub fn is_transition(self) -> bool {
+        matches!(self, Op::Enter | Op::Cs | Op::Exit)
+    }
+
+    /// Returns the variable this operation touches, if any.
+    pub fn var(self) -> Option<VarId> {
+        match self {
+            Op::Read(v) | Op::Write(v, _) | Op::Cas { var: v, .. } => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// What the machine reports back to a program after executing its operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The value returned by a [`Op::Read`].
+    ReadValue(Value),
+    /// A [`Op::Write`] was issued into the write buffer.
+    WriteIssued,
+    /// Result of a [`Op::Cas`].
+    CasResult {
+        /// Whether the swap took place.
+        success: bool,
+        /// The value observed in the variable (the pre-swap value).
+        observed: Value,
+    },
+    /// A [`Op::Fence`] has completed (the `EndFence` event executed).
+    FenceDone,
+    /// A transition, invoke or return event executed.
+    Progressed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_classification() {
+        assert!(Op::Enter.is_transition());
+        assert!(Op::Cs.is_transition());
+        assert!(Op::Exit.is_transition());
+        assert!(!Op::Fence.is_transition());
+        assert!(!Op::Read(VarId(0)).is_transition());
+    }
+
+    #[test]
+    fn op_var_extraction() {
+        assert_eq!(Op::Read(VarId(4)).var(), Some(VarId(4)));
+        assert_eq!(Op::Write(VarId(2), 9).var(), Some(VarId(2)));
+        assert_eq!(
+            Op::Cas { var: VarId(1), expected: 0, new: 1 }.var(),
+            Some(VarId(1))
+        );
+        assert_eq!(Op::Fence.var(), None);
+        assert_eq!(Op::Halt.var(), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! The program and system abstractions.
+//!
+//! An algorithm is packaged as a [`System`]: a factory that declares the
+//! shared-variable layout for `n` processes and spawns one deterministic
+//! [`Program`] per process. Determinism is essential: the lower-bound
+//! adversary *erases* processes by replaying a filtered schedule against
+//! freshly spawned programs (see [`mod@crate::erase`]), which is only meaningful
+//! if a program's behaviour is a function of the outcomes it has received.
+
+use crate::ids::{ProcId, Value};
+use crate::op::{Op, Outcome};
+use crate::vars::VarSpec;
+
+/// A deterministic per-process step machine.
+///
+/// The machine drives a program through a peek/apply protocol:
+///
+/// 1. [`Program::peek`] returns the next operation in program order without
+///    executing it (the adversary uses this to decide scheduling);
+/// 2. after the machine executes the operation, [`Program::apply`] delivers
+///    the [`Outcome`] and the program advances.
+///
+/// `peek` must be pure: calling it repeatedly without an intervening
+/// `apply` must return the same operation. A program whose `peek` returns
+/// [`Op::Halt`] is finished and is never scheduled again.
+pub trait Program {
+    /// The next operation this process wants to perform.
+    fn peek(&self) -> Op;
+
+    /// Advances the program state with the outcome of the operation that
+    /// `peek` reported.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `outcome` is not a valid response to
+    /// the currently peeked operation (this indicates a machine bug).
+    fn apply(&mut self, outcome: Outcome);
+
+    /// Diagnostic access to a named local register, for tests and litmus
+    /// harnesses. Returns `None` if the program has no such register.
+    fn register(&self, index: usize) -> Option<Value> {
+        let _ = index;
+        None
+    }
+}
+
+/// An `n`-process algorithm instance: variable layout plus a program
+/// factory.
+pub trait System {
+    /// Number of processes.
+    fn n(&self) -> usize;
+
+    /// The shared-variable layout (count, initial values, DSM ownership).
+    fn vars(&self) -> VarSpec;
+
+    /// Spawns the program for process `pid`. Must be deterministic: every
+    /// call with the same `pid` returns a behaviourally identical program.
+    fn program(&self, pid: ProcId) -> Box<dyn Program>;
+
+    /// Human-readable algorithm name (used in experiment output).
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+impl<S: System + ?Sized> System for &S {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn vars(&self) -> VarSpec {
+        (**self).vars()
+    }
+    fn program(&self, pid: ProcId) -> Box<dyn Program> {
+        (**self).program(pid)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<S: System + ?Sized> System for Box<S> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn vars(&self) -> VarSpec {
+        (**self).vars()
+    }
+    fn program(&self, pid: ProcId) -> Box<dyn Program> {
+        (**self).program(pid)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scripted::{Instr, ScriptSystem};
+
+    #[test]
+    fn system_is_usable_through_references_and_boxes() {
+        let sys = ScriptSystem::new(2, 1, |_| vec![Instr::Halt]);
+        fn takes_system<S: System>(s: S) -> usize {
+            s.n()
+        }
+        assert_eq!(takes_system(&sys), 2);
+        let boxed: Box<dyn System> = Box::new(sys);
+        assert_eq!(takes_system(&boxed), 2);
+        assert_eq!(boxed.vars().count(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Schedule generators and run helpers.
+//!
+//! The lower-bound adversary builds its own schedules; the helpers here
+//! serve the *correctness* side of the repository: driving algorithms under
+//! round-robin and (seeded, reproducible) random schedules to test mutual
+//! exclusion, progress, and object semantics under TSO.
+//!
+//! The substrate stays dependency-free, so randomness comes from a small
+//! xorshift generator rather than the `rand` crate (which is used in the
+//! test and bench crates instead).
+
+use crate::ids::ProcId;
+use crate::machine::{Directive, Machine, MemoryModel, NextEvent, StepError};
+use crate::program::System;
+
+/// When the scheduler volunteers write commits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommitPolicy {
+    /// Never commit outside fences — the adversary's policy in the paper:
+    /// writes stay buffered as long as possible.
+    Lazy,
+    /// Commit each process' buffer fully after every issued event —
+    /// approximates a sequentially consistent machine.
+    Eager,
+    /// Commit with probability `num / 256` after each issued event (per
+    /// pending write), driven by the run's seeded generator.
+    Random {
+        /// Numerator of the commit probability over 256.
+        num: u8,
+    },
+}
+
+/// Outcome statistics of a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Total directives executed.
+    pub steps: usize,
+    /// Whether every process halted before the budget ran out.
+    pub all_halted: bool,
+}
+
+/// A tiny deterministic xorshift64* generator.
+#[derive(Clone, Debug)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Seeds the generator; a zero seed is mapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Bernoulli with probability `num/256`.
+    pub fn chance(&mut self, num: u8) -> bool {
+        (self.next_u64() & 0xFF) < num as u64
+    }
+}
+
+/// Runs every process round-robin until all halt or `max_steps` directives
+/// execute.
+///
+/// # Errors
+///
+/// Propagates the first [`StepError`] other than skipped-halted processes.
+pub fn run_round_robin<S: System + ?Sized>(
+    system: &S,
+    policy: CommitPolicy,
+    max_steps: usize,
+) -> Result<(Machine, RunStats), StepError> {
+    let mut machine = Machine::new(system);
+    let stats = drive_round_robin(&mut machine, policy, max_steps)?;
+    Ok((machine, stats))
+}
+
+/// Round-robin driver over an existing machine (resumes where it is).
+///
+/// # Errors
+///
+/// Propagates the first [`StepError`].
+pub fn drive_round_robin(
+    machine: &mut Machine,
+    policy: CommitPolicy,
+    max_steps: usize,
+) -> Result<RunStats, StepError> {
+    let n = machine.n();
+    let mut rng = XorShift::new(0xC0FFEE);
+    let mut steps = 0;
+    loop {
+        let mut any = false;
+        for i in 0..n {
+            let p = ProcId(i as u32);
+            if machine.peek_next(p) == NextEvent::Halted {
+                continue;
+            }
+            if steps >= max_steps {
+                return Ok(RunStats { steps, all_halted: false });
+            }
+            machine.step(Directive::Issue(p))?;
+            steps += 1;
+            any = true;
+            match policy {
+                CommitPolicy::Lazy => {}
+                CommitPolicy::Eager => {
+                    while !machine.buffer_empty(p) && steps < max_steps {
+                        machine.step(Directive::Commit(p))?;
+                        steps += 1;
+                    }
+                }
+                CommitPolicy::Random { num } => {
+                    while !machine.buffer_empty(p) && rng.chance(num) && steps < max_steps {
+                        machine.step(Directive::Commit(p))?;
+                        steps += 1;
+                    }
+                }
+            }
+        }
+        if !any {
+            return Ok(RunStats { steps, all_halted: true });
+        }
+    }
+}
+
+/// Runs a seeded uniformly random schedule: each step picks a random
+/// non-halted process and issues it; pending writes are committed according
+/// to `policy`.
+///
+/// # Errors
+///
+/// Propagates the first [`StepError`].
+pub fn run_random<S: System + ?Sized>(
+    system: &S,
+    seed: u64,
+    policy: CommitPolicy,
+    max_steps: usize,
+) -> Result<(Machine, RunStats), StepError> {
+    let mut machine = Machine::new(system);
+    let stats = drive_random(&mut machine, seed, policy, max_steps)?;
+    Ok((machine, stats))
+}
+
+/// Like [`run_random`], but on a machine with the given store-ordering
+/// model. Under [`MemoryModel::Pso`] the driver commits a *random* pending
+/// write (not necessarily the oldest), exercising the write-write
+/// reorderings PSO permits.
+///
+/// # Errors
+///
+/// Propagates the first [`StepError`].
+pub fn run_random_with_model<S: System + ?Sized>(
+    system: &S,
+    model: MemoryModel,
+    seed: u64,
+    policy: CommitPolicy,
+    max_steps: usize,
+) -> Result<(Machine, RunStats), StepError> {
+    let mut machine = Machine::with_model(system, model);
+    let stats = drive_random(&mut machine, seed, policy, max_steps)?;
+    Ok((machine, stats))
+}
+
+/// Random driver over an existing machine.
+///
+/// # Errors
+///
+/// Propagates the first [`StepError`].
+pub fn drive_random(
+    machine: &mut Machine,
+    seed: u64,
+    policy: CommitPolicy,
+    max_steps: usize,
+) -> Result<RunStats, StepError> {
+    let n = machine.n();
+    let mut rng = XorShift::new(seed);
+    let mut steps = 0;
+    while steps < max_steps {
+        // Collect runnable processes (non-halted, or with pending commits).
+        let runnable: Vec<ProcId> = (0..n)
+            .map(|i| ProcId(i as u32))
+            .filter(|&p| {
+                machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p)
+            })
+            .collect();
+        if runnable.is_empty() {
+            return Ok(RunStats { steps, all_halted: true });
+        }
+        let p = runnable[rng.below(runnable.len())];
+        let can_commit = !machine.buffer_empty(p);
+        let halted = machine.peek_next(p) == NextEvent::Halted;
+        let commit = can_commit
+            && (halted
+                || match policy {
+                    CommitPolicy::Lazy => false,
+                    CommitPolicy::Eager => true,
+                    CommitPolicy::Random { num } => rng.chance(num),
+                });
+        if commit || halted {
+            // Halted with pending writes under Lazy: flush them so the run
+            // can quiesce. Under PSO, commit a random pending write so the
+            // schedule explores write-write reorderings.
+            let d = if machine.model() == MemoryModel::Pso {
+                let pending = machine.pending_vars(p);
+                Directive::CommitVar(p, pending[rng.below(pending.len())])
+            } else {
+                Directive::Commit(p)
+            };
+            machine.step(d)?;
+        } else {
+            machine.step(Directive::Issue(p))?;
+        }
+        steps += 1;
+    }
+    Ok(RunStats { steps, all_halted: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scripted::{Instr, ScriptSystem};
+
+    fn writer_system(n: usize) -> ScriptSystem {
+        ScriptSystem::new(n, n, |pid| {
+            vec![
+                Instr::Write { var: pid.0, value: u64::from(pid.0) + 1 },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        })
+    }
+
+    #[test]
+    fn round_robin_runs_to_quiescence() {
+        let sys = writer_system(4);
+        let (m, stats) = run_round_robin(&sys, CommitPolicy::Lazy, 10_000).unwrap();
+        assert!(stats.all_halted);
+        for i in 0..4u32 {
+            assert_eq!(m.value(crate::ids::VarId(i)), u64::from(i) + 1);
+        }
+    }
+
+    #[test]
+    fn eager_policy_commits_promptly() {
+        let sys = ScriptSystem::new(1, 1, |_| {
+            vec![Instr::Write { var: 0, value: 5 }, Instr::Halt]
+        });
+        let (m, _) = run_round_robin(&sys, CommitPolicy::Eager, 100).unwrap();
+        assert_eq!(m.value(crate::ids::VarId(0)), 5, "eager commit made the write visible");
+    }
+
+    #[test]
+    fn lazy_policy_leaves_writes_buffered() {
+        let sys = ScriptSystem::new(1, 1, |_| {
+            vec![Instr::Write { var: 0, value: 5 }, Instr::Halt]
+        });
+        let (m, stats) = run_round_robin(&sys, CommitPolicy::Lazy, 100).unwrap();
+        assert!(stats.all_halted);
+        assert_eq!(m.value(crate::ids::VarId(0)), 0, "no fence, no visibility");
+        assert_eq!(m.buffer_len(ProcId(0)), 1);
+    }
+
+    #[test]
+    fn random_schedules_are_reproducible() {
+        let sys = writer_system(6);
+        let (a, _) = run_random(&sys, 42, CommitPolicy::Random { num: 64 }, 10_000).unwrap();
+        let (b, _) = run_random(&sys, 42, CommitPolicy::Random { num: 64 }, 10_000).unwrap();
+        let ka: Vec<_> = a.log().iter().map(|e| (e.pid, e.kind)).collect();
+        let kb: Vec<_> = b.log().iter().map(|e| (e.pid, e.kind)).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn random_schedules_differ_across_seeds() {
+        let sys = writer_system(6);
+        let (a, _) = run_random(&sys, 1, CommitPolicy::Random { num: 64 }, 10_000).unwrap();
+        let (b, _) = run_random(&sys, 2, CommitPolicy::Random { num: 64 }, 10_000).unwrap();
+        let ka: Vec<_> = a.log().iter().map(|e| (e.pid, e.kind)).collect();
+        let kb: Vec<_> = b.log().iter().map(|e| (e.pid, e.kind)).collect();
+        assert_ne!(ka, kb, "different seeds should give different interleavings");
+    }
+
+    #[test]
+    fn xorshift_below_is_in_range() {
+        let mut rng = XorShift::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn random_run_quiesces_flushing_stragglers() {
+        let sys = writer_system(3);
+        let (m, stats) = run_random(&sys, 9, CommitPolicy::Lazy, 100_000).unwrap();
+        assert!(stats.all_halted);
+        // Halted processes' buffers were flushed.
+        for i in 0..3 {
+            assert!(m.buffer_empty(ProcId(i)));
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! A tiny scripted program interpreter.
+//!
+//! Hand-writing a [`Program`] state machine is the right tool for real
+//! algorithms (see the `tpa-algos` crate), but tests, litmus harnesses and
+//! simple workloads are much clearer as short instruction scripts. A
+//! [`ScriptProgram`] interprets a list of [`Instr`]s; local control-flow
+//! instructions (jumps, register moves) are resolved eagerly between
+//! shared-memory operations so that every [`Program::peek`] exposes an
+//! actual machine operation.
+
+use std::sync::Arc;
+
+use crate::ids::{ProcId, Value, VarId};
+use crate::op::{Op, Outcome};
+use crate::program::{Program, System};
+use crate::vars::VarSpec;
+
+/// Number of registers available to a script.
+pub const REGS: usize = 16;
+
+/// One scripted instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// Read `var` into register `reg`.
+    Read {
+        /// Variable index.
+        var: u32,
+        /// Destination register.
+        reg: usize,
+    },
+    /// Read the variable `base + regs[idx_reg]` into `reg`.
+    ReadIdx {
+        /// Array base variable index.
+        base: u32,
+        /// Register holding the element offset.
+        idx_reg: usize,
+        /// Destination register.
+        reg: usize,
+    },
+    /// Write a constant to `var`.
+    Write {
+        /// Variable index.
+        var: u32,
+        /// Value to write.
+        value: Value,
+    },
+    /// Write the value of register `reg` to `var`.
+    WriteReg {
+        /// Variable index.
+        var: u32,
+        /// Source register.
+        reg: usize,
+    },
+    /// Write the value of `reg` to the variable `base + regs[idx_reg]`.
+    WriteIdx {
+        /// Array base variable index.
+        base: u32,
+        /// Register holding the element offset.
+        idx_reg: usize,
+        /// Source register.
+        reg: usize,
+    },
+    /// Compare-and-swap on `var`; stores 1 (success) or 0 into
+    /// `success_reg` and the observed value into `success_reg + 1`.
+    Cas {
+        /// Variable index.
+        var: u32,
+        /// Expected value.
+        expected: Value,
+        /// Replacement value.
+        new: Value,
+        /// Register receiving the success flag.
+        success_reg: usize,
+    },
+    /// Memory fence.
+    Fence,
+    /// `Enter` transition.
+    Enter,
+    /// `CS` transition.
+    Cs,
+    /// `Exit` transition.
+    Exit,
+    /// Begin an object operation.
+    Invoke {
+        /// Operation code.
+        op: u32,
+        /// Argument.
+        arg: Value,
+    },
+    /// Complete an object operation with the value in `reg`.
+    ReturnReg {
+        /// Register holding the result value.
+        reg: usize,
+    },
+    /// `regs[reg] = value` (local, resolved eagerly).
+    SetReg {
+        /// Destination register.
+        reg: usize,
+        /// Constant.
+        value: Value,
+    },
+    /// `regs[dst] = regs[src]` (local).
+    CopyReg {
+        /// Destination register.
+        dst: usize,
+        /// Source register.
+        src: usize,
+    },
+    /// `regs[reg] += delta` (wrapping; local).
+    AddConst {
+        /// Register to modify.
+        reg: usize,
+        /// Signed delta.
+        delta: i64,
+    },
+    /// Jump to `target` if `regs[reg] == 0` (local).
+    JumpIfZero {
+        /// Register tested.
+        reg: usize,
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Jump to `target` if `regs[reg] != 0` (local).
+    JumpIfNonZero {
+        /// Register tested.
+        reg: usize,
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Jump to `target` if `regs[a] == regs[b]` (local).
+    JumpIfEq {
+        /// First register.
+        a: usize,
+        /// Second register.
+        b: usize,
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Unconditional jump (local).
+    Jump {
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Stop the program.
+    Halt,
+}
+
+/// A program interpreting a fixed instruction list.
+#[derive(Clone, Debug)]
+pub struct ScriptProgram {
+    code: Arc<Vec<Instr>>,
+    pc: usize,
+    regs: [Value; REGS],
+    halted: bool,
+}
+
+impl ScriptProgram {
+    /// Creates a program at instruction 0 with zeroed registers.
+    pub fn new(code: Arc<Vec<Instr>>) -> Self {
+        let mut p = ScriptProgram { code, pc: 0, regs: [0; REGS], halted: false };
+        p.resolve_local();
+        p
+    }
+
+    /// Executes local instructions (jumps, register ops) until the program
+    /// counter rests on an effectful instruction or the program halts.
+    fn resolve_local(&mut self) {
+        loop {
+            if self.pc >= self.code.len() {
+                self.halted = true;
+                return;
+            }
+            match self.code[self.pc] {
+                Instr::SetReg { reg, value } => {
+                    self.regs[reg] = value;
+                    self.pc += 1;
+                }
+                Instr::CopyReg { dst, src } => {
+                    self.regs[dst] = self.regs[src];
+                    self.pc += 1;
+                }
+                Instr::AddConst { reg, delta } => {
+                    self.regs[reg] = self.regs[reg].wrapping_add_signed(delta);
+                    self.pc += 1;
+                }
+                Instr::JumpIfZero { reg, target } => {
+                    self.pc = if self.regs[reg] == 0 { target } else { self.pc + 1 };
+                }
+                Instr::JumpIfNonZero { reg, target } => {
+                    self.pc = if self.regs[reg] != 0 { target } else { self.pc + 1 };
+                }
+                Instr::JumpIfEq { a, b, target } => {
+                    self.pc =
+                        if self.regs[a] == self.regs[b] { target } else { self.pc + 1 };
+                }
+                Instr::Jump { target } => self.pc = target,
+                Instr::Halt => {
+                    self.halted = true;
+                    return;
+                }
+                _ => return, // effectful instruction: stop resolving
+            }
+        }
+    }
+
+    fn var_of(&self, base: u32, idx_reg: usize) -> VarId {
+        VarId(base + self.regs[idx_reg] as u32)
+    }
+}
+
+impl Program for ScriptProgram {
+    fn peek(&self) -> Op {
+        if self.halted {
+            return Op::Halt;
+        }
+        match self.code[self.pc] {
+            Instr::Read { var, .. } => Op::Read(VarId(var)),
+            Instr::ReadIdx { base, idx_reg, .. } => Op::Read(self.var_of(base, idx_reg)),
+            Instr::Write { var, value } => Op::Write(VarId(var), value),
+            Instr::WriteReg { var, reg } => Op::Write(VarId(var), self.regs[reg]),
+            Instr::WriteIdx { base, idx_reg, reg } => {
+                Op::Write(self.var_of(base, idx_reg), self.regs[reg])
+            }
+            Instr::Cas { var, expected, new, .. } => {
+                Op::Cas { var: VarId(var), expected, new }
+            }
+            Instr::Fence => Op::Fence,
+            Instr::Enter => Op::Enter,
+            Instr::Cs => Op::Cs,
+            Instr::Exit => Op::Exit,
+            Instr::Invoke { op, arg } => Op::Invoke { op, arg },
+            Instr::ReturnReg { reg } => Op::Return(self.regs[reg]),
+            _ => unreachable!("local instructions are resolved eagerly"),
+        }
+    }
+
+    fn apply(&mut self, outcome: Outcome) {
+        debug_assert!(!self.halted, "apply on a halted script");
+        match (self.code[self.pc], outcome) {
+            (Instr::Read { reg, .. }, Outcome::ReadValue(v))
+            | (Instr::ReadIdx { reg, .. }, Outcome::ReadValue(v)) => self.regs[reg] = v,
+            (Instr::Cas { success_reg, .. }, Outcome::CasResult { success, observed }) => {
+                self.regs[success_reg] = success as Value;
+                if success_reg + 1 < REGS {
+                    self.regs[success_reg + 1] = observed;
+                }
+            }
+            (
+                Instr::Write { .. } | Instr::WriteReg { .. } | Instr::WriteIdx { .. },
+                Outcome::WriteIssued,
+            ) => {}
+            (Instr::Fence, Outcome::FenceDone) => {}
+            (
+                Instr::Enter
+                | Instr::Cs
+                | Instr::Exit
+                | Instr::Invoke { .. }
+                | Instr::ReturnReg { .. },
+                Outcome::Progressed,
+            ) => {}
+            (instr, outcome) => {
+                panic!("outcome {outcome:?} does not match instruction {instr:?}")
+            }
+        }
+        self.pc += 1;
+        self.resolve_local();
+    }
+
+    fn register(&self, index: usize) -> Option<Value> {
+        self.regs.get(index).copied()
+    }
+}
+
+/// Convenience constructor for a boxed [`ScriptProgram`].
+pub fn script(code: Vec<Instr>) -> Box<dyn Program> {
+    Box::new(ScriptProgram::new(Arc::new(code)))
+}
+
+/// A [`System`] whose processes each run a fixed script over `var_count`
+/// remote variables initialised to zero.
+pub struct ScriptSystem {
+    scripts: Vec<Arc<Vec<Instr>>>,
+    var_count: usize,
+    name: String,
+}
+
+impl ScriptSystem {
+    /// Builds an `n`-process system; `gen` produces the script of each
+    /// process.
+    pub fn new(n: usize, var_count: usize, mut gen: impl FnMut(ProcId) -> Vec<Instr>) -> Self {
+        let scripts = (0..n).map(|i| Arc::new(gen(ProcId(i as u32)))).collect();
+        ScriptSystem { scripts, var_count, name: "scripted".to_owned() }
+    }
+
+    /// Sets a diagnostic name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl System for ScriptSystem {
+    fn n(&self) -> usize {
+        self.scripts.len()
+    }
+
+    fn vars(&self) -> VarSpec {
+        VarSpec::remote(self.var_count)
+    }
+
+    fn program(&self, pid: ProcId) -> Box<dyn Program> {
+        Box::new(ScriptProgram::new(Arc::clone(&self.scripts[pid.index()])))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Directive, Machine};
+
+    #[test]
+    fn local_instructions_resolve_eagerly() {
+        let p = ScriptProgram::new(Arc::new(vec![
+            Instr::SetReg { reg: 0, value: 5 },
+            Instr::AddConst { reg: 0, delta: -2 },
+            Instr::WriteReg { var: 0, reg: 0 },
+            Instr::Halt,
+        ]));
+        assert_eq!(p.peek(), Op::Write(VarId(0), 3));
+    }
+
+    #[test]
+    fn loop_over_array_reads() {
+        // Sum v0..v2 into r1 using an index loop.
+        let sys = ScriptSystem::new(1, 3, |_| {
+            vec![
+                Instr::SetReg { reg: 0, value: 0 },  // i = 0
+                Instr::SetReg { reg: 3, value: 3 },  // bound
+                // loop:
+                Instr::ReadIdx { base: 0, idx_reg: 0, reg: 2 }, // r2 = v[i]   (index 2)
+                Instr::AddConst { reg: 1, delta: 0 },           // placeholder (r1 += r2 below)
+                Instr::CopyReg { dst: 4, src: 1 },
+                Instr::AddConst { reg: 0, delta: 1 },           // i += 1
+                Instr::JumpIfEq { a: 0, b: 3, target: 8 },
+                Instr::Jump { target: 2 },
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        let p = ProcId(0);
+        let mut reads = 0;
+        while m.peek_next(p) != crate::machine::NextEvent::Halted {
+            m.step(Directive::Issue(p)).unwrap();
+            reads += 1;
+        }
+        assert_eq!(reads, 3, "exactly three shared reads execute");
+    }
+
+    #[test]
+    fn scripts_are_deterministic_across_spawns() {
+        let sys = ScriptSystem::new(1, 1, |_| {
+            vec![Instr::Read { var: 0, reg: 0 }, Instr::Write { var: 0, value: 1 }, Instr::Halt]
+        });
+        let a = sys.program(ProcId(0));
+        let b = sys.program(ProcId(0));
+        assert_eq!(a.peek(), b.peek());
+    }
+
+    #[test]
+    fn empty_script_halts_immediately() {
+        let p = ScriptProgram::new(Arc::new(vec![]));
+        assert_eq!(p.peek(), Op::Halt);
+    }
+
+    #[test]
+    fn halted_at_end_of_code_without_explicit_halt() {
+        let sys = ScriptSystem::new(1, 1, |_| vec![Instr::Write { var: 0, value: 1 }]);
+        let mut m = Machine::new(&sys);
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        assert_eq!(m.peek_next(ProcId(0)), crate::machine::NextEvent::Halted);
+    }
+}

@@ -1,0 +1,198 @@
+//! Schedule minimisation (delta debugging).
+//!
+//! When a randomized search finds a schedule exhibiting a property — an
+//! exclusion violation, a reordering outcome — the raw directive sequence
+//! is full of noise. [`shrink_schedule`] reduces it to a (locally) minimal
+//! subsequence that still exhibits the property, using ddmin-style chunk
+//! removal followed by a one-by-one pass.
+//!
+//! A candidate subsequence is *replayed from scratch*; directives that
+//! error during replay (e.g. a commit whose write was never issued because
+//! an earlier directive was removed) disqualify the candidate rather than
+//! abort the search.
+
+use crate::ids::ProcId;
+use crate::machine::{Directive, Machine, MemoryModel};
+use crate::program::System;
+
+/// Replays `directives`, returning `true` if `property` held after any
+/// step. Replay errors (from removed dependencies) yield `false`.
+fn exhibits<S: System + ?Sized>(
+    system: &S,
+    model: MemoryModel,
+    directives: &[Directive],
+    property: &dyn Fn(&Machine) -> bool,
+) -> bool {
+    let mut machine = Machine::with_model(system, model);
+    if property(&machine) {
+        return true;
+    }
+    for d in directives {
+        if machine.step(*d).is_err() {
+            return false;
+        }
+        if property(&machine) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Minimises `directives` to a locally minimal subsequence that still
+/// exhibits `property` at some point during replay.
+///
+/// Returns the input unchanged if it does not exhibit the property.
+///
+/// ```
+/// use tpa_tso::scripted::{Instr, ScriptSystem};
+/// use tpa_tso::shrink::shrink_schedule;
+/// use tpa_tso::{Directive, MemoryModel, ProcId, VarId};
+///
+/// let sys = ScriptSystem::new(2, 1, |pid| {
+///     if pid.0 == 0 {
+///         vec![Instr::Write { var: 0, value: 9 }, Instr::Fence, Instr::Halt]
+///     } else {
+///         vec![Instr::Read { var: 0, reg: 0 }, Instr::Halt]
+///     }
+/// });
+/// // A noisy schedule reaching v0 == 9; p1's read is irrelevant noise.
+/// let noisy = vec![
+///     Directive::Issue(ProcId(1)),
+///     Directive::Issue(ProcId(0)),
+///     Directive::Issue(ProcId(0)),
+///     Directive::Issue(ProcId(0)),
+/// ];
+/// let shrunk = shrink_schedule(&sys, MemoryModel::Tso, &noisy,
+///     |m| m.value(VarId(0)) == 9);
+/// assert!(shrunk.iter().all(|d| d.pid() == ProcId(0)));
+/// ```
+pub fn shrink_schedule<S: System + ?Sized>(
+    system: &S,
+    model: MemoryModel,
+    directives: &[Directive],
+    property: impl Fn(&Machine) -> bool,
+) -> Vec<Directive> {
+    let property: &dyn Fn(&Machine) -> bool = &property;
+    let mut current: Vec<Directive> = directives.to_vec();
+    if !exhibits(system, model, &current, property) {
+        return current;
+    }
+
+    // ddmin-style: try removing chunks of shrinking size.
+    let mut chunk = current.len().div_ceil(2).max(1);
+    while chunk >= 1 {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<Directive> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if !candidate.is_empty() && exhibits(system, model, &candidate, property) {
+                current = candidate;
+                removed_any = true;
+                // Do not advance: the next chunk now occupies `start`.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+    }
+    current
+}
+
+/// Convenience property: more than one process has its `CS` transition
+/// enabled — the paper's mutual-exclusion violation witness.
+pub fn exclusion_violated(machine: &Machine) -> bool {
+    let mut enabled = 0;
+    for i in 0..machine.n() {
+        if machine.peek_next(ProcId(i as u32))
+            == crate::machine::NextEvent::Transition(crate::op::Op::Cs)
+        {
+            enabled += 1;
+            if enabled > 1 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+    use crate::scripted::{Instr, ScriptSystem};
+
+    /// Property: v0 holds 42.
+    fn v0_is_42(m: &Machine) -> bool {
+        m.value(VarId(0)) == 42
+    }
+
+    fn writer_system() -> ScriptSystem {
+        ScriptSystem::new(2, 2, |pid| {
+            if pid.0 == 0 {
+                vec![
+                    Instr::Write { var: 1, value: 7 },
+                    Instr::Write { var: 0, value: 42 },
+                    Instr::Fence,
+                    Instr::Halt,
+                ]
+            } else {
+                vec![Instr::Read { var: 1, reg: 0 }, Instr::Read { var: 0, reg: 1 }, Instr::Halt]
+            }
+        })
+    }
+
+    #[test]
+    fn shrinks_to_the_essential_prefix() {
+        let sys = writer_system();
+        // A noisy schedule: interleave p1's reads everywhere.
+        let p0 = ProcId(0);
+        let p1 = ProcId(1);
+        let noisy = vec![
+            Directive::Issue(p1),
+            Directive::Issue(p0), // issue v1
+            Directive::Issue(p1),
+            Directive::Issue(p0), // issue v0
+            Directive::Issue(p0), // BeginFence
+            Directive::Issue(p0), // commit v1
+            Directive::Issue(p0), // commit v0 -> property holds
+            Directive::Issue(p0), // EndFence
+        ];
+        assert!(exhibits(&sys, MemoryModel::Tso, &noisy, &v0_is_42));
+        let shrunk = shrink_schedule(&sys, MemoryModel::Tso, &noisy, v0_is_42);
+        assert!(exhibits(&sys, MemoryModel::Tso, &shrunk, &v0_is_42));
+        assert!(shrunk.len() < noisy.len(), "{shrunk:?}");
+        // Minimal: both issues + two commits (or fence-drains) are needed.
+        assert!(shrunk.len() <= 5, "{shrunk:?}");
+        assert!(shrunk.iter().all(|d| d.pid() == p0), "p1's noise removed");
+    }
+
+    #[test]
+    fn non_exhibiting_input_is_returned_unchanged() {
+        let sys = writer_system();
+        let sched = vec![Directive::Issue(ProcId(1))];
+        let out = shrink_schedule(&sys, MemoryModel::Tso, &sched, v0_is_42);
+        assert_eq!(out, sched);
+    }
+
+    #[test]
+    fn exclusion_violated_counts_cs_enabled() {
+        let sys = ScriptSystem::new(2, 1, |_| {
+            vec![Instr::Enter, Instr::Cs, Instr::Exit, Instr::Halt]
+        });
+        let mut m = Machine::new(&sys);
+        assert!(!exclusion_violated(&m));
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(1))).unwrap();
+        assert!(exclusion_violated(&m));
+    }
+}

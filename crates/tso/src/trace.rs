@@ -1,0 +1,146 @@
+//! Human-readable execution rendering.
+//!
+//! Turns an event log into a per-process timeline (one column per
+//! process, one row per event) or a compact annotated listing — the
+//! format used by the `adversary_trace` example and invaluable when
+//! debugging algorithms or the construction.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind, ReadSource};
+use crate::ids::ProcId;
+
+fn short(kind: &EventKind, critical: bool) -> String {
+    let c = if critical { "!" } else { "" };
+    match kind {
+        EventKind::Read { var, value, source: ReadSource::Memory } => {
+            format!("r{c}({var})={value}")
+        }
+        EventKind::Read { var, value, source: ReadSource::Buffer } => {
+            format!("rb({var})={value}")
+        }
+        EventKind::IssueWrite { var, value } => format!("w({var}:={value})"),
+        EventKind::CommitWrite { var, value } => format!("C{c}({var}:={value})"),
+        EventKind::BeginFence => "[fence".to_owned(),
+        EventKind::EndFence => "fence]".to_owned(),
+        EventKind::Cas { var, new, success, .. } => {
+            format!("cas{c}({var}:={new}){}", if *success { "+" } else { "-" })
+        }
+        EventKind::Enter => "ENTER".to_owned(),
+        EventKind::Cs => "**CS**".to_owned(),
+        EventKind::Exit => "EXIT".to_owned(),
+        EventKind::Invoke { op, arg } => format!("inv({op},{arg})"),
+        EventKind::Return { value } => format!("ret({value})"),
+    }
+}
+
+/// Renders the log as a timeline: one column per process in `0..n`, one
+/// row per event, events placed in their process' column.
+pub fn timeline(log: &[Event], n: usize) -> String {
+    let width = 14usize;
+    let mut out = String::new();
+    // Header.
+    let _ = write!(out, "{:>6} ", "seq");
+    for i in 0..n {
+        let _ = write!(out, "{:^width$}", format!("p{i}"));
+    }
+    out.push('\n');
+    let _ = write!(out, "{:>6} ", "");
+    for _ in 0..n {
+        let _ = write!(out, "{:^width$}", "-".repeat(width - 2));
+    }
+    out.push('\n');
+    for e in log {
+        let _ = write!(out, "{:>6} ", e.seq);
+        for i in 0..n {
+            if e.pid == ProcId(i as u32) {
+                let _ = write!(out, "{:^width$}", short(&e.kind, e.critical));
+            } else {
+                let _ = write!(out, "{:^width$}", "");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the log as a compact one-event-per-line listing.
+pub fn listing(log: &[Event]) -> String {
+    let mut out = String::new();
+    for e in log {
+        let _ = writeln!(out, "{e}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Directive, Machine};
+    use crate::scripted::{Instr, ScriptSystem};
+
+    fn sample_machine() -> Machine {
+        let sys = ScriptSystem::new(2, 1, |pid| {
+            vec![
+                Instr::Enter,
+                Instr::Write { var: 0, value: u64::from(pid.0) + 1 },
+                Instr::Fence,
+                Instr::Cs,
+                Instr::Exit,
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        m.run_solo(ProcId(0), 1, 100).unwrap();
+        m.run_solo(ProcId(1), 1, 100).unwrap();
+        m
+    }
+
+    #[test]
+    fn timeline_has_one_row_per_event_plus_header() {
+        let m = sample_machine();
+        let t = timeline(m.log(), 2);
+        assert_eq!(t.lines().count(), m.log().len() + 2);
+        assert!(t.contains("ENTER"));
+        assert!(t.contains("**CS**"));
+        assert!(t.contains("[fence"));
+    }
+
+    #[test]
+    fn listing_is_one_line_per_event() {
+        let m = sample_machine();
+        let l = listing(m.log());
+        assert_eq!(l.lines().count(), m.log().len());
+    }
+
+    #[test]
+    fn critical_events_are_marked() {
+        let sys = ScriptSystem::new(1, 1, |_| {
+            vec![Instr::Read { var: 0, reg: 0 }, Instr::Halt]
+        });
+        let mut m = Machine::new(&sys);
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        let t = timeline(m.log(), 1);
+        assert!(t.contains("r!(v0)=0"), "{t}");
+    }
+
+    #[test]
+    fn cas_success_and_failure_render_distinctly() {
+        let sys = ScriptSystem::new(1, 1, |_| {
+            vec![
+                Instr::Cas { var: 0, expected: 0, new: 1, success_reg: 0 },
+                Instr::Cas { var: 0, expected: 0, new: 2, success_reg: 1 },
+                Instr::Halt,
+            ]
+        });
+        let mut m = Machine::new(&sys);
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        m.step(Directive::Issue(ProcId(0))).unwrap();
+        let l = listing(m.log());
+        assert!(l.contains("true"));
+        assert!(l.contains("false"));
+        let t = timeline(m.log(), 1);
+        assert!(t.contains("+"), "{t}");
+        assert!(t.contains("-"), "{t}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Shared-variable layout and storage.
+//!
+//! A [`VarSpec`] declares how many variables a system uses, their initial
+//! values, and — for the DSM model — which process each variable is local
+//! to (`owner(v)`). In the CC model every variable is remote to all
+//! processes, expressed as `owner(v) = None`.
+
+use crate::awareness::AwSet;
+use crate::ids::{ProcId, Value, VarId};
+
+/// Static description of a system's shared variables.
+#[derive(Clone, Debug)]
+pub struct VarSpec {
+    owners: Vec<Option<ProcId>>,
+    init: Vec<Value>,
+    names: Vec<Option<String>>,
+}
+
+impl VarSpec {
+    /// A spec with `count` variables, all initialised to `0` and remote to
+    /// every process (the CC layout).
+    pub fn remote(count: usize) -> Self {
+        VarSpec { owners: vec![None; count], init: vec![0; count], names: vec![None; count] }
+    }
+
+    /// Starts building a spec incrementally.
+    pub fn builder() -> VarSpecBuilder {
+        VarSpecBuilder::default()
+    }
+
+    /// Number of variables.
+    pub fn count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// The process `v` is local to, if any.
+    pub fn owner(&self, v: VarId) -> Option<ProcId> {
+        self.owners[v.index()]
+    }
+
+    /// The initial value of `v`.
+    pub fn init_value(&self, v: VarId) -> Value {
+        self.init[v.index()]
+    }
+
+    /// Diagnostic name of `v`, if one was declared.
+    pub fn name(&self, v: VarId) -> Option<&str> {
+        self.names[v.index()].as_deref()
+    }
+}
+
+/// Incremental builder for [`VarSpec`] (one call per variable, returning its
+/// [`VarId`], so algorithm constructors can lay out their variables and
+/// remember the handles).
+#[derive(Clone, Debug, Default)]
+pub struct VarSpecBuilder {
+    owners: Vec<Option<ProcId>>,
+    init: Vec<Value>,
+    names: Vec<Option<String>>,
+}
+
+impl VarSpecBuilder {
+    /// Declares one variable and returns its id.
+    pub fn var(&mut self, name: impl Into<String>, init: Value, owner: Option<ProcId>) -> VarId {
+        let id = VarId(self.owners.len() as u32);
+        self.owners.push(owner);
+        self.init.push(init);
+        self.names.push(Some(name.into()));
+        id
+    }
+
+    /// Declares a contiguous array of `len` variables named `name[i]`, all
+    /// with the same initial value. `owner_of(i)` assigns per-element DSM
+    /// ownership. Returns the id of element 0; element `i` is at
+    /// `VarId(base.0 + i)`.
+    pub fn array(
+        &mut self,
+        name: &str,
+        len: usize,
+        init: Value,
+        mut owner_of: impl FnMut(usize) -> Option<ProcId>,
+    ) -> VarId {
+        let base = VarId(self.owners.len() as u32);
+        for i in 0..len {
+            self.owners.push(owner_of(i));
+            self.init.push(init);
+            self.names.push(Some(format!("{name}[{i}]")));
+        }
+        base
+    }
+
+    /// Finalises the spec.
+    pub fn build(self) -> VarSpec {
+        VarSpec { owners: self.owners, init: self.init, names: self.names }
+    }
+}
+
+/// Runtime state of one shared variable.
+#[derive(Clone, Debug)]
+pub(crate) struct VarState {
+    /// Current committed value.
+    pub value: Value,
+    /// Last process to commit a write (`writer(v, E)`), `None` if unwritten.
+    pub writer: Option<ProcId>,
+    /// Awareness snapshot carried by the last committed write (issue-time
+    /// awareness of the writer, per Definition 1).
+    pub writer_aw: AwSet,
+    /// Initial value (for erasure reverts).
+    pub initial: Value,
+    /// Full commit history `(writer, value, issue-time awareness)` — what
+    /// in-place erasure rewinds through.
+    pub history: Vec<(ProcId, Value, AwSet)>,
+}
+
+/// The committed shared memory: values plus `writer(v, E)` metadata.
+#[derive(Clone, Debug)]
+pub(crate) struct VarTable {
+    states: Vec<VarState>,
+}
+
+impl VarTable {
+    pub fn new(spec: &VarSpec) -> Self {
+        let states = (0..spec.count())
+            .map(|i| {
+                let initial = spec.init_value(VarId(i as u32));
+                VarState {
+                    value: initial,
+                    writer: None,
+                    writer_aw: AwSet::empty(),
+                    initial,
+                    history: Vec::new(),
+                }
+            })
+            .collect();
+        VarTable { states }
+    }
+
+    pub fn get(&self, v: VarId) -> &VarState {
+        &self.states[v.index()]
+    }
+
+    pub fn commit(&mut self, v: VarId, value: Value, writer: ProcId, writer_aw: AwSet) {
+        let s = &mut self.states[v.index()];
+        s.value = value;
+        s.writer = Some(writer);
+        s.writer_aw = writer_aw.clone();
+        s.history.push((writer, value, writer_aw));
+    }
+
+    /// Removes every commit by a process in `erased` from `v`'s history and
+    /// restores the latest surviving commit (or the initial value).
+    pub fn revert_erased(
+        &mut self,
+        v: VarId,
+        erased: &std::collections::BTreeSet<ProcId>,
+    ) {
+        let s = &mut self.states[v.index()];
+        if !s.history.iter().any(|(p, _, _)| erased.contains(p)) {
+            return;
+        }
+        s.history.retain(|(p, _, _)| !erased.contains(p));
+        match s.history.last() {
+            Some((p, value, aw)) => {
+                s.value = *value;
+                s.writer = Some(*p);
+                s.writer_aw = aw.clone();
+            }
+            None => {
+                s.value = s.initial;
+                s.writer = None;
+                s.writer_aw = AwSet::empty();
+            }
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_spec_defaults() {
+        let s = VarSpec::remote(3);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.owner(VarId(1)), None);
+        assert_eq!(s.init_value(VarId(2)), 0);
+        assert_eq!(s.name(VarId(0)), None);
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = VarSpec::builder();
+        let a = b.var("lock", 7, None);
+        let c = b.var("turn", 1, Some(ProcId(4)));
+        let spec = b.build();
+        assert_eq!(a, VarId(0));
+        assert_eq!(c, VarId(1));
+        assert_eq!(spec.init_value(a), 7);
+        assert_eq!(spec.owner(c), Some(ProcId(4)));
+        assert_eq!(spec.name(c), Some("turn"));
+    }
+
+    #[test]
+    fn array_layout_with_per_element_owner() {
+        let mut b = VarSpec::builder();
+        let base = b.array("spin", 4, 0, |i| Some(ProcId(i as u32)));
+        let spec = b.build();
+        assert_eq!(base, VarId(0));
+        assert_eq!(spec.count(), 4);
+        assert_eq!(spec.owner(VarId(2)), Some(ProcId(2)));
+        assert_eq!(spec.name(VarId(3)), Some("spin[3]"));
+    }
+
+    #[test]
+    fn var_table_tracks_writer_metadata() {
+        let spec = VarSpec::remote(2);
+        let mut t = VarTable::new(&spec);
+        assert_eq!(t.get(VarId(0)).writer, None);
+        t.commit(VarId(0), 5, ProcId(1), AwSet::singleton(ProcId(1)));
+        let s = t.get(VarId(0));
+        assert_eq!(s.value, 5);
+        assert_eq!(s.writer, Some(ProcId(1)));
+        assert!(s.writer_aw.contains(ProcId(1)));
+    }
+}

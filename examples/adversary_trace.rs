@@ -1,0 +1,63 @@
+//! Watch the lower-bound adversary work, phase by phase (Figure 1 live).
+//!
+//! ```sh
+//! cargo run --release --example adversary_trace -- [algo] [n]
+//! ```
+//! Defaults: `tournament 64`. Try `splitter 256` to see an adaptive
+//! read/write lock collapse after ~log log N rounds, or `bakery 32` to
+//! see the regularization phase burn the whole active set (the
+//! non-adaptive escape from the lower bound).
+
+use tpa::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let algo = args.next().unwrap_or_else(|| "tournament".into());
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    let Some(lock) = lock_by_name(&algo, n, 1) else {
+        eprintln!(
+            "unknown algorithm `{algo}`; available: {:?}",
+            all_locks(2, 1).iter().map(|l| l.name().to_owned()).collect::<Vec<_>>()
+        );
+        std::process::exit(1);
+    };
+
+    let cfg = Config { max_rounds: 16, check_invariants: true, ..Config::default() };
+    let outcome = match Construction::new(lock.as_ref(), cfg) {
+        Ok(c) => c.run(),
+        Err(e) => {
+            eprintln!("initialisation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("adversary vs {} (n = {n})\n", outcome.algorithm);
+    let mut round = 0;
+    for phase in &outcome.phases {
+        if phase.round != round {
+            round = phase.round;
+            println!("— round {round} (building H_{round}) —");
+        }
+        println!(
+            "  {:16} {:32} |Act| {:>5} -> {:<5}",
+            phase.label, phase.case_taken, phase.act_before, phase.act_after
+        );
+    }
+    println!("\nper-round summary:");
+    println!("  i    s    t    m    l_i  |Act| end  finisher");
+    for r in &outcome.rounds {
+        println!(
+            "  {:<4} {:<4} {:<4} {:<4} {:<4} {:<10} {}",
+            r.round, r.read_iters, r.write_iters, r.reg_criticals, r.criticals_per_active,
+            r.act_end, r.finisher
+        );
+    }
+    println!(
+        "\nstopped: {} | fences forced in one passage: {} | total contention: {} | blocked erased: {}",
+        outcome.stop,
+        outcome.fences_forced(),
+        outcome.fences_forced() + 1,
+        outcome.blocked_erased
+    );
+}

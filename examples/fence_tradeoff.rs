@@ -1,0 +1,51 @@
+//! The analytic trade-off, end to end: how many fences does Theorem 1
+//! force, for which adaptivity functions, at which N?
+//!
+//! ```sh
+//! cargo run --release --example fence_tradeoff
+//! ```
+
+use tpa::adversary::{bounds, Adaptivity};
+
+fn main() {
+    println!("Theorem 1 feasibility: f(i) <= N^(2^-f(i)) / (f(i)! * 4^(f(i)+2i))\n");
+
+    // Corollary 1: for ANY constant fence budget c there is an N where an
+    // adaptive algorithm must exceed it.
+    println!("Corollary 1 — no O(1)-fence adaptive algorithm:");
+    for c in [2u64, 4, 8] {
+        let f = Adaptivity::Linear { c: 1.0 };
+        let mut log2n = 4.0f64;
+        while bounds::max_feasible_i(bounds::ln_of_pow2(log2n), f, 10_000) < c + 1 {
+            log2n *= 2.0;
+        }
+        println!("  to force more than {c} fences on a 1·k-adaptive lock: N = 2^{log2n}");
+    }
+
+    // Corollary 2 vs Corollary 3: the double-log vs triple-log regimes.
+    println!("\nforced fences by adaptivity family:");
+    println!("{:>14} {:>12} {:>12} {:>12}", "N", "f=k", "f=2^k", "f=8·log2k");
+    for j in [4u32, 6, 8, 10, 12, 14, 16, 18, 20] {
+        let log2n = (1u64 << j) as f64;
+        let ln_n = bounds::ln_of_pow2(log2n);
+        println!(
+            "{:>14} {:>12} {:>12} {:>12}",
+            format!("2^{log2n}"),
+            bounds::max_feasible_i(ln_n, Adaptivity::Linear { c: 1.0 }, 1 << 22),
+            bounds::max_feasible_i(ln_n, Adaptivity::Exponential { c: 1.0 }, 1 << 22),
+            bounds::max_feasible_i(ln_n, Adaptivity::Log { c: 8.0 }, 1 << 22),
+        );
+    }
+
+    // The Theorem 3 active-set budget: why the construction needs
+    // towering N for each extra fence.
+    println!("\nTheorem 3 — ln |Act(H_i)| lower bound at N = 2^64 (f = k):");
+    for i in 1..=6u32 {
+        let l_i = i as f64; // for linear f with c = 1, l_i <= i
+        let ln_act = bounds::theorem3_act_ln(bounds::ln_of_pow2(64.0), l_i, f64::from(i));
+        println!(
+            "  i = {i}: ln |Act| >= {ln_act:>10.2}  {}",
+            if ln_act > 0.0 { "(witnesses guaranteed)" } else { "(vacuous at this N)" }
+        );
+    }
+}

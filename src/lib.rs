@@ -1,0 +1,47 @@
+//! # tpa — *The Price of being Adaptive*, reproduced in Rust
+//!
+//! An executable reproduction of Ben-Baruch & Hendler, PODC 2015: adaptive
+//! mutual-exclusion algorithms (and obstruction-free counters, stacks and
+//! queues) in the TSO model cannot have constant fence complexity; with a
+//! linear adaptivity function the fence complexity is `Ω(log log n)`.
+//!
+//! This umbrella crate re-exports the four building blocks:
+//!
+//! * [`tso`] — the operational TSO simulator (write buffers, fences,
+//!   RMR/critical-event accounting, awareness sets, erasure);
+//! * [`algos`] — mutual-exclusion algorithms, simulated and real-hardware;
+//! * [`objects`] — counters/stacks/queues and the Section 5 reductions;
+//! * [`adversary`] — the paper's lower-bound construction and analytic
+//!   bounds.
+//!
+//! ```
+//! use tpa::prelude::*;
+//!
+//! // Measure a bakery passage: constant fences, Θ(n) work — the
+//! // non-adaptive escape hatch from the paper's lower bound.
+//! let lock = tpa::algos::sim::bakery::BakeryLock::new(8, 1);
+//! let (machine, stats) = run_round_robin(&lock, CommitPolicy::Lazy, 1_000_000)?;
+//! assert!(stats.all_halted);
+//! let worst = machine.metrics().max_completed(|p| p.counters.fences).unwrap();
+//! assert_eq!(worst, 3);
+//! # Ok::<(), tpa::tso::StepError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tpa_adversary as adversary;
+pub use tpa_algos as algos;
+pub use tpa_objects as objects;
+pub use tpa_tso as tso;
+
+/// Convenient glob import for examples and quick experiments.
+pub mod prelude {
+    pub use tpa_adversary::{Adaptivity, Config, Construction, StopReason};
+    pub use tpa_algos::{all_locks, lock_by_name};
+    pub use tpa_objects::{ArrayQueue, CasCounter, OneTimeMutex, TreiberStack};
+    pub use tpa_tso::sched::{run_random, run_round_robin, CommitPolicy};
+    pub use tpa_tso::{
+        Directive, Machine, Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec,
+    };
+}

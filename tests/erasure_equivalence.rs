@@ -1,0 +1,204 @@
+//! Differential tests: in-place erasure vs filtered-replay erasure.
+//!
+//! The fast backend (`Machine::erase_in_place`) must agree with the
+//! reference backend (`erase::erase`, full replay) on everything the
+//! construction depends on: the event log, variable values and writers,
+//! awareness, criticality, and all *future* behaviour. (Future CC RMR
+//! counters may differ — cache occupancy is history-dependent — which is
+//! exactly the documented contract.)
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use tpa::adversary::{Config, Construction, StopReason};
+use tpa::prelude::*;
+use tpa::tso::erase::erase;
+use tpa::tso::scripted::{Instr, ScriptSystem};
+use tpa::tso::EventKind;
+
+fn independent_system(n: usize) -> ScriptSystem {
+    ScriptSystem::new(n, n, move |pid| {
+        vec![
+            Instr::Enter,
+            Instr::Write { var: pid.0, value: u64::from(pid.0) + 10 },
+            Instr::Fence,
+            Instr::Read { var: pid.0, reg: 0 },
+            Instr::Cs,
+            Instr::Exit,
+            Instr::Halt,
+        ]
+    })
+}
+
+fn log_kinds(m: &Machine) -> Vec<(ProcId, EventKind, bool)> {
+    m.log().iter().map(|e| (e.pid, e.kind, e.critical)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both backends produce the same execution state after erasure.
+    #[test]
+    fn prop_backends_agree_after_erasure(
+        n in 3usize..7,
+        seed in 0u64..1000,
+        mask in 1u32..32,
+    ) {
+        let sys = independent_system(n);
+        let (machine, _) =
+            run_random(&sys, seed, CommitPolicy::Random { num: 64 }, 100_000).unwrap();
+        let erased: BTreeSet<ProcId> = (0..n as u32)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(ProcId)
+            .collect();
+        // Skip masks that erase finished processes' impossible cases: all
+        // are finished here, so in-place erasure must REJECT them —
+        // use a shorter prefix instead.
+        let _ = machine;
+
+        // Build a prefix where the erased processes are still mid-passage:
+        // stop each erased process right after Enter.
+        let mut m = Machine::new(&sys);
+        for i in 0..n as u32 {
+            let p = ProcId(i);
+            m.step(Directive::Issue(p)).unwrap(); // Enter
+            if !erased.contains(&p) {
+                // Survivors complete their passage.
+                m.run_solo(p, 1, 10_000).unwrap();
+            } else {
+                // Erased processes issue their (invisible) write.
+                m.step(Directive::Issue(p)).unwrap();
+            }
+        }
+
+        // Reference: filtered replay.
+        let replayed = erase(&sys, &m, &erased).unwrap();
+        prop_assert!(replayed.projection_identical);
+
+        // Fast: in-place.
+        let mut fast = m;
+        fast.erase_in_place(&erased).unwrap();
+
+        prop_assert_eq!(log_kinds(&fast), log_kinds(&replayed.machine));
+        for v in 0..sys.n() as u32 {
+            prop_assert_eq!(fast.value(VarId(v)), replayed.machine.value(VarId(v)));
+            prop_assert_eq!(fast.writer(VarId(v)), replayed.machine.writer(VarId(v)));
+        }
+        for i in 0..n as u32 {
+            let p = ProcId(i);
+            if erased.contains(&p) {
+                prop_assert!(fast.is_erased(p));
+                continue;
+            }
+            let a: Vec<ProcId> = fast.awareness(p).iter().collect();
+            let b: Vec<ProcId> = replayed.machine.awareness(p).iter().collect();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(fast.criticals(p), replayed.machine.criticals(p));
+            prop_assert_eq!(fast.buffer_len(p), replayed.machine.buffer_len(p));
+        }
+    }
+}
+
+#[test]
+fn in_place_erasure_rejects_observed_processes() {
+    // p1 read p0's committed value: erasing p0 must fail the precondition.
+    let sys = ScriptSystem::new(2, 1, |pid| {
+        if pid.0 == 0 {
+            vec![Instr::Enter, Instr::Write { var: 0, value: 1 }, Instr::Fence, Instr::Cs, Instr::Exit, Instr::Halt]
+        } else {
+            vec![Instr::Enter, Instr::Read { var: 0, reg: 0 }, Instr::Cs, Instr::Exit, Instr::Halt]
+        }
+    });
+    let mut m = Machine::new(&sys);
+    m.step(Directive::Issue(ProcId(0))).unwrap(); // Enter
+    m.step(Directive::Issue(ProcId(0))).unwrap(); // issue
+    m.step(Directive::Issue(ProcId(0))).unwrap(); // BeginFence
+    m.step(Directive::Issue(ProcId(0))).unwrap(); // commit
+    m.step(Directive::Issue(ProcId(0))).unwrap(); // EndFence
+    m.step(Directive::Issue(ProcId(1))).unwrap(); // Enter
+    m.step(Directive::Issue(ProcId(1))).unwrap(); // read -> aware of p0
+    let erased: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+    let err = m.erase_in_place(&erased).unwrap_err();
+    assert!(matches!(err, tpa::tso::StepError::InvalidErasure(_)), "{err}");
+}
+
+#[test]
+fn in_place_erasure_rejects_finished_processes() {
+    let sys = independent_system(2);
+    let mut m = Machine::new(&sys);
+    m.run_solo(ProcId(0), 1, 10_000).unwrap();
+    let erased: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+    let err = m.erase_in_place(&erased).unwrap_err();
+    assert!(matches!(err, tpa::tso::StepError::InvalidErasure(_)));
+}
+
+#[test]
+fn erased_processes_are_tombstoned() {
+    let sys = independent_system(2);
+    let mut m = Machine::new(&sys);
+    m.step(Directive::Issue(ProcId(0))).unwrap(); // Enter
+    let erased: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
+    m.erase_in_place(&erased).unwrap();
+    assert!(m.is_erased(ProcId(0)));
+    assert_eq!(
+        m.step(Directive::Issue(ProcId(0))).unwrap_err(),
+        tpa::tso::StepError::Halted(ProcId(0))
+    );
+    assert!(m.act().is_empty());
+    assert!(m.log().is_empty());
+}
+
+/// The headline differential test: the whole adversarial construction,
+/// with both erasure backends, produces the identical outcome on every
+/// lock in the portfolio.
+#[test]
+fn construction_outcomes_identical_across_backends() {
+    for algo in ["tournament", "splitter", "ticketq", "bakery", "onebit", "dijkstra"] {
+        let run = |fast: bool| {
+            let lock = lock_by_name(algo, 32, 1).unwrap();
+            let cfg = Config {
+                max_rounds: 8,
+                fast_erasure: fast,
+                check_invariants: false,
+                ..Config::default()
+            };
+            Construction::new(lock.as_ref(), cfg).unwrap().run()
+        };
+        let slow = run(false);
+        let fast = run(true);
+        assert_eq!(slow.rounds_completed(), fast.rounds_completed(), "{algo}");
+        assert_eq!(slow.fences_forced(), fast.fences_forced(), "{algo}");
+        assert_eq!(slow.final_active, fast.final_active, "{algo}");
+        assert_eq!(slow.survivor, fast.survivor, "{algo}");
+        assert_eq!(slow.total_contention, fast.total_contention, "{algo}");
+        let s: Vec<_> = slow.rounds.iter().map(|r| (r.act_start, r.act_end, r.finisher)).collect();
+        let f: Vec<_> = fast.rounds.iter().map(|r| (r.act_start, r.act_end, r.finisher)).collect();
+        assert_eq!(s, f, "{algo}: per-round traces diverged");
+        assert!(
+            !matches!(fast.stop, StopReason::EraseInvalid(_)),
+            "{algo}: fast backend rejected an erasure: {}",
+            fast.stop
+        );
+    }
+}
+
+/// Invariant checks hold on the fast backend too.
+#[test]
+fn fast_backend_respects_inset_invariants() {
+    for algo in ["tournament", "splitter"] {
+        let lock = lock_by_name(algo, 32, 1).unwrap();
+        let cfg = Config {
+            max_rounds: 6,
+            fast_erasure: true,
+            check_invariants: true,
+            ..Config::default()
+        };
+        let out = Construction::new(lock.as_ref(), cfg).unwrap().run();
+        match out.stop {
+            StopReason::InvariantViolated(v) | StopReason::EraseInvalid(v) => {
+                panic!("{algo}: {v}")
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Cross-crate lock correctness: exclusion and progress for the whole
+//! simulated portfolio under adversarial and randomized schedules.
+
+use proptest::prelude::*;
+use tpa::algos::testing;
+use tpa::prelude::*;
+
+const ALGOS: &[&str] =
+    &["tas", "ttas", "ticketq", "bakery", "filter", "tournament", "dijkstra", "splitter"];
+
+#[test]
+fn exclusion_under_many_random_schedules() {
+    for algo in ALGOS {
+        for seed in 1..=12u64 {
+            let lock = lock_by_name(algo, 5, 2).unwrap();
+            testing::check_exclusion_random(lock.as_ref(), seed, 64, 500_000)
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn fair_schedules_complete_all_passages() {
+    for algo in ALGOS {
+        for n in [1usize, 3, 7] {
+            let lock = lock_by_name(algo, n, 2).unwrap();
+            testing::check_round_robin_completion(
+                lock.as_ref(),
+                CommitPolicy::Lazy,
+                2,
+                6_000_000,
+            )
+            .unwrap_or_else(|e| panic!("{algo} n={n}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn weak_obstruction_freedom_from_arbitrary_members() {
+    // Any single process, running alone from the initial configuration,
+    // completes its passage — the paper's progress property.
+    for algo in ALGOS {
+        for pid in [0u32, 3, 7] {
+            let lock = lock_by_name(algo, 8, 1).unwrap();
+            testing::check_solo_progress(lock.as_ref(), ProcId(pid), 1, 500_000)
+                .unwrap_or_else(|e| panic!("{algo} p{pid}: {e}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exclusion holds for a random algorithm, size, seed and commit
+    /// probability.
+    #[test]
+    fn prop_exclusion(
+        algo_idx in 0..ALGOS.len(),
+        n in 2usize..6,
+        seed in 1u64..10_000,
+        commit_num in 16u8..=192,
+    ) {
+        let lock = lock_by_name(ALGOS[algo_idx], n, 1).unwrap();
+        testing::check_exclusion_random(lock.as_ref(), seed, commit_num, 300_000)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// Every passage of the read/write algorithms completes at least one
+    /// fence under TSO (the Attiya et al. "laws of order" effect: fences
+    /// are unavoidable for R/W mutual exclusion).
+    #[test]
+    fn prop_rw_passages_fence(
+        algo_idx in 0..tpa::algos::sim::READ_WRITE_LOCKS.len(),
+        n in 2usize..5,
+    ) {
+        let name = tpa::algos::sim::READ_WRITE_LOCKS[algo_idx];
+        let lock = lock_by_name(name, n, 1).unwrap();
+        let machine = testing::check_round_robin_completion(
+            lock.as_ref(),
+            CommitPolicy::Lazy,
+            1,
+            6_000_000,
+        )
+        .map_err(TestCaseError::fail)?;
+        for (pid, pm) in machine.metrics().iter() {
+            for span in &pm.completed {
+                prop_assert!(
+                    span.counters.fences >= 1,
+                    "{name}: {pid} completed a passage with zero fences"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Object semantics across crates: sequential specifications under
+//! adversarial TSO schedules, plus the Lemma 9 reduction end-to-end.
+
+use proptest::prelude::*;
+use tpa::objects::counter::OP_FETCH_INC;
+use tpa::objects::lemma9::{measure, TicketObject};
+use tpa::objects::queue::{OP_DEQUEUE, OP_ENQUEUE};
+use tpa::objects::stack::{OP_POP, OP_PUSH};
+use tpa::objects::{ObjectSystem, OpCall, EMPTY};
+use tpa::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Counter: concurrent fetch&increment hands out exactly 0..total.
+    #[test]
+    fn prop_counter_unique_tickets(
+        n in 2usize..5,
+        per_proc in 1usize..4,
+        seed in 0u64..5000,
+    ) {
+        let sys = ObjectSystem::new(CasCounter::new(), n, |_| {
+            vec![OpCall { opcode: OP_FETCH_INC, arg: 0 }; per_proc]
+        });
+        let m = sys
+            .run_random(seed, CommitPolicy::Random { num: 64 }, 500_000)
+            .map_err(TestCaseError::fail)?;
+        let mut all: Vec<Value> =
+            (0..n as u32).flat_map(|p| sys.results(&m, ProcId(p))).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..(n * per_proc) as Value).collect::<Vec<_>>());
+    }
+
+    /// Stack: after any concurrent schedule, the multiset of successful
+    /// pops plus remaining contents equals the multiset of pushes.
+    #[test]
+    fn prop_stack_conservation(
+        n in 2usize..5,
+        seed in 0u64..5000,
+    ) {
+        let pushes_per = 2usize;
+        let sys = ObjectSystem::new(TreiberStack::new(n * pushes_per), n, |pid| {
+            vec![
+                OpCall { opcode: OP_PUSH, arg: 100 + u64::from(pid.0) },
+                OpCall { opcode: OP_POP, arg: 0 },
+                OpCall { opcode: OP_PUSH, arg: 200 + u64::from(pid.0) },
+            ]
+        });
+        let m = sys
+            .run_random(seed, CommitPolicy::Random { num: 64 }, 500_000)
+            .map_err(TestCaseError::fail)?;
+        // Per process the op sequence is [push, pop, push]: the pop result
+        // is at index 1 (push returns echo their argument).
+        let mut popped: Vec<Value> = (0..n as u32)
+            .filter_map(|p| sys.results(&m, ProcId(p)).get(1).copied())
+            .filter(|v| *v != EMPTY)
+            .collect();
+        // Walk the final in-memory list: top is var 0, values start at 2.
+        let cap = (n * pushes_per) as u32;
+        let mut remaining = Vec::new();
+        let mut cursor = m.value(VarId(0));
+        while cursor != 0 {
+            remaining.push(m.value(VarId(2 + cursor as u32 - 1)));
+            cursor = m.value(VarId(2 + cap + cursor as u32 - 1));
+        }
+        let mut together = popped.drain(..).chain(remaining).collect::<Vec<_>>();
+        together.sort_unstable();
+        let mut expected: Vec<Value> =
+            (0..n as u64).flat_map(|p| [100 + p, 200 + p]).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(together, expected);
+    }
+
+    /// Queue: dequeues return distinct items in FIFO positions; the
+    /// pre-filled counter queue behaves as fetch&increment.
+    #[test]
+    fn prop_queue_counter_prefill(
+        n in 2usize..5,
+        seed in 0u64..5000,
+    ) {
+        let sys = ObjectSystem::new(ArrayQueue::counter_prefill(n * 2), n, |_| {
+            vec![OpCall { opcode: OP_DEQUEUE, arg: 0 }; 2]
+        });
+        let m = sys
+            .run_random(seed, CommitPolicy::Random { num: 64 }, 500_000)
+            .map_err(TestCaseError::fail)?;
+        let mut all: Vec<Value> =
+            (0..n as u32).flat_map(|p| sys.results(&m, ProcId(p))).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..(n * 2) as Value).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn queue_fifo_per_producer() {
+    // Single producer, single consumer: strict FIFO.
+    let sys = ObjectSystem::new(ArrayQueue::new(6), 2, |pid| {
+        if pid.0 == 0 {
+            (0..6).map(|i| OpCall { opcode: OP_ENQUEUE, arg: 10 * (i + 1) }).collect()
+        } else {
+            vec![OpCall { opcode: OP_DEQUEUE, arg: 0 }; 6]
+        }
+    });
+    for seed in 1..=10u64 {
+        let m = sys.run_random(seed, CommitPolicy::Random { num: 64 }, 500_000).unwrap();
+        let got: Vec<Value> = sys
+            .results(&m, ProcId(1))
+            .into_iter()
+            .filter(|v| *v != EMPTY)
+            .collect();
+        let expected: Vec<Value> = (0..got.len() as Value).map(|i| 10 * (i + 1)).collect();
+        assert_eq!(got, expected, "seed {seed}: FIFO violated");
+    }
+}
+
+#[test]
+fn lemma9_gap_is_constant_across_objects_and_sizes() {
+    let mut gaps = Vec::new();
+    for object in TicketObject::ALL {
+        for n in [1usize, 2, 8, 24] {
+            let row = measure(object, n).unwrap();
+            gaps.push(row.fence_gap());
+        }
+    }
+    // Lemma 9: one additive constant covers all objects and sizes.
+    let max_gap = *gaps.iter().max().unwrap();
+    let min_gap = *gaps.iter().min().unwrap();
+    assert!(min_gap >= 0, "reduction can only add fences: {gaps:?}");
+    assert!(max_gap <= 6, "additive constant exceeded: {gaps:?}");
+}
+
+#[test]
+fn reduction_is_a_real_lock_under_random_schedules() {
+    use tpa::algos::testing;
+    for seed in 1..=6u64 {
+        let sys = OneTimeMutex::new(ArrayQueue::counter_prefill(4), 4);
+        testing::check_exclusion_random(&sys, seed, 64, 400_000).unwrap();
+        let sys = OneTimeMutex::new(TreiberStack::counter_prefill(4), 4);
+        testing::check_exclusion_random(&sys, seed, 64, 400_000).unwrap();
+    }
+}
