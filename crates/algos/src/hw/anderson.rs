@@ -26,9 +26,14 @@ impl HwAndersonLock {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one slot");
-        let slots: Vec<CachePadded<AtomicBool>> =
-            (0..n).map(|i| CachePadded::new(AtomicBool::new(i == 0))).collect();
-        HwAndersonLock { tail: AtomicU64::new(0), slots, fences: FenceCounter::new() }
+        let slots: Vec<CachePadded<AtomicBool>> = (0..n)
+            .map(|i| CachePadded::new(AtomicBool::new(i == 0)))
+            .collect();
+        HwAndersonLock {
+            tail: AtomicU64::new(0),
+            slots,
+            fences: FenceCounter::new(),
+        }
     }
 
     fn slot(&self, ticket: u64) -> &AtomicBool {

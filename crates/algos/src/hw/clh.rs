@@ -34,10 +34,18 @@ impl HwClhLock {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one thread");
         // Node n is the initial (released) tail; threads own nodes 0..n.
-        let nodes = (0..=n).map(|_| CachePadded::new(AtomicBool::new(false))).collect();
-        let my_node =
-            (0..n).map(|i| CachePadded::new(AtomicUsize::new(i))).collect();
-        HwClhLock { nodes, tail: AtomicUsize::new(n), my_node, fences: FenceCounter::new() }
+        let nodes = (0..=n)
+            .map(|_| CachePadded::new(AtomicBool::new(false)))
+            .collect();
+        let my_node = (0..n)
+            .map(|i| CachePadded::new(AtomicUsize::new(i)))
+            .collect();
+        HwClhLock {
+            nodes,
+            tail: AtomicUsize::new(n),
+            my_node,
+            fences: FenceCounter::new(),
+        }
     }
 }
 

@@ -27,7 +27,9 @@ impl HwFastPathLock {
         HwFastPathLock {
             y: CachePadded::new(AtomicUsize::new(0)),
             x: CachePadded::new(AtomicUsize::new(0)),
-            b: (0..n).map(|_| CachePadded::new(AtomicUsize::new(0))).collect(),
+            b: (0..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                .collect(),
             fences: FenceCounter::new(),
         }
     }

@@ -46,12 +46,20 @@ pub struct HwTreeLock {
 impl HwTreeLock {
     /// A tree for up to `n` threads.
     pub fn new(n: usize) -> Self {
-        let levels = if n <= 1 { 0 } else { (n - 1).ilog2() as usize + 1 };
+        let levels = if n <= 1 {
+            0
+        } else {
+            (n - 1).ilog2() as usize + 1
+        };
         let padded = 1usize << levels;
         let nodes = (1..=levels)
             .map(|l| (0..padded >> l).map(|_| Node::new()).collect())
             .collect();
-        HwTreeLock { levels, nodes, fences: FenceCounter::new() }
+        HwTreeLock {
+            levels,
+            nodes,
+            fences: FenceCounter::new(),
+        }
     }
 
     fn node(&self, tid: usize, level: usize) -> (&Node, usize) {
@@ -115,7 +123,9 @@ mod tests {
 
     #[test]
     fn excludes_at_higher_thread_counts() {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
         let threads = threads.clamp(2, 8);
         hammer(Arc::new(HwTreeLock::new(threads)), threads, 3_000);
     }

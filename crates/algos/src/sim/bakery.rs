@@ -18,12 +18,18 @@ pub struct BakeryLock {
     n: usize,
     passages: usize,
     pso_hardened: bool,
+    doorway_fenced: bool,
 }
 
 impl BakeryLock {
     /// An `n`-process instance performing `passages` passages each.
     pub fn new(n: usize, passages: usize) -> Self {
-        BakeryLock { n, passages, pso_hardened: false }
+        BakeryLock {
+            n,
+            passages,
+            pso_hardened: false,
+            doorway_fenced: true,
+        }
     }
 
     /// A PSO-safe variant: adds one fence between the `number` write and
@@ -33,7 +39,28 @@ impl BakeryLock {
     /// separation between the models, paid for in one extra fence (see the
     /// `pso` integration tests).
     pub fn pso_hardened(n: usize, passages: usize) -> Self {
-        BakeryLock { n, passages, pso_hardened: true }
+        BakeryLock {
+            n,
+            passages,
+            pso_hardened: true,
+            doorway_fenced: true,
+        }
+    }
+
+    /// A deliberately broken variant with the doorway-closing fence
+    /// removed: `number[me]` and `choosing[me] := 0` stay buffered while
+    /// the process scans its competitors. Under TSO two processes can
+    /// then both take ticket 1, both observe the other's `choosing` and
+    /// `number` as 0, and both enter the critical section. Exists to
+    /// prove the `tpa-check` explorer actually catches real violations
+    /// (see `tests/lock_correctness.rs`).
+    pub fn without_doorway_fence(n: usize, passages: usize) -> Self {
+        BakeryLock {
+            n,
+            passages,
+            pso_hardened: false,
+            doorway_fenced: false,
+        }
     }
 }
 
@@ -58,31 +85,40 @@ impl System for BakeryLock {
             my_number: 0,
             passages_left: self.passages,
             pso_hardened: self.pso_hardened,
+            doorway_fenced: self.doorway_fenced,
         })
     }
 
     fn name(&self) -> &str {
         if self.pso_hardened {
             "bakery-pso"
+        } else if !self.doorway_fenced {
+            "bakery-nofence"
         } else {
             "bakery"
         }
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     WriteChoosing,
     FenceChoosing,
-    ScanNumber { j: usize },
+    ScanNumber {
+        j: usize,
+    },
     WriteNumber,
     /// PSO-hardened only: commit `number` before issuing `choosing := 0`.
     FenceNumber,
     ClearChoosing,
     FenceDoorway,
-    WaitChoosing { j: usize },
-    WaitNumber { j: usize },
+    WaitChoosing {
+        j: usize,
+    },
+    WaitNumber {
+        j: usize,
+    },
     Cs,
     ClearNumber,
     FenceRelease,
@@ -90,7 +126,7 @@ enum State {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct BakeryProgram {
     me: usize,
     n: usize,
@@ -99,6 +135,7 @@ struct BakeryProgram {
     my_number: Value,
     passages_left: usize,
     pso_hardened: bool,
+    doorway_fenced: bool,
 }
 
 impl BakeryProgram {
@@ -131,6 +168,18 @@ impl BakeryProgram {
 }
 
 impl Program for BakeryProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.max.hash(&mut h);
+        self.my_number.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             State::Enter => Op::Enter,
@@ -180,7 +229,13 @@ impl Program for BakeryProgram {
                 }
             }
             State::FenceNumber => State::ClearChoosing,
-            State::ClearChoosing => State::FenceDoorway,
+            State::ClearChoosing => {
+                if self.doorway_fenced {
+                    State::FenceDoorway
+                } else {
+                    self.start_wait()
+                }
+            }
             State::FenceDoorway => self.start_wait(),
             State::WaitChoosing { j } => match outcome {
                 Outcome::ReadValue(0) => State::WaitNumber { j },
@@ -192,9 +247,8 @@ impl Program for BakeryProgram {
                     Outcome::ReadValue(v) => v,
                     other => panic!("unexpected outcome {other:?} for wait"),
                 };
-                let served = nj == 0
-                    || nj > self.my_number
-                    || (nj == self.my_number && j > self.me);
+                let served =
+                    nj == 0 || nj > self.my_number || (nj == self.my_number && j > self.me);
                 if served {
                     match self.next_other(j + 1) {
                         Some(j2) => State::WaitChoosing { j: j2 },
@@ -237,7 +291,10 @@ mod tests {
             let sys = BakeryLock::new(n, 1);
             let m = testing::check_solo_progress(&sys, ProcId(0), 1, 100_000).unwrap();
             let stats = &m.metrics().proc(ProcId(0)).completed[0];
-            assert_eq!(stats.counters.fences, 3, "fences are constant in n (n = {n})");
+            assert_eq!(
+                stats.counters.fences, 3,
+                "fences are constant in n (n = {n})"
+            );
         }
     }
 
@@ -258,8 +315,8 @@ mod tests {
     fn fcfs_order_under_sequential_doorways() {
         // p0 completes its doorway before p1 starts: p0 must enter first.
         let sys = BakeryLock::new(2, 1);
-        let m = testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 1_000_000)
-            .unwrap();
+        let m =
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 1_000_000).unwrap();
         let cs: Vec<_> = m
             .log()
             .iter()

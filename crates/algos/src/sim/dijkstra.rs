@@ -61,7 +61,7 @@ impl System for DijkstraLock {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     /// `flag[me] := 1` — announce interest.
@@ -70,7 +70,9 @@ enum State {
     /// Read `turn`; if it is ours, escalate, otherwise inspect its holder.
     ReadTurn,
     /// Read `flag[turn]`; 0 → grab the turn, else spin on `ReadTurn`.
-    ReadHolderFlag { holder: usize },
+    ReadHolderFlag {
+        holder: usize,
+    },
     /// `turn := me`.
     GrabTurn,
     FenceTurn,
@@ -78,7 +80,9 @@ enum State {
     WriteStage2,
     FenceStage2,
     /// Scan all other flags for another stage-2 process.
-    Scan { j: usize },
+    Scan {
+        j: usize,
+    },
     Cs,
     /// `flag[me] := 0`.
     ClearFlag,
@@ -87,7 +91,7 @@ enum State {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct DijkstraProgram {
     me: usize,
     n: usize,
@@ -105,14 +109,23 @@ impl DijkstraProgram {
 }
 
 impl Program for DijkstraProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             State::Enter => Op::Enter,
             State::WriteWant => Op::Write(flag_var(self.me), 1),
-            State::FenceWant
-            | State::FenceTurn
-            | State::FenceStage2
-            | State::FenceRelease => Op::Fence,
+            State::FenceWant | State::FenceTurn | State::FenceStage2 | State::FenceRelease => {
+                Op::Fence
+            }
             State::ReadTurn => Op::Read(TURN),
             State::ReadHolderFlag { holder } => Op::Read(flag_var(holder)),
             State::GrabTurn => Op::Write(TURN, self.me as Value),

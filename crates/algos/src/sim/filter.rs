@@ -48,7 +48,7 @@ impl System for FilterLock {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     WriteLevel { l: usize },
@@ -63,7 +63,7 @@ enum State {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct FilterProgram {
     me: usize,
     n: usize,
@@ -98,6 +98,16 @@ impl FilterProgram {
 }
 
 impl Program for FilterProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             State::Enter => Op::Enter,

@@ -65,7 +65,7 @@ impl System for McsLock {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     /// Reset `next[me]` and pre-arm `locked[me]` (cleared again if we turn
@@ -75,7 +75,9 @@ enum State {
     FencePrepare,
     /// Swap ourselves in as the tail: read + CAS retry.
     ReadTail,
-    CasTail { t: Value },
+    CasTail {
+        t: Value,
+    },
     /// Link behind the predecessor and wait for the handoff.
     WriteLink,
     FenceLink,
@@ -86,13 +88,15 @@ enum State {
     ReadNext,
     CasTailRelease,
     WaitSuccessor,
-    WriteHandoff { succ: Value },
+    WriteHandoff {
+        succ: Value,
+    },
     FenceHandoff,
     Exit,
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct McsProgram {
     me: usize,
     n: usize,
@@ -108,6 +112,17 @@ impl McsProgram {
 }
 
 impl Program for McsProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.pred.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             State::Enter => Op::Enter,
@@ -115,16 +130,22 @@ impl Program for McsProgram {
             State::ArmLocked => Op::Write(locked_var(self.n, self.me), 1),
             State::FencePrepare | State::FenceLink | State::FenceHandoff => Op::Fence,
             State::ReadTail => Op::Read(TAIL),
-            State::CasTail { t } => Op::Cas { var: TAIL, expected: t, new: self.me1() },
+            State::CasTail { t } => Op::Cas {
+                var: TAIL,
+                expected: t,
+                new: self.me1(),
+            },
             State::WriteLink => Op::Write(next_var(self.pred as usize - 1), self.me1()),
             State::SpinLocked => Op::Read(locked_var(self.n, self.me)),
             State::Cs => Op::Cs,
             State::ReadNext => Op::Read(next_var(self.me)),
-            State::CasTailRelease => Op::Cas { var: TAIL, expected: self.me1(), new: 0 },
+            State::CasTailRelease => Op::Cas {
+                var: TAIL,
+                expected: self.me1(),
+                new: 0,
+            },
             State::WaitSuccessor => Op::Read(next_var(self.me)),
-            State::WriteHandoff { succ } => {
-                Op::Write(locked_var(self.n, succ as usize - 1), 0)
-            }
+            State::WriteHandoff { succ } => Op::Write(locked_var(self.n, succ as usize - 1), 0),
             State::Exit => Op::Exit,
             State::Done => Op::Halt,
         }
@@ -142,7 +163,10 @@ impl Program for McsProgram {
             State::FencePrepare => State::ReadTail,
             State::ReadTail => State::CasTail { t: read(outcome) },
             State::CasTail { .. } => match outcome {
-                Outcome::CasResult { success: true, observed } => {
+                Outcome::CasResult {
+                    success: true,
+                    observed,
+                } => {
                     self.pred = observed;
                     if self.pred == 0 {
                         State::Cs // queue was empty: we hold the lock
@@ -150,9 +174,10 @@ impl Program for McsProgram {
                         State::WriteLink
                     }
                 }
-                Outcome::CasResult { success: false, observed } => {
-                    State::CasTail { t: observed }
-                }
+                Outcome::CasResult {
+                    success: false,
+                    observed,
+                } => State::CasTail { t: observed },
                 other => panic!("unexpected outcome {other:?} for CAS"),
             },
             State::WriteLink => State::FenceLink,
@@ -218,15 +243,19 @@ mod tests {
             let m = testing::check_solo_progress(&sys, ProcId(0), 1, 100_000).unwrap();
             m.metrics().proc(ProcId(0)).completed[0].counters.rmr_dsm
         };
-        assert_eq!(cost(2), cost(128), "queue node spin is local: O(1) DSM RMRs");
+        assert_eq!(
+            cost(2),
+            cost(128),
+            "queue node spin is local: O(1) DSM RMRs"
+        );
     }
 
     #[test]
     fn contended_spin_is_on_the_local_flag() {
         use tpa_tso::sched::CommitPolicy;
         let sys = McsLock::new(4, 1);
-        let m = testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000)
-            .unwrap();
+        let m =
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000).unwrap();
         for (pid, pm) in m.metrics().iter() {
             let c = pm.completed[0].counters;
             // Spinning happens on locked[me] (local), so DSM RMRs stay

@@ -37,13 +37,21 @@ pub fn all_locks(n: usize, passages: usize) -> Vec<LockSystem> {
 /// Instantiates a lock by its [`System::name`], or `None` for an unknown
 /// name.
 pub fn lock_by_name(name: &str, n: usize, passages: usize) -> Option<LockSystem> {
-    all_locks(n, passages).into_iter().find(|l| l.name() == name)
+    all_locks(n, passages)
+        .into_iter()
+        .find(|l| l.name() == name)
 }
 
 /// Names of the read/write-only algorithms (no comparison primitives) —
 /// the family the paper's Theorem 1 primarily targets.
-pub const READ_WRITE_LOCKS: &[&str] =
-    &["bakery", "filter", "onebit", "tournament", "dijkstra", "splitter"];
+pub const READ_WRITE_LOCKS: &[&str] = &[
+    "bakery",
+    "filter",
+    "onebit",
+    "tournament",
+    "dijkstra",
+    "splitter",
+];
 
 #[cfg(test)]
 mod tests {

@@ -53,20 +53,30 @@ impl System for OneBitLock {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     /// `flag[me] := 1`.
     Raise,
     FenceRaise,
     /// Scan smaller IDs; any raised flag forces a back-off.
-    ScanLow { j: usize },
+    ScanLow {
+        j: usize,
+    },
     /// Back-off: `flag[me] := 0`, fence, then wait for the blocker.
-    Lower { blocker: usize },
-    FenceLower { blocker: usize },
-    WaitLow { blocker: usize },
+    Lower {
+        blocker: usize,
+    },
+    FenceLower {
+        blocker: usize,
+    },
+    WaitLow {
+        blocker: usize,
+    },
     /// Wait for every larger ID to lower its flag.
-    WaitHigh { j: usize },
+    WaitHigh {
+        j: usize,
+    },
     Cs,
     Clear,
     FenceRelease,
@@ -74,7 +84,7 @@ enum State {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct OneBitProgram {
     me: usize,
     n: usize,
@@ -93,6 +103,16 @@ impl OneBitProgram {
 }
 
 impl Program for OneBitProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             State::Enter => Op::Enter,

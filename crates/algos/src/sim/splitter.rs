@@ -65,7 +65,7 @@ impl System for SplitterLock {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     /// `b[me] := 1` — announce.
@@ -90,7 +90,9 @@ enum State {
     SlowClearB,
     SlowFence,
     /// Await `b[j] == 0` for every j.
-    WaitB { j: usize },
+    WaitB {
+        j: usize,
+    },
     /// Re-read `y`: ours → win, else wait for release and restart.
     ReadY2,
     AwaitYZeroRetry,
@@ -103,7 +105,7 @@ enum State {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct SplitterProgram {
     me: usize,
     n: usize,
@@ -118,6 +120,16 @@ impl SplitterProgram {
 }
 
 impl Program for SplitterProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             State::Enter => Op::Enter,

@@ -36,7 +36,10 @@ impl System for TasLock {
     }
 
     fn program(&self, _pid: ProcId) -> Box<dyn Program> {
-        Box::new(TasProgram { state: State::Enter, passages_left: self.passages })
+        Box::new(TasProgram {
+            state: State::Enter,
+            passages_left: self.passages,
+        })
     }
 
     fn name(&self) -> &str {
@@ -44,7 +47,7 @@ impl System for TasLock {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     TryCas,
@@ -55,17 +58,31 @@ enum State {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TasProgram {
     state: State,
     passages_left: usize,
 }
 
 impl Program for TasProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             State::Enter => Op::Enter,
-            State::TryCas => Op::Cas { var: LOCK, expected: 0, new: 1 },
+            State::TryCas => Op::Cas {
+                var: LOCK,
+                expected: 0,
+                new: 1,
+            },
             State::Cs => Op::Cs,
             State::Release => Op::Write(LOCK, 0),
             State::ReleaseFence => Op::Fence,
@@ -121,9 +138,12 @@ mod tests {
     #[test]
     fn contended_fences_grow_with_failed_attempts() {
         let sys = TasLock::new(4, 1);
-        let m = testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 1_000_000)
-            .unwrap();
+        let m =
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 1_000_000).unwrap();
         let max_fences = m.metrics().max_completed(|p| p.counters.fences).unwrap();
-        assert!(max_fences > 2, "some process must retry under contention: {max_fences}");
+        assert!(
+            max_fences > 2,
+            "some process must retry under contention: {max_fences}"
+        );
     }
 }

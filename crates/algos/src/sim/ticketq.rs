@@ -49,7 +49,11 @@ impl System for TicketLock {
     }
 
     fn program(&self, _pid: ProcId) -> Box<dyn Program> {
-        Box::new(TicketProgram { state: State::Enter, ticket: 0, passages_left: self.passages })
+        Box::new(TicketProgram {
+            state: State::Enter,
+            ticket: 0,
+            passages_left: self.passages,
+        })
     }
 
     fn name(&self) -> &str {
@@ -61,7 +65,7 @@ fn grant_var(ticket: Value) -> VarId {
     VarId(GRANT_BASE + ticket as u32)
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     ReadTail,
@@ -74,7 +78,7 @@ enum State {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TicketProgram {
     state: State,
     ticket: Value,
@@ -82,11 +86,26 @@ struct TicketProgram {
 }
 
 impl Program for TicketProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.ticket.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             State::Enter => Op::Enter,
             State::ReadTail => Op::Read(TAIL),
-            State::CasTail(t) => Op::Cas { var: TAIL, expected: t, new: t + 1 },
+            State::CasTail(t) => Op::Cas {
+                var: TAIL,
+                expected: t,
+                new: t + 1,
+            },
             State::SpinGrant => Op::Read(grant_var(self.ticket)),
             State::Cs => Op::Cs,
             State::WriteNextGrant => Op::Write(grant_var(self.ticket + 1), 1),
@@ -108,7 +127,10 @@ impl Program for TicketProgram {
                     self.ticket = t;
                     State::SpinGrant
                 }
-                Outcome::CasResult { success: false, observed } => State::CasTail(observed),
+                Outcome::CasResult {
+                    success: false,
+                    observed,
+                } => State::CasTail(observed),
                 other => panic!("unexpected outcome {other:?} for CAS"),
             },
             State::SpinGrant => match outcome {
@@ -159,8 +181,8 @@ mod tests {
         // Under a round-robin schedule processes obtain tickets in some
         // order, and the grant chain serves them strictly in that order.
         let sys = TicketLock::new(4, 1);
-        let m = testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 1_000_000)
-            .unwrap();
+        let m =
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 1_000_000).unwrap();
         // Find the order of Cs events in the log; each ticket's Cs must
         // follow the previous ticket's Exit fence.
         let cs_order: Vec<_> = m
@@ -180,13 +202,18 @@ mod tests {
         let mut prev = 0;
         for k in [2, 4, 8] {
             let sys = TicketLock::new(k, 1);
-            let m =
-                testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 4_000_000)
-                    .unwrap();
+            let m = testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 4_000_000)
+                .unwrap();
             let max_fences = m.metrics().max_completed(|p| p.counters.fences).unwrap();
-            assert!(max_fences >= prev, "fences should not shrink with contention");
+            assert!(
+                max_fences >= prev,
+                "fences should not shrink with contention"
+            );
             prev = max_fences;
         }
-        assert!(prev >= 4, "at 8-way contention some process pays several CAS fences");
+        assert!(
+            prev >= 4,
+            "at 8-way contention some process pays several CAS fences"
+        );
     }
 }

@@ -28,7 +28,11 @@ pub(crate) struct TreeLayout {
 
 impl TreeLayout {
     pub(crate) fn new(n: usize) -> Self {
-        let levels = if n <= 1 { 0 } else { (n - 1).ilog2() as usize + 1 };
+        let levels = if n <= 1 {
+            0
+        } else {
+            (n - 1).ilog2() as usize + 1
+        };
         let padded = 1usize << levels;
         let mut level_base = vec![0u32; levels + 1];
         let mut next = 0u32;
@@ -37,7 +41,11 @@ impl TreeLayout {
             let nodes = (padded >> l) as u32;
             next += nodes * 3;
         }
-        TreeLayout { levels, level_base, total_vars: next as usize }
+        TreeLayout {
+            levels,
+            level_base,
+            total_vars: next as usize,
+        }
     }
 
     pub(crate) fn node_of(&self, me: usize, level: usize) -> usize {
@@ -83,7 +91,11 @@ pub struct TournamentLock {
 impl TournamentLock {
     /// An `n`-process instance performing `passages` passages each.
     pub fn new(n: usize, passages: usize) -> Self {
-        TournamentLock { n, passages, layout: TreeLayout::new(n) }
+        TournamentLock {
+            n,
+            passages,
+            layout: TreeLayout::new(n),
+        }
     }
 }
 
@@ -110,7 +122,7 @@ impl System for TournamentLock {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     WriteFlag { l: usize },
@@ -125,7 +137,7 @@ enum State {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TournamentProgram {
     me: usize,
     layout: TreeLayout,
@@ -144,28 +156,38 @@ impl TournamentProgram {
 }
 
 impl Program for TournamentProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         let lay = &self.layout;
         match self.state {
             State::Enter => Op::Enter,
-            State::WriteFlag { l } => {
-                Op::Write(lay.flag_var(l, lay.node_of(self.me, l), lay.side_of(self.me, l)), 1)
-            }
+            State::WriteFlag { l } => Op::Write(
+                lay.flag_var(l, lay.node_of(self.me, l), lay.side_of(self.me, l)),
+                1,
+            ),
             State::WriteTurn { l } => Op::Write(
                 lay.turn_var(l, lay.node_of(self.me, l)),
                 lay.side_of(self.me, l) as Value,
             ),
             State::FenceLevel { .. } | State::FenceRelease => Op::Fence,
-            State::ReadPeerFlag { l } => Op::Read(lay.flag_var(
-                l,
-                lay.node_of(self.me, l),
-                1 - lay.side_of(self.me, l),
-            )),
+            State::ReadPeerFlag { l } => {
+                Op::Read(lay.flag_var(l, lay.node_of(self.me, l), 1 - lay.side_of(self.me, l)))
+            }
             State::ReadTurn { l } => Op::Read(lay.turn_var(l, lay.node_of(self.me, l))),
             State::Cs => Op::Cs,
-            State::ClearFlag { l } => {
-                Op::Write(lay.flag_var(l, lay.node_of(self.me, l), lay.side_of(self.me, l)), 0)
-            }
+            State::ClearFlag { l } => Op::Write(
+                lay.flag_var(l, lay.node_of(self.me, l), lay.side_of(self.me, l)),
+                0,
+            ),
             State::Exit => Op::Exit,
             State::Done => Op::Halt,
         }
@@ -204,7 +226,9 @@ impl Program for TournamentProgram {
                     State::Exit
                 } else {
                     // Clear from the root down.
-                    State::ClearFlag { l: self.layout.levels }
+                    State::ClearFlag {
+                        l: self.layout.levels,
+                    }
                 }
             }
             State::ClearFlag { l } => {
@@ -279,6 +303,9 @@ mod tests {
             let m = testing::check_solo_progress(&sys, ProcId(0), 1, 100_000).unwrap();
             rmrs.push(m.metrics().proc(ProcId(0)).completed[0].counters.rmr_wb);
         }
-        assert!(rmrs[1] <= rmrs[0] * 4, "RMRs grow logarithmically: {rmrs:?}");
+        assert!(
+            rmrs[1] <= rmrs[0] * 4,
+            "RMRs grow logarithmically: {rmrs:?}"
+        );
     }
 }

@@ -35,7 +35,10 @@ impl System for TtasLock {
     }
 
     fn program(&self, _pid: ProcId) -> Box<dyn Program> {
-        Box::new(TtasProgram { state: State::Enter, passages_left: self.passages })
+        Box::new(TtasProgram {
+            state: State::Enter,
+            passages_left: self.passages,
+        })
     }
 
     fn name(&self) -> &str {
@@ -43,7 +46,7 @@ impl System for TtasLock {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum State {
     Enter,
     SpinRead,
@@ -55,18 +58,32 @@ enum State {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TtasProgram {
     state: State,
     passages_left: usize,
 }
 
 impl Program for TtasProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             State::Enter => Op::Enter,
             State::SpinRead => Op::Read(LOCK),
-            State::TryCas => Op::Cas { var: LOCK, expected: 0, new: 1 },
+            State::TryCas => Op::Cas {
+                var: LOCK,
+                expected: 0,
+                new: 1,
+            },
             State::Cs => Op::Cs,
             State::Release => Op::Write(LOCK, 0),
             State::ReleaseFence => Op::Fence,
@@ -131,8 +148,8 @@ mod tests {
         // Two processes; p1 spins while p0 holds. p1's spin reads after the
         // first should be WB cache hits.
         let sys = TtasLock::new(2, 1);
-        let m = testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 1_000_000)
-            .unwrap();
+        let m =
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 1_000_000).unwrap();
         for (_, pm) in m.metrics().iter() {
             let c = &pm.completed[0].counters;
             // Spin reads dominate events, but WB RMRs stay small: every

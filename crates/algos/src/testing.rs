@@ -15,9 +15,7 @@ use tpa_tso::{Directive, Machine, Op, ProcId, System};
 /// Number of processes whose next event is the `CS` transition.
 pub fn cs_enabled(machine: &Machine) -> usize {
     (0..machine.n())
-        .filter(|&i| {
-            machine.peek_next(ProcId(i as u32)) == NextEvent::Transition(Op::Cs)
-        })
+        .filter(|&i| machine.peek_next(ProcId(i as u32)) == NextEvent::Transition(Op::Cs))
         .count()
 }
 
@@ -52,9 +50,7 @@ pub fn check_exclusion_random(
     while steps < max_steps {
         let runnable: Vec<ProcId> = (0..n)
             .map(|i| ProcId(i as u32))
-            .filter(|&p| {
-                machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p)
-            })
+            .filter(|&p| machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p))
             .collect();
         if runnable.is_empty() {
             return Ok(ExclusionReport {
@@ -66,8 +62,14 @@ pub fn check_exclusion_random(
         let p = runnable[rng.below(runnable.len())];
         let halted = machine.peek_next(p) == NextEvent::Halted;
         let commit = !machine.buffer_empty(p) && (halted || rng.chance(commit_num));
-        let d = if commit { Directive::Commit(p) } else { Directive::Issue(p) };
-        machine.step(d).map_err(|e| format!("step error at {steps}: {e}"))?;
+        let d = if commit {
+            Directive::Commit(p)
+        } else {
+            Directive::Issue(p)
+        };
+        machine
+            .step(d)
+            .map_err(|e| format!("step error at {steps}: {e}"))?;
         steps += 1;
         let enabled = cs_enabled(&machine);
         if enabled > 1 {
@@ -77,12 +79,18 @@ pub fn check_exclusion_random(
             ));
         }
     }
-    Ok(ExclusionReport { steps, passages: total_passages(&machine), all_halted: false })
+    Ok(ExclusionReport {
+        steps,
+        passages: total_passages(&machine),
+        all_halted: false,
+    })
 }
 
 /// Total completed passages across all processes.
 pub fn total_passages(machine: &Machine) -> usize {
-    (0..machine.n()).map(|i| machine.passages_completed(ProcId(i as u32))).sum()
+    (0..machine.n())
+        .map(|i| machine.passages_completed(ProcId(i as u32)))
+        .sum()
 }
 
 /// Drives `system` round-robin (with the given commit policy) until every
@@ -125,13 +133,17 @@ pub fn check_round_robin_completion(
                 CommitPolicy::Lazy => {}
                 CommitPolicy::Eager => {
                     while !machine.buffer_empty(p) {
-                        machine.step(Directive::Commit(p)).map_err(|e| e.to_string())?;
+                        machine
+                            .step(Directive::Commit(p))
+                            .map_err(|e| e.to_string())?;
                         steps += 1;
                     }
                 }
                 CommitPolicy::Random { num } => {
                     while !machine.buffer_empty(p) && rng.chance(num) {
-                        machine.step(Directive::Commit(p)).map_err(|e| e.to_string())?;
+                        machine
+                            .step(Directive::Commit(p))
+                            .map_err(|e| e.to_string())?;
                         steps += 1;
                     }
                 }
@@ -201,9 +213,11 @@ pub fn standard_lock_battery(make: &dyn Fn(usize, usize) -> Box<dyn System>) {
     }
     // Fair completion under all commit policies.
     for n in [1, 2, 3, 5, 8] {
-        for policy in
-            [CommitPolicy::Lazy, CommitPolicy::Eager, CommitPolicy::Random { num: 96 }]
-        {
+        for policy in [
+            CommitPolicy::Lazy,
+            CommitPolicy::Eager,
+            CommitPolicy::Random { num: 96 },
+        ] {
             let sys = make(n, 2);
             check_round_robin_completion(sys.as_ref(), policy, 2, 4_000_000).unwrap();
         }

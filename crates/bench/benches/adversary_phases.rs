@@ -4,7 +4,7 @@
 use std::collections::BTreeSet;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tpa_adversary::{Config, Construction, ConflictGraph};
+use tpa_adversary::{Config, ConflictGraph, Construction};
 use tpa_algos::lock_by_name;
 use tpa_tso::sched::XorShift;
 use tpa_tso::{erase, Directive, Machine, ProcId};
@@ -16,8 +16,14 @@ fn bench_construction(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(algo, n), &n, |b, &n| {
             b.iter(|| {
                 let lock = lock_by_name(algo, n, 1).unwrap();
-                let cfg = Config { max_rounds: 6, ..Config::default() };
-                Construction::new(&lock, cfg).unwrap().run().rounds_completed()
+                let cfg = Config {
+                    max_rounds: 6,
+                    ..Config::default()
+                };
+                Construction::new(&lock, cfg)
+                    .unwrap()
+                    .run()
+                    .rounds_completed()
             })
         });
     }
@@ -29,9 +35,15 @@ fn bench_construction(c: &mut Criterion) {
             |b, &check| {
                 b.iter(|| {
                     let lock = lock_by_name("tournament", 128, 1).unwrap();
-                    let cfg =
-                        Config { max_rounds: 6, check_invariants: check, ..Config::default() };
-                    Construction::new(&lock, cfg).unwrap().run().rounds_completed()
+                    let cfg = Config {
+                        max_rounds: 6,
+                        check_invariants: check,
+                        ..Config::default()
+                    };
+                    Construction::new(&lock, cfg)
+                        .unwrap()
+                        .run()
+                        .rounds_completed()
                 })
             },
         );
@@ -73,13 +85,14 @@ fn bench_turan(c: &mut Criterion) {
     let n = 512usize;
     let mut graph = ConflictGraph::new((0..n as u32).map(ProcId));
     for _ in 0..2 * n {
-        graph.add_edge(
-            ProcId(rng.below(n) as u32),
-            ProcId(rng.below(n) as u32),
-        );
+        graph.add_edge(ProcId(rng.below(n) as u32), ProcId(rng.below(n) as u32));
     }
-    group.bench_function("min_degree_greedy", |b| b.iter(|| graph.independent_set().len()));
-    group.bench_function("first_fit", |b| b.iter(|| graph.independent_set_first_fit().len()));
+    group.bench_function("min_degree_greedy", |b| {
+        b.iter(|| graph.independent_set().len())
+    });
+    group.bench_function("first_fit", |b| {
+        b.iter(|| graph.independent_set_first_fit().len())
+    });
     group.finish();
 
     let greedy = graph.independent_set().len();

@@ -34,7 +34,9 @@ fn bench_fence_cost(c: &mut Criterion) {
     group.bench_function("rmw_fetch_add_seqcst", |b| {
         b.iter(|| cell.fetch_add(black_box(1), Ordering::SeqCst))
     });
-    group.bench_function("load_acquire", |b| b.iter(|| black_box(cell.load(Ordering::Acquire))));
+    group.bench_function("load_acquire", |b| {
+        b.iter(|| black_box(cell.load(Ordering::Acquire)))
+    });
     group.finish();
 }
 

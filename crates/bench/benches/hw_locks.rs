@@ -33,12 +33,17 @@ fn hammer_once(lock: &Arc<dyn RawLock>, threads: usize) -> std::time::Duration {
         }
     })
     .unwrap();
-    assert_eq!(counter.load(Ordering::Relaxed) as usize, threads * OPS_PER_THREAD);
+    assert_eq!(
+        counter.load(Ordering::Relaxed) as usize,
+        threads * OPS_PER_THREAD
+    );
     start.elapsed()
 }
 
 fn bench_hw_locks(c: &mut Criterion) {
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2);
     let thread_counts: Vec<usize> = [1, 2, 4].iter().copied().filter(|t| *t <= cores).collect();
 
     let mut group = c.benchmark_group("hw_locks");

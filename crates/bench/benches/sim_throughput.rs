@@ -30,19 +30,14 @@ fn bench_lock_passages(c: &mut Criterion) {
     group.sample_size(10);
     for n in [8usize, 32] {
         for lock in all_locks(n, 1) {
-            group.bench_with_input(
-                BenchmarkId::new(lock.name().to_owned(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let (m, stats) =
-                            run_round_robin(lock.as_ref(), CommitPolicy::Lazy, 50_000_000)
-                                .unwrap();
-                        assert!(stats.all_halted);
-                        m.log().len()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(lock.name().to_owned(), n), &n, |b, _| {
+                b.iter(|| {
+                    let (m, stats) =
+                        run_round_robin(lock.as_ref(), CommitPolicy::Lazy, 50_000_000).unwrap();
+                    assert!(stats.all_halted);
+                    m.log().len()
+                })
+            });
         }
     }
     group.finish();

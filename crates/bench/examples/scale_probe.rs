@@ -6,7 +6,11 @@ use tpa_adversary::{Config, Construction};
 fn main() {
     for n in [4096usize, 8192, 16384] {
         let lock = tpa_algos::lock_by_name("tournament", n, 1).unwrap();
-        let cfg = Config { max_rounds: 16, fast_erasure: true, ..Default::default() };
+        let cfg = Config {
+            max_rounds: 16,
+            fast_erasure: true,
+            ..Default::default()
+        };
         let t = Instant::now();
         let out = Construction::new(&lock, cfg).unwrap().run();
         println!(

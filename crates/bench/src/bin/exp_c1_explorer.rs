@@ -1,0 +1,140 @@
+//! C1: explorer effort across the lock portfolio — how far the sleep-set
+//! and state-cache reductions carry bounded-exhaustive verification.
+//!
+//! For each simulated lock at small `n` this runs the `tpa-check`
+//! exhaustive explorer and reports transitions executed, directives put
+//! to sleep, state-cache skips, and distinct states — the numbers behind
+//! the C1 table in EXPERIMENTS.md. A final line demonstrates the verdict
+//! pipeline on the deliberately broken `bakery-nofence` variant: found,
+//! shrunk, and sized.
+//!
+//! Usage: `exp_c1_explorer [--quick]`
+//! `--quick` restricts to n = 2 and a smaller step bound.
+
+use tpa_bench::report::{self, ToJson};
+use tpa_check::{check_exhaustive, ExploreConfig, Verdict};
+use tpa_tso::MemoryModel;
+
+/// One row of the C1 table.
+struct C1Row {
+    algo: String,
+    n: usize,
+    max_steps: usize,
+    transitions: u64,
+    pruned_sleep: u64,
+    cache_skips: u64,
+    unique_states: usize,
+    complete: bool,
+    verdict: &'static str,
+}
+
+impl ToJson for C1Row {
+    fn to_json(&self) -> String {
+        report::json_object(&[
+            ("algo", self.algo.to_json()),
+            ("n", self.n.to_json()),
+            ("max_steps", self.max_steps.to_json()),
+            ("transitions", self.transitions.to_json()),
+            ("pruned_sleep", self.pruned_sleep.to_json()),
+            ("cache_skips", self.cache_skips.to_json()),
+            ("unique_states", self.unique_states.to_json()),
+            ("complete", self.complete.to_json()),
+            ("verdict", self.verdict.to_json()),
+        ])
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[(usize, usize)] = if quick {
+        &[(2, 40)]
+    } else {
+        &[(2, 60), (3, 40)]
+    };
+
+    let mut rows: Vec<C1Row> = Vec::new();
+    for &(n, max_steps) in sizes {
+        for lock in tpa_algos::all_locks(n, 1) {
+            let config = ExploreConfig {
+                max_steps,
+                max_transitions: 4_000_000,
+            };
+            let report = check_exhaustive(lock.as_ref(), MemoryModel::Tso, &config);
+            rows.push(C1Row {
+                algo: report.algo.clone(),
+                n,
+                max_steps,
+                transitions: report.stats.transitions,
+                pruned_sleep: report.stats.pruned_sleep,
+                cache_skips: report.stats.cache_skips,
+                unique_states: report.stats.unique_states,
+                complete: report.stats.complete,
+                verdict: if report.verdict.passed() {
+                    "pass"
+                } else {
+                    "VIOLATION"
+                },
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algo.clone(),
+                r.n.to_string(),
+                r.max_steps.to_string(),
+                r.transitions.to_string(),
+                r.pruned_sleep.to_string(),
+                r.cache_skips.to_string(),
+                r.unique_states.to_string(),
+                if r.complete { "yes" } else { "budget" }.to_string(),
+                r.verdict.to_string(),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "C1: bounded-exhaustive explorer effort (TSO, 1 passage)",
+        &[
+            "algo",
+            "n",
+            "steps",
+            "transitions",
+            "slept",
+            "cache",
+            "states",
+            "complete",
+            "verdict",
+        ],
+        &table,
+    );
+    report::maybe_write_json("c1_explorer", rows.as_slice());
+
+    // The negative control: a lock with a dropped fence must be caught
+    // and the counterexample must shrink to a short schedule.
+    let broken = tpa_algos::sim::bakery::BakeryLock::without_doorway_fence(2, 1);
+    let config = ExploreConfig {
+        max_steps: 60,
+        max_transitions: 4_000_000,
+    };
+    let report = check_exhaustive(&broken, MemoryModel::Tso, &config);
+    match &report.verdict {
+        Verdict::Violation {
+            invariant,
+            found_len,
+            shrunk,
+            ..
+        } => {
+            println!(
+                "\nnegative control: bakery-nofence violates {invariant}; \
+                 schedule {found_len} directives, shrunk to {}",
+                shrunk.len()
+            );
+        }
+        Verdict::Pass => {
+            println!("\nnegative control FAILED: bakery-nofence was not caught");
+            std::process::exit(1);
+        }
+    }
+}

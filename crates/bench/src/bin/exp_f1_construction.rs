@@ -23,7 +23,10 @@ fn main() {
         }
     };
 
-    println!("algorithm: {} | n = {} | stop: {}", out.algorithm, out.n, out.stop);
+    println!(
+        "algorithm: {} | n = {} | stop: {}",
+        out.algorithm, out.n, out.stop
+    );
     println!(
         "rounds completed: {} | fences forced: {} | final contention: {} | blocked erased: {}",
         out.rounds_completed(),
@@ -69,7 +72,16 @@ fn main() {
         .collect();
     report::print_table(
         "F1: per-round summary (H_i conditions)",
-        &["i", "s (read)", "t (write)", "m (reg)", "l_i", "|Act| start", "|Act| end", "finisher"],
+        &[
+            "i",
+            "s (read)",
+            "t (write)",
+            "m (reg)",
+            "l_i",
+            "|Act| start",
+            "|Act| end",
+            "finisher",
+        ],
         &round_rows,
     );
     report::maybe_write_json("F1", &out.rounds);

@@ -10,8 +10,10 @@
 use tpa_bench::report::{self, fmt_f64};
 
 fn main() {
-    let rounds: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
 
     // Scan-based locks make the construction O(n²): cap their sizes.
     let fast: &[&str] = &["tournament", "splitter", "ticketq", "mcs", "ttas"];
@@ -39,7 +41,17 @@ fn main() {
         .collect();
     report::print_table(
         "T1: construction vs Theorem 3 (ln bound < 0 means vacuous at this N)",
-        &["algo", "N", "i", "|Act(H_i)|", "ln bound", "l_i", "s", "t", "m"],
+        &[
+            "algo",
+            "N",
+            "i",
+            "|Act(H_i)|",
+            "ln bound",
+            "l_i",
+            "s",
+            "t",
+            "m",
+        ],
         &table,
     );
 
@@ -48,8 +60,10 @@ fn main() {
     for (algos, ns) in [(fast, &fast_ns[..]), (slow, &slow_ns[..])] {
         for algo in algos {
             for &n in ns.iter() {
-                let per: Vec<_> =
-                    rows.iter().filter(|r| r.algo == *algo && r.n == n).collect();
+                let per: Vec<_> = rows
+                    .iter()
+                    .filter(|r| r.algo == *algo && r.n == n)
+                    .collect();
                 if per.is_empty() {
                     continue;
                 }

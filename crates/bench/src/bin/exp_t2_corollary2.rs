@@ -12,7 +12,10 @@
 use tpa_bench::report::{self, fmt_f64};
 
 fn main() {
-    let c: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let c: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
 
     let log2_ns: Vec<f64> = (3..=20).map(|j| (1u64 << j) as f64).collect();
     let rows = tpa_bench::t2_rows(c, &log2_ns);
@@ -31,7 +34,13 @@ fn main() {
         .collect();
     report::print_table(
         &format!("T2: Corollary 2 — f(i) = {c}·i forces Ω(log log N) fences"),
-        &["N", "log2 log2 N", "max feasible i", "(1/3c)·loglog", "i / loglog"],
+        &[
+            "N",
+            "log2 log2 N",
+            "max feasible i",
+            "(1/3c)·loglog",
+            "i / loglog",
+        ],
         &table,
     );
 

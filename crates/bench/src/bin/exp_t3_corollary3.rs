@@ -9,7 +9,10 @@
 use tpa_bench::report::{self, fmt_f64};
 
 fn main() {
-    let c: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let c: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
 
     // log2 N = 2^j: each step of j adds one to log log N, so the triple
     // log crawls — exactly the separation from T2.

@@ -15,11 +15,28 @@
 use tpa_bench::report::{self, fmt_f64};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
 
-    let algos: &[&str] =
-        &["tas", "ttas", "ticketq", "mcs", "bakery", "filter", "onebit", "tournament", "dijkstra", "splitter"];
-    let ks: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64].iter().copied().filter(|k| *k <= n).collect();
+    let algos: &[&str] = &[
+        "tas",
+        "ttas",
+        "ticketq",
+        "mcs",
+        "bakery",
+        "filter",
+        "onebit",
+        "tournament",
+        "dijkstra",
+        "splitter",
+    ];
+    let ks: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64]
+        .iter()
+        .copied()
+        .filter(|k| *k <= n)
+        .collect();
     let rows = tpa_bench::t4_rows(algos, n, &ks);
 
     let table: Vec<Vec<String>> = rows
@@ -38,7 +55,15 @@ fn main() {
         .collect();
     report::print_table(
         &format!("T4: per-passage complexity vs contention k (n = {n}, lazy commits)"),
-        &["algo", "k", "fences max", "fences avg", "RMR dsm max", "RMR wb max", "point cont."],
+        &[
+            "algo",
+            "k",
+            "fences max",
+            "fences avg",
+            "RMR dsm max",
+            "RMR wb max",
+            "point cont.",
+        ],
         &table,
     );
     report::maybe_write_json("T4", &rows);

@@ -30,7 +30,16 @@ fn main() {
         .collect();
     report::print_table(
         "T5: Lemma 9 — bare object op vs Algorithm 1 passage (worst case per span)",
-        &["object", "N", "op fences", "mutex fences", "gap", "op RMR", "mutex RMR", "RMR gap"],
+        &[
+            "object",
+            "N",
+            "op fences",
+            "mutex fences",
+            "gap",
+            "op RMR",
+            "mutex RMR",
+            "RMR gap",
+        ],
         &table,
     );
     report::maybe_write_json("T5", &rows);

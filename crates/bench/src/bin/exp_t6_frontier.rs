@@ -11,8 +11,17 @@
 use tpa_bench::report;
 
 fn main() {
-    let log2_ns: Vec<f64> =
-        [8.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 65_536.0, 1_048_576.0].to_vec();
+    let log2_ns: Vec<f64> = [
+        8.0,
+        16.0,
+        64.0,
+        256.0,
+        1024.0,
+        4096.0,
+        65_536.0,
+        1_048_576.0,
+    ]
+    .to_vec();
     let rows = tpa_bench::t6_rows(&log2_ns);
 
     // Pivot: families × N.
@@ -34,6 +43,10 @@ fn main() {
     let mut headers: Vec<String> = vec!["adaptivity".into()];
     headers.extend(log2_ns.iter().map(|l| format!("N=2^{l}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    report::print_table("T6: forced fences across the adaptivity landscape", &header_refs, &table);
+    report::print_table(
+        "T6: forced fences across the adaptivity landscape",
+        &header_refs,
+        &table,
+    );
     report::maybe_write_json("T6", &rows);
 }

@@ -13,9 +13,20 @@
 use tpa_bench::report;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
     let algos: &[&str] = &[
-        "tas", "ttas", "ticketq", "mcs", "bakery", "filter", "onebit", "tournament", "dijkstra",
+        "tas",
+        "ttas",
+        "ticketq",
+        "mcs",
+        "bakery",
+        "filter",
+        "onebit",
+        "tournament",
+        "dijkstra",
         "splitter",
     ];
     let rows = tpa_bench::t7_rows(algos, n, &[1, 4, 16, 32]);

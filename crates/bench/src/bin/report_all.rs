@@ -11,7 +11,11 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
 
     // F1.
-    let (f1_algo, f1_n) = if quick { ("tournament", 64) } else { ("tournament", 256) };
+    let (f1_algo, f1_n) = if quick {
+        ("tournament", 64)
+    } else {
+        ("tournament", 256)
+    };
     let out = tpa_bench::construction_outcome(f1_algo, f1_n, 10, true).unwrap();
     let rows: Vec<Vec<String>> = out
         .rounds
@@ -35,10 +39,17 @@ fn main() {
     );
 
     // T1 witnesses.
-    let (fast_ns, slow_ns): (&[usize], &[usize]) =
-        if quick { (&[64, 256], &[16, 64]) } else { (&[64, 256, 1024], &[16, 64, 128]) };
+    let (fast_ns, slow_ns): (&[usize], &[usize]) = if quick {
+        (&[64, 256], &[16, 64])
+    } else {
+        (&[64, 256, 1024], &[16, 64, 128])
+    };
     let mut t1 = tpa_bench::t1_rows(&["tournament", "splitter", "ticketq", "mcs"], fast_ns, 14);
-    t1.extend(tpa_bench::t1_rows(&["bakery", "filter", "onebit", "dijkstra"], slow_ns, 14));
+    t1.extend(tpa_bench::t1_rows(
+        &["bakery", "filter", "onebit", "dijkstra"],
+        slow_ns,
+        14,
+    ));
     let mut seen: Vec<(String, usize)> = Vec::new();
     let mut rows = Vec::new();
     for r in &t1 {
@@ -54,10 +65,16 @@ fn main() {
             .count();
         rows.push(vec![r.algo.clone(), r.n.to_string(), forced.to_string()]);
     }
-    report::print_table("T1: Theorem 1 witnesses (fences forced)", &["algo", "N", "forced"], &rows);
+    report::print_table(
+        "T1: Theorem 1 witnesses (fences forced)",
+        &["algo", "N", "forced"],
+        &rows,
+    );
 
     // T2 / T3.
-    let log2_ns: Vec<f64> = (3..=if quick { 12 } else { 20 }).map(|j| (1u64 << j) as f64).collect();
+    let log2_ns: Vec<f64> = (3..=if quick { 12 } else { 20 })
+        .map(|j| (1u64 << j) as f64)
+        .collect();
     let t2 = tpa_bench::t2_rows(1.0, &log2_ns);
     let rows: Vec<Vec<String>> = t2
         .iter()
@@ -70,7 +87,11 @@ fn main() {
             ]
         })
         .collect();
-    report::print_table("T2: Corollary 2 (f = i)", &["N", "loglog", "max i", "(1/3)loglog"], &rows);
+    report::print_table(
+        "T2: Corollary 2 (f = i)",
+        &["N", "loglog", "max i", "(1/3)loglog"],
+        &rows,
+    );
 
     let t3 = tpa_bench::t3_rows(1.0, &log2_ns);
     let rows: Vec<Vec<String>> = t3
@@ -84,13 +105,32 @@ fn main() {
             ]
         })
         .collect();
-    report::print_table("T3: Corollary 3 (f = 2^i)", &["N", "llln", "max i", "(llln-1)"], &rows);
+    report::print_table(
+        "T3: Corollary 3 (f = 2^i)",
+        &["N", "llln", "max i", "(llln-1)"],
+        &rows,
+    );
 
     // T4.
     let n = if quick { 16 } else { 64 };
-    let ks: Vec<usize> = [1usize, 4, 16, 64].iter().copied().filter(|k| *k <= n).collect();
+    let ks: Vec<usize> = [1usize, 4, 16, 64]
+        .iter()
+        .copied()
+        .filter(|k| *k <= n)
+        .collect();
     let t4 = tpa_bench::t4_rows(
-        &["tas", "ttas", "ticketq", "mcs", "bakery", "filter", "onebit", "tournament", "dijkstra", "splitter"],
+        &[
+            "tas",
+            "ttas",
+            "ticketq",
+            "mcs",
+            "bakery",
+            "filter",
+            "onebit",
+            "tournament",
+            "dijkstra",
+            "splitter",
+        ],
         n,
         &ks,
     );
@@ -130,7 +170,14 @@ fn main() {
         .collect();
     report::print_table(
         "T5: Lemma 9 gaps",
-        &["object", "N", "op fences", "mutex fences", "fence gap", "RMR gap"],
+        &[
+            "object",
+            "N",
+            "op fences",
+            "mutex fences",
+            "fence gap",
+            "RMR gap",
+        ],
         &rows,
     );
 
@@ -143,13 +190,30 @@ fn main() {
     let t6 = tpa_bench::t6_rows(&grid);
     let rows: Vec<Vec<String>> = t6
         .iter()
-        .map(|r| vec![r.family.clone(), format!("2^{}", r.log2_n), r.max_feasible_i.to_string()])
+        .map(|r| {
+            vec![
+                r.family.clone(),
+                format!("2^{}", r.log2_n),
+                r.max_feasible_i.to_string(),
+            ]
+        })
         .collect();
     report::print_table("T6: adaptivity frontier", &["family", "N", "max i"], &rows);
 
     // T7.
     let t7 = tpa_bench::t7_rows(
-        &["tas", "ttas", "ticketq", "mcs", "bakery", "filter", "onebit", "tournament", "dijkstra", "splitter"],
+        &[
+            "tas",
+            "ttas",
+            "ticketq",
+            "mcs",
+            "bakery",
+            "filter",
+            "onebit",
+            "tournament",
+            "dijkstra",
+            "splitter",
+        ],
         n,
         &[1, n.min(16)],
     );
@@ -165,7 +229,11 @@ fn main() {
             ]
         })
         .collect();
-    report::print_table("T7: RMR models", &["algo", "k", "DSM", "CC-WT", "CC-WB"], &rows);
+    report::print_table(
+        "T7: RMR models",
+        &["algo", "k", "DSM", "CC-WT", "CC-WB"],
+        &rows,
+    );
 
     println!("\nall simulator experiments complete; run `cargo bench -p tpa-bench` for H1.");
 }

@@ -1,12 +1,12 @@
 //! Experiment implementations (shared by binaries, tests and benches).
 
-use serde::Serialize;
-
 use tpa_adversary::{bounds, Adaptivity, Config, Construction, Outcome};
 use tpa_algos::lock_by_name;
 use tpa_objects::lemma9::{self, TicketObject};
 use tpa_tso::machine::NextEvent;
 use tpa_tso::{Directive, Machine, ProcId, System};
+
+use crate::report::{json_object, ToJson};
 
 /// Runs the adversarial construction for a named lock.
 ///
@@ -29,11 +29,13 @@ pub fn construction_outcome(
         fast_erasure: !check_invariants,
         ..Config::default()
     };
-    Ok(Construction::new(&lock, cfg).map_err(|e| e.to_string())?.run())
+    Ok(Construction::new(&lock, cfg)
+        .map_err(|e| e.to_string())?
+        .run())
 }
 
 /// One row of the T1 table: a construction round against Theorem 3.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct T1Row {
     /// Algorithm name.
     pub algo: String,
@@ -89,7 +91,7 @@ pub fn t1_rows(algos: &[&str], ns: &[usize], max_rounds: usize) -> Vec<T1Row> {
 }
 
 /// One row of the T2/T3 corollary sweeps.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CorollaryRow {
     /// `log₂ N`.
     pub log2_n: f64,
@@ -139,7 +141,7 @@ pub fn t3_rows(c: f64, log2_ns: &[f64]) -> Vec<CorollaryRow> {
 }
 
 /// One row of the T4 separation table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct T4Row {
     /// Algorithm name.
     pub algo: String,
@@ -190,7 +192,9 @@ pub fn run_contention_subset(
             if steps >= max_steps {
                 return Err(format!("budget exhausted after {steps} steps"));
             }
-            machine.step(Directive::Issue(p)).map_err(|e| e.to_string())?;
+            machine
+                .step(Directive::Issue(p))
+                .map_err(|e| e.to_string())?;
             steps += 1;
         }
         if done {
@@ -208,7 +212,9 @@ pub fn t4_rows(algos: &[&str], n: usize, ks: &[usize]) -> Vec<T4Row> {
             if k > n {
                 continue;
             }
-            let Some(lock) = lock_by_name(algo, n, 1) else { continue };
+            let Some(lock) = lock_by_name(algo, n, 1) else {
+                continue;
+            };
             let Ok(machine) = run_contention_subset(lock.as_ref(), k, 1, 30_000_000) else {
                 continue;
             };
@@ -250,7 +256,7 @@ pub fn t4_rows(algos: &[&str], n: usize, ks: &[usize]) -> Vec<T4Row> {
 }
 
 /// One row of the T5 (Lemma 9) table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct T5Row {
     /// Backing object.
     pub object: String,
@@ -275,7 +281,9 @@ pub fn t5_rows(ns: &[usize]) -> Vec<T5Row> {
     let mut rows = Vec::new();
     for object in TicketObject::ALL {
         for &n in ns {
-            let Ok(row) = lemma9::measure(object, n) else { continue };
+            let Ok(row) = lemma9::measure(object, n) else {
+                continue;
+            };
             rows.push(T5Row {
                 object: object.name().to_owned(),
                 n,
@@ -292,7 +300,7 @@ pub fn t5_rows(ns: &[usize]) -> Vec<T5Row> {
 }
 
 /// One row of the T6 feasibility frontier.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct T6Row {
     /// Adaptivity family description.
     pub family: String,
@@ -368,7 +376,10 @@ mod tests {
         // constant.
         let rows = t4_rows(&["ticketq", "bakery"], 16, &[1, 8]);
         let get = |algo: &str, k: usize| {
-            rows.iter().find(|r| r.algo == algo && r.k == k).unwrap().fences_max
+            rows.iter()
+                .find(|r| r.algo == algo && r.k == k)
+                .unwrap()
+                .fences_max
         };
         assert!(get("ticketq", 8) > get("ticketq", 1));
         assert_eq!(get("bakery", 8), get("bakery", 1));
@@ -385,7 +396,10 @@ mod tests {
     fn t6_orders_families_sanely() {
         let rows = t6_rows(&[65_536.0]);
         let get = |fam: &str| {
-            rows.iter().find(|r| r.family == fam).unwrap().max_feasible_i
+            rows.iter()
+                .find(|r| r.family == fam)
+                .unwrap()
+                .max_feasible_i
         };
         // Slower-growing adaptivity functions admit more forced fences.
         assert!(get("f(k)=2·log2(k+1)") >= get("f(k)=1·k"));
@@ -395,7 +409,7 @@ mod tests {
 }
 
 /// One row of the T7 RMR-accounting comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct T7Row {
     /// Algorithm name.
     pub algo: String,
@@ -411,6 +425,87 @@ pub struct T7Row {
     pub events: u64,
 }
 
+impl ToJson for T1Row {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("algo", self.algo.to_json()),
+            ("n", self.n.to_json()),
+            ("round", self.round.to_json()),
+            ("act_measured", self.act_measured.to_json()),
+            ("theorem3_ln_bound", self.theorem3_ln_bound.to_json()),
+            ("criticals_per_active", self.criticals_per_active.to_json()),
+            ("read_iters", self.read_iters.to_json()),
+            ("write_iters", self.write_iters.to_json()),
+            ("reg_criticals", self.reg_criticals.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CorollaryRow {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("log2_n", self.log2_n.to_json()),
+            ("loglog", self.loglog.to_json()),
+            ("max_feasible_i", self.max_feasible_i.to_json()),
+            ("guaranteed_point", self.guaranteed_point.to_json()),
+        ])
+    }
+}
+
+impl ToJson for T4Row {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("algo", self.algo.to_json()),
+            ("n", self.n.to_json()),
+            ("k", self.k.to_json()),
+            ("fences_max", self.fences_max.to_json()),
+            ("fences_avg", self.fences_avg.to_json()),
+            ("rmr_dsm_max", self.rmr_dsm_max.to_json()),
+            ("rmr_wb_max", self.rmr_wb_max.to_json()),
+            ("point_contention", self.point_contention.to_json()),
+            ("interval_contention", self.interval_contention.to_json()),
+        ])
+    }
+}
+
+impl ToJson for T5Row {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("object", self.object.to_json()),
+            ("n", self.n.to_json()),
+            ("bare_fences", self.bare_fences.to_json()),
+            ("mutex_fences", self.mutex_fences.to_json()),
+            ("fence_gap", self.fence_gap.to_json()),
+            ("bare_rmr", self.bare_rmr.to_json()),
+            ("mutex_rmr", self.mutex_rmr.to_json()),
+            ("rmr_gap", self.rmr_gap.to_json()),
+        ])
+    }
+}
+
+impl ToJson for T6Row {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("family", self.family.to_json()),
+            ("log2_n", self.log2_n.to_json()),
+            ("max_feasible_i", self.max_feasible_i.to_json()),
+        ])
+    }
+}
+
+impl ToJson for T7Row {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("algo", self.algo.to_json()),
+            ("k", self.k.to_json()),
+            ("rmr_dsm", self.rmr_dsm.to_json()),
+            ("rmr_wt", self.rmr_wt.to_json()),
+            ("rmr_wb", self.rmr_wb.to_json()),
+            ("events", self.events.to_json()),
+        ])
+    }
+}
+
 /// T7 (ablation): how the three RMR accounting models the paper covers
 /// (DSM, CC write-through, CC write-back) price the same executions.
 pub fn t7_rows(algos: &[&str], n: usize, ks: &[usize]) -> Vec<T7Row> {
@@ -420,7 +515,9 @@ pub fn t7_rows(algos: &[&str], n: usize, ks: &[usize]) -> Vec<T7Row> {
             if k > n {
                 continue;
             }
-            let Some(lock) = lock_by_name(algo, n, 1) else { continue };
+            let Some(lock) = lock_by_name(algo, n, 1) else {
+                continue;
+            };
             let Ok(machine) = run_contention_subset(lock.as_ref(), k, 1, 30_000_000) else {
                 continue;
             };

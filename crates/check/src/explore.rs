@@ -1,0 +1,321 @@
+//! Bounded-exhaustive schedule exploration with sleep-set pruning.
+//!
+//! [`explore`] enumerates every schedule of a [`System`] up to a step
+//! bound by depth-first search over [`Machine::fork`] snapshots, checking
+//! a battery of [`Invariant`]s after every step. Two reductions keep the
+//! search tractable without losing violations:
+//!
+//! * **Sleep sets** (Godefroid): after exploring directive `d` from a
+//!   state, sibling subtrees need not re-explore interleavings that merely
+//!   run `d` later *past independent directives* — `d` is put to sleep in
+//!   those subtrees and woken only by a dependent step. Independence is
+//!   [`Machine::independent`]: distinct processes whose shared-memory
+//!   footprints are disjoint commute.
+//! * **State cache**: states are keyed by [`Machine::state_hash`]. A
+//!   state revisited with a sleep set *no smaller* than a previously
+//!   explored one is skipped — the earlier visit already covered every
+//!   directive the new visit would try. (Caching modulo sleep sets is
+//!   required for soundness: a plain visited-set would wrongly skip
+//!   revisits that have *more* directives awake.)
+//!
+//! Both reductions are sound for state predicates: every reachable state
+//! within the bound is reached by at least one explored schedule.
+
+use std::collections::HashMap;
+
+use tpa_tso::{Directive, Machine, MemoryModel, ProcId, System};
+
+use crate::invariant::{Invariant, Violation};
+
+/// Exploration bounds.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Maximum schedule length (search depth).
+    pub max_steps: usize,
+    /// Global budget on executed transitions; exceeding it aborts the
+    /// search with [`ExploreStats::complete`]` == false`.
+    pub max_transitions: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_steps: 80,
+            max_transitions: 20_000_000,
+        }
+    }
+}
+
+/// Search effort counters, exposed for experiment tables and smoke tests.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ExploreStats {
+    /// Machine steps actually executed.
+    pub transitions: u64,
+    /// Directives skipped because they were asleep.
+    pub pruned_sleep: u64,
+    /// Node visits cut off by the state cache.
+    pub cache_skips: u64,
+    /// Distinct state hashes seen.
+    pub unique_states: usize,
+    /// Paths cut off by the depth bound.
+    pub truncated_paths: u64,
+    /// Whether the search ran to completion (no transition-budget abort).
+    pub complete: bool,
+}
+
+/// A violating schedule as found (pre-shrinking).
+#[derive(Clone, Debug)]
+pub struct FoundViolation {
+    /// The invariant that fired and its diagnosis.
+    pub violation: Violation,
+    /// The full schedule from the initial state to the violating state.
+    pub schedule: Vec<Directive>,
+}
+
+/// Every directive any process can execute in the current state.
+pub fn enabled_all(machine: &Machine) -> Vec<Directive> {
+    (0..machine.n())
+        .flat_map(|i| machine.enabled_directives(ProcId(i as u32)))
+        .collect()
+}
+
+/// Explores every schedule of `system` up to `config.max_steps` steps,
+/// returning the first invariant violation found (if any) and the search
+/// counters.
+pub fn explore(
+    system: &dyn System,
+    model: MemoryModel,
+    invariants: &[Box<dyn Invariant>],
+    config: &ExploreConfig,
+) -> (Option<FoundViolation>, ExploreStats) {
+    let mut ctx = Ctx {
+        invariants,
+        config,
+        cache: HashMap::new(),
+        stats: ExploreStats {
+            complete: true,
+            ..ExploreStats::default()
+        },
+    };
+    let root = Machine::with_model(system, model);
+    // The initial state itself may violate (e.g. an empty program that is
+    // terminal but not quiescent).
+    for inv in invariants {
+        if let Some(v) = inv.check(&root) {
+            ctx.stats.unique_states = 1;
+            return (
+                Some(FoundViolation {
+                    violation: v,
+                    schedule: Vec::new(),
+                }),
+                ctx.stats,
+            );
+        }
+    }
+    let found = dfs(&root, &[], 0, &mut ctx);
+    ctx.stats.unique_states = ctx.cache.len();
+    (found, ctx.stats)
+}
+
+struct Ctx<'a> {
+    invariants: &'a [Box<dyn Invariant>],
+    config: &'a ExploreConfig,
+    /// state hash → sleep sets this state was already explored with.
+    cache: HashMap<u64, Vec<Vec<Directive>>>,
+    stats: ExploreStats,
+}
+
+fn is_subset(small: &[Directive], big: &[Directive]) -> bool {
+    small.iter().all(|d| big.contains(d))
+}
+
+fn dfs(
+    machine: &Machine,
+    sleep: &[Directive],
+    depth: usize,
+    ctx: &mut Ctx<'_>,
+) -> Option<FoundViolation> {
+    if !ctx.stats.complete {
+        return None;
+    }
+
+    let entry = ctx.cache.entry(machine.state_hash()).or_default();
+    if entry.iter().any(|stored| is_subset(stored, sleep)) {
+        // An earlier visit had at least as many directives awake: every
+        // schedule we would generate from here was already generated.
+        ctx.stats.cache_skips += 1;
+        return None;
+    }
+    entry.retain(|stored| !is_subset(sleep, stored));
+    entry.push(sleep.to_vec());
+
+    if depth >= ctx.config.max_steps {
+        ctx.stats.truncated_paths += 1;
+        return None;
+    }
+
+    let mut done: Vec<Directive> = Vec::new();
+    for d in enabled_all(machine) {
+        if sleep.contains(&d) {
+            ctx.stats.pruned_sleep += 1;
+            continue;
+        }
+        if ctx.stats.transitions >= ctx.config.max_transitions {
+            ctx.stats.complete = false;
+            return None;
+        }
+        let mut child = machine.fork();
+        child
+            .step(d)
+            .unwrap_or_else(|e| panic!("explorer: enabled directive {d:?} failed: {e:?}"));
+        ctx.stats.transitions += 1;
+        for inv in ctx.invariants {
+            if let Some(v) = inv.check(&child) {
+                return Some(FoundViolation {
+                    violation: v,
+                    schedule: child.schedule().to_vec(),
+                });
+            }
+        }
+        // `d`'s siblings-already-done and inherited sleepers stay asleep
+        // in the child exactly if they commute with `d` (independence
+        // evaluated in the *parent* state, as usual for sleep sets).
+        let child_sleep: Vec<Directive> = sleep
+            .iter()
+            .chain(done.iter())
+            .copied()
+            .filter(|&other| machine.independent(d, other))
+            .collect();
+        if let Some(found) = dfs(&child, &child_sleep, depth + 1, ctx) {
+            return Some(found);
+        }
+        done.push(d);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::{standard_invariants, Invariant, Violation};
+    use tpa_tso::scripted::{Instr, ScriptSystem};
+    use tpa_tso::{Value, VarId};
+
+    /// p0: v0 := 1; read v1.  p1: v1 := 1; read v0. The store-buffer
+    /// litmus: TSO reaches r0 = r1 = 0.
+    fn store_buffer() -> ScriptSystem {
+        ScriptSystem::new(2, 2, |pid| {
+            let me = pid.0;
+            vec![
+                Instr::Write { var: me, value: 1 },
+                Instr::Read {
+                    var: 1 - me,
+                    reg: 0,
+                },
+                Instr::Halt,
+            ]
+        })
+    }
+
+    /// Fires when both processes read 0 — the TSO-only outcome.
+    struct BothReadZero;
+    impl Invariant for BothReadZero {
+        fn name(&self) -> &'static str {
+            "both-read-zero"
+        }
+        fn check(&self, m: &Machine) -> Option<Violation> {
+            // Registers start at 0, so only count once both programs have
+            // actually executed their read (i.e. halted).
+            let halted =
+                |p: u32| m.peek_next(tpa_tso::ProcId(p)) == tpa_tso::machine::NextEvent::Halted;
+            let r = |p: u32| m.program(tpa_tso::ProcId(p)).and_then(|pr| pr.register(0));
+            (halted(0) && halted(1) && r(0) == Some(0 as Value) && r(1) == Some(0)).then(|| {
+                Violation {
+                    invariant: "both-read-zero",
+                    detail: "store-buffer reordering observed".into(),
+                }
+            })
+        }
+    }
+
+    #[test]
+    fn exhaustive_search_finds_the_tso_reordering() {
+        let sys = store_buffer();
+        let invs: Vec<Box<dyn Invariant>> = vec![Box::new(BothReadZero)];
+        let (found, stats) = explore(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default());
+        let found = found.expect("TSO must exhibit r0 = r1 = 0");
+        assert!(stats.transitions > 0);
+        // Both reads executed before either commit: at least 4 steps.
+        assert!(found.schedule.len() >= 4, "{:?}", found.schedule);
+    }
+
+    #[test]
+    fn scripted_writers_satisfy_the_standard_battery() {
+        let sys = store_buffer();
+        let invs = standard_invariants();
+        let (found, stats) = explore(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default());
+        assert!(found.is_none(), "unexpected violation: {found:?}");
+        assert!(stats.complete);
+        assert!(stats.unique_states > 0);
+    }
+
+    #[test]
+    fn sleep_sets_prune_commuting_writers_without_losing_states() {
+        // Two processes writing disjoint variables: all interleavings
+        // commute, so pruning should bite hard.
+        let sys = ScriptSystem::new(2, 2, |pid| {
+            vec![
+                Instr::Write {
+                    var: pid.0,
+                    value: 7,
+                },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        });
+        let invs = standard_invariants();
+        let (found, stats) = explore(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default());
+        assert!(found.is_none());
+        assert!(stats.complete);
+        assert!(
+            stats.pruned_sleep + stats.cache_skips > 0,
+            "expected pruning on a fully commuting system: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pruned_search_still_reaches_every_final_value() {
+        // Cross-check: exhaustive exploration with pruning still finds the
+        // schedule where p1's CAS observes p0's committed write.
+        let sys = ScriptSystem::new(2, 1, |pid| {
+            if pid.0 == 0 {
+                vec![Instr::Write { var: 0, value: 1 }, Instr::Fence, Instr::Halt]
+            } else {
+                vec![
+                    Instr::Cas {
+                        var: 0,
+                        expected: 1,
+                        new: 5,
+                        success_reg: 0,
+                    },
+                    Instr::Halt,
+                ]
+            }
+        });
+        struct CasWon;
+        impl Invariant for CasWon {
+            fn name(&self) -> &'static str {
+                "cas-won"
+            }
+            fn check(&self, m: &Machine) -> Option<Violation> {
+                (m.value(VarId(0)) == 5).then(|| Violation {
+                    invariant: "cas-won",
+                    detail: "p1's CAS observed the committed 1".into(),
+                })
+            }
+        }
+        let invs: Vec<Box<dyn Invariant>> = vec![Box::new(CasWon)];
+        let (found, _) = explore(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default());
+        assert!(found.is_some());
+    }
+}

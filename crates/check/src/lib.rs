@@ -1,0 +1,36 @@
+//! tpa-check: systematic schedule exploration for the TSO simulator.
+//!
+//! The rest of the workspace *measures* executions (RMRs, fences,
+//! critical events); this crate *searches* them. Three layers:
+//!
+//! * [`explore`](mod@explore) — bounded-exhaustive enumeration of every
+//!   [`tpa_tso::Directive`] interleaving up to a step bound, with
+//!   sleep-set pruning of commuting directive pairs (built on
+//!   [`tpa_tso::Machine::independent`]) and a visited-state cache keyed
+//!   by [`tpa_tso::Machine::state_hash`];
+//! * [`swarm`](mod@swarm) — seeded biased random schedules
+//!   (commit-starving, fence-stalling, single-process bursts) for
+//!   instances too large to exhaust;
+//! * [`verdict`] — runs a mode over the [`invariant`] battery (mutual
+//!   exclusion, bounded deadlock-freedom, store-buffer/fence laws), and
+//!   on a violation shrinks the witness schedule with
+//!   [`tpa_tso::shrink::shrink_schedule`] and renders it with
+//!   [`tpa_tso::trace`].
+//!
+//! The intended workflow is the one in `tests/lock_correctness.rs`:
+//! exhaustively verify each lock at small `n`, swarm the larger
+//! instances, and `assert_pass()` — a failure panics with a minimal,
+//! human-readable counterexample schedule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod invariant;
+pub mod swarm;
+pub mod verdict;
+
+pub use explore::{explore, ExploreConfig, ExploreStats, FoundViolation};
+pub use invariant::{standard_invariants, Invariant, Violation};
+pub use swarm::{swarm, Bias, SwarmConfig, SwarmStats};
+pub use verdict::{check_exhaustive, check_swarm, CheckReport, EffortStats, Verdict};

@@ -1,0 +1,237 @@
+//! Swarm testing: seeded *biased* random schedules.
+//!
+//! Where [`crate::explore`] is exhaustive up to a bound, swarm mode trades
+//! completeness for reach: many independent random schedules, each drawn
+//! from a deliberately skewed distribution. Uniform random scheduling
+//! almost never lingers in the adversarial corners of the TSO state space
+//! — a violation that needs a write to stay buffered for thirty steps has
+//! vanishing probability under a fair coin. Each swarm schedule therefore
+//! commits to one [`Bias`] for its whole run (the "swarm testing" idea of
+//! Groce et al.: feature-biased configurations find more bugs than any
+//! single fair distribution).
+
+use tpa_tso::sched::XorShift;
+use tpa_tso::{Directive, Machine, MemoryModel, Mode, ProcId, System};
+
+use crate::explore::{enabled_all, FoundViolation};
+use crate::invariant::Invariant;
+
+/// Swarm search bounds.
+#[derive(Clone, Debug)]
+pub struct SwarmConfig {
+    /// Number of independent schedules to run.
+    pub schedules: usize,
+    /// Step bound per schedule.
+    pub max_steps: usize,
+    /// Base seed; schedule `i` derives its generator from `(seed, i)`.
+    pub seed: u64,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            schedules: 96,
+            max_steps: 4096,
+            seed: 0x7061_7065_72,
+        }
+    }
+}
+
+/// Swarm effort counters.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SwarmStats {
+    /// Schedules actually run.
+    pub schedules_run: usize,
+    /// Total machine steps executed across all schedules.
+    pub transitions: u64,
+}
+
+/// The per-schedule scheduling bias.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Bias {
+    /// Starve commits: keep issuing, letting write buffers grow stale —
+    /// maximises the window in which other processes read old values.
+    CommitStarved,
+    /// Stall fencing processes: prefer steps of processes *not* inside a
+    /// fence, so a mid-drain process sits half-committed while the rest
+    /// of the system runs over it.
+    FenceStalled,
+    /// Single-process bursts: run one process for a random burst length
+    /// before switching — produces the sequential-ish prefixes that
+    /// doorway-style protocols are sensitive to.
+    Bursty,
+}
+
+const BIASES: [Bias; 3] = [Bias::CommitStarved, Bias::FenceStalled, Bias::Bursty];
+
+/// Runs biased random schedules until a violation is found or the budget
+/// is exhausted.
+pub fn swarm(
+    system: &dyn System,
+    model: MemoryModel,
+    invariants: &[Box<dyn Invariant>],
+    config: &SwarmConfig,
+) -> (Option<FoundViolation>, SwarmStats) {
+    let mut stats = SwarmStats::default();
+    for i in 0..config.schedules {
+        stats.schedules_run += 1;
+        let seed = config
+            .seed
+            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            | 1;
+        let bias = BIASES[i % BIASES.len()];
+        if let Some(found) = run_one(
+            system,
+            model,
+            invariants,
+            bias,
+            seed,
+            config.max_steps,
+            &mut stats,
+        ) {
+            return (Some(found), stats);
+        }
+    }
+    (None, stats)
+}
+
+fn run_one(
+    system: &dyn System,
+    model: MemoryModel,
+    invariants: &[Box<dyn Invariant>],
+    bias: Bias,
+    seed: u64,
+    max_steps: usize,
+    stats: &mut SwarmStats,
+) -> Option<FoundViolation> {
+    let mut machine = Machine::with_model(system, model);
+    let mut rng = XorShift::new(seed);
+    // Bursty state: the process currently being run, and steps remaining.
+    let mut burst: Option<(ProcId, usize)> = None;
+    for _ in 0..max_steps {
+        let enabled = enabled_all(&machine);
+        if enabled.is_empty() {
+            break;
+        }
+        let d = choose(&machine, &enabled, bias, &mut rng, &mut burst);
+        machine
+            .step(d)
+            .unwrap_or_else(|e| panic!("swarm: enabled directive {d:?} failed: {e:?}"));
+        stats.transitions += 1;
+        for inv in invariants {
+            if let Some(v) = inv.check(&machine) {
+                return Some(FoundViolation {
+                    violation: v,
+                    schedule: machine.schedule().to_vec(),
+                });
+            }
+        }
+    }
+    None
+}
+
+fn pick(rng: &mut XorShift, pool: &[Directive]) -> Directive {
+    pool[rng.below(pool.len())]
+}
+
+fn choose(
+    machine: &Machine,
+    enabled: &[Directive],
+    bias: Bias,
+    rng: &mut XorShift,
+    burst: &mut Option<(ProcId, usize)>,
+) -> Directive {
+    match bias {
+        Bias::CommitStarved => {
+            let issues: Vec<Directive> = enabled
+                .iter()
+                .copied()
+                .filter(|d| matches!(d, Directive::Issue(_)))
+                .collect();
+            // 7-in-8 chance to keep buffers full.
+            if !issues.is_empty() && rng.chance(224) {
+                pick(rng, &issues)
+            } else {
+                pick(rng, enabled)
+            }
+        }
+        Bias::FenceStalled => {
+            let unfenced: Vec<Directive> = enabled
+                .iter()
+                .copied()
+                .filter(|d| machine.mode(d.pid()) == Mode::Read)
+                .collect();
+            if !unfenced.is_empty() && rng.chance(224) {
+                pick(rng, &unfenced)
+            } else {
+                pick(rng, enabled)
+            }
+        }
+        Bias::Bursty => {
+            if let Some((p, left)) = *burst {
+                let mine: Vec<Directive> =
+                    enabled.iter().copied().filter(|d| d.pid() == p).collect();
+                if left > 0 && !mine.is_empty() {
+                    *burst = Some((p, left - 1));
+                    return pick(rng, &mine);
+                }
+            }
+            let d = pick(rng, enabled);
+            *burst = Some((d.pid(), 1 + rng.below(12)));
+            d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::standard_invariants;
+    use tpa_tso::scripted::{Instr, ScriptSystem};
+
+    fn two_writers() -> ScriptSystem {
+        ScriptSystem::new(3, 2, |pid| {
+            vec![
+                Instr::Write {
+                    var: pid.0 % 2,
+                    value: pid.0 as u64 + 1,
+                },
+                Instr::Read {
+                    var: (pid.0 + 1) % 2,
+                    reg: 0,
+                },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        })
+    }
+
+    #[test]
+    fn clean_system_passes_all_biases() {
+        let sys = two_writers();
+        let invs = standard_invariants();
+        let cfg = SwarmConfig {
+            schedules: 9,
+            max_steps: 512,
+            seed: 1,
+        };
+        let (found, stats) = swarm(&sys, MemoryModel::Tso, &invs, &cfg);
+        assert!(found.is_none(), "{found:?}");
+        assert_eq!(stats.schedules_run, 9);
+        assert!(stats.transitions > 0);
+    }
+
+    #[test]
+    fn swarm_is_deterministic_in_the_seed() {
+        let sys = two_writers();
+        let invs = standard_invariants();
+        let cfg = SwarmConfig {
+            schedules: 6,
+            max_steps: 256,
+            seed: 42,
+        };
+        let (_, a) = swarm(&sys, MemoryModel::Tso, &invs, &cfg);
+        let (_, b) = swarm(&sys, MemoryModel::Tso, &invs, &cfg);
+        assert_eq!(a.transitions, b.transitions);
+    }
+}

@@ -1,0 +1,232 @@
+//! The verdict pipeline: search → shrink → render.
+//!
+//! [`check_exhaustive`] and [`check_swarm`] run a search mode from
+//! [`crate::explore`] / [`crate::swarm`] over the standard invariant
+//! battery and package the outcome as a [`CheckReport`]. A raw violating
+//! schedule is noise — tens of directives, most irrelevant — so a found
+//! violation is first minimised with
+//! [`tpa_tso::shrink::shrink_schedule`] (ddmin against the *same* state
+//! predicate that fired) and then rendered with [`tpa_tso::trace`] into
+//! the per-process timeline a human actually reads.
+
+use tpa_tso::shrink::shrink_schedule;
+use tpa_tso::{trace, Directive, Machine, MemoryModel, System};
+
+use crate::explore::{explore, ExploreConfig, ExploreStats, FoundViolation};
+use crate::invariant::{standard_invariants, Invariant};
+use crate::swarm::{swarm, SwarmConfig, SwarmStats};
+
+/// Outcome of checking one system.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// No invariant fired within the search budget.
+    Pass,
+    /// An invariant fired; the witness schedule was shrunk and rendered.
+    Violation {
+        /// Name of the invariant that fired.
+        invariant: &'static str,
+        /// Diagnosis from the violating state.
+        detail: String,
+        /// Length of the schedule as found.
+        found_len: usize,
+        /// The minimised witness schedule.
+        shrunk: Vec<Directive>,
+        /// Human-readable trace of the minimised schedule.
+        rendered: String,
+    },
+}
+
+impl Verdict {
+    /// Whether the check passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+}
+
+/// Search-effort counters, unified across modes.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct EffortStats {
+    /// Machine steps executed.
+    pub transitions: u64,
+    /// Sleep-set skips (exhaustive mode only).
+    pub pruned_sleep: u64,
+    /// State-cache skips (exhaustive mode only).
+    pub cache_skips: u64,
+    /// Distinct states visited (exhaustive mode only).
+    pub unique_states: usize,
+    /// Random schedules run (swarm mode only).
+    pub schedules_run: usize,
+    /// Whether the search covered its whole bounded space (exhaustive
+    /// mode; swarm is never complete).
+    pub complete: bool,
+}
+
+impl From<ExploreStats> for EffortStats {
+    fn from(s: ExploreStats) -> Self {
+        EffortStats {
+            transitions: s.transitions,
+            pruned_sleep: s.pruned_sleep,
+            cache_skips: s.cache_skips,
+            unique_states: s.unique_states,
+            schedules_run: 0,
+            complete: s.complete,
+        }
+    }
+}
+
+impl From<SwarmStats> for EffortStats {
+    fn from(s: SwarmStats) -> Self {
+        EffortStats {
+            transitions: s.transitions,
+            schedules_run: s.schedules_run,
+            ..EffortStats::default()
+        }
+    }
+}
+
+/// The full result of checking one system in one mode.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// The checked system's name.
+    pub algo: String,
+    /// `"exhaustive"` or `"swarm"`.
+    pub mode: &'static str,
+    /// Pass, or a shrunk and rendered violation.
+    pub verdict: Verdict,
+    /// How hard the search worked.
+    pub stats: EffortStats,
+}
+
+impl CheckReport {
+    /// Panics with the rendered counterexample if the check failed — the
+    /// one-liner test assertion.
+    pub fn assert_pass(&self) {
+        if let Verdict::Violation {
+            invariant,
+            detail,
+            shrunk,
+            rendered,
+            ..
+        } = &self.verdict
+        {
+            panic!(
+                "{} [{}] violates {}: {}\nminimal schedule ({} directives):\n{}",
+                self.algo,
+                self.mode,
+                invariant,
+                detail,
+                shrunk.len(),
+                rendered
+            );
+        }
+    }
+}
+
+/// Exhaustively checks `system` against the standard invariant battery.
+pub fn check_exhaustive(
+    system: &dyn System,
+    model: MemoryModel,
+    config: &ExploreConfig,
+) -> CheckReport {
+    let invariants = standard_invariants();
+    let (found, stats) = explore(system, model, &invariants, config);
+    CheckReport {
+        algo: system.name().to_string(),
+        mode: "exhaustive",
+        verdict: condemn(system, model, &invariants, found),
+        stats: stats.into(),
+    }
+}
+
+/// Swarm-checks `system` against the standard invariant battery.
+pub fn check_swarm(system: &dyn System, model: MemoryModel, config: &SwarmConfig) -> CheckReport {
+    let invariants = standard_invariants();
+    let (found, stats) = swarm(system, model, &invariants, config);
+    CheckReport {
+        algo: system.name().to_string(),
+        mode: "swarm",
+        verdict: condemn(system, model, &invariants, found),
+        stats: stats.into(),
+    }
+}
+
+/// Shrinks and renders a found violation (or passes).
+fn condemn(
+    system: &dyn System,
+    model: MemoryModel,
+    invariants: &[Box<dyn Invariant>],
+    found: Option<FoundViolation>,
+) -> Verdict {
+    let Some(found) = found else {
+        return Verdict::Pass;
+    };
+    let fired: &dyn Invariant = invariants
+        .iter()
+        .map(|b| b.as_ref())
+        .find(|i| i.name() == found.violation.invariant)
+        .expect("violation names an invariant from the battery");
+    let shrunk = shrink_schedule(system, model, &found.schedule, |m| fired.check(m).is_some());
+    let rendered = render(system, model, &shrunk);
+    Verdict::Violation {
+        invariant: found.violation.invariant,
+        detail: found.violation.detail,
+        found_len: found.schedule.len(),
+        shrunk,
+        rendered,
+    }
+}
+
+/// Replays `schedule` from scratch and renders the resulting log.
+fn render(system: &dyn System, model: MemoryModel, schedule: &[Directive]) -> String {
+    let mut machine = Machine::with_model(system, model);
+    for d in schedule {
+        if machine.step(*d).is_err() {
+            break;
+        }
+    }
+    format!(
+        "{}\n{}",
+        trace::timeline(machine.log(), machine.n()),
+        trace::listing(machine.log())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_tso::scripted::{Instr, ScriptSystem};
+
+    fn disjoint_writers() -> ScriptSystem {
+        ScriptSystem::new(2, 2, |pid| {
+            vec![
+                Instr::Write {
+                    var: pid.0,
+                    value: 1,
+                },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        })
+    }
+
+    #[test]
+    fn clean_system_passes_both_modes() {
+        let sys = disjoint_writers();
+        let ex = check_exhaustive(&sys, MemoryModel::Tso, &ExploreConfig::default());
+        assert!(ex.verdict.passed());
+        assert!(ex.stats.complete);
+        ex.assert_pass();
+
+        let sw = check_swarm(
+            &sys,
+            MemoryModel::Tso,
+            &SwarmConfig {
+                schedules: 6,
+                max_steps: 128,
+                seed: 3,
+            },
+        );
+        assert!(sw.verdict.passed());
+        assert_eq!(sw.stats.schedules_run, 6);
+    }
+}

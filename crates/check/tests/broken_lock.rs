@@ -1,0 +1,79 @@
+//! The harness-validation tests: deliberately broken locks must be
+//! caught, shrunk, and rendered. If these ever pass vacuously, the whole
+//! checker is decorative.
+
+use tpa_algos::sim::bakery::BakeryLock;
+use tpa_check::{check_exhaustive, check_swarm, ExploreConfig, SwarmConfig, Verdict};
+use tpa_tso::MemoryModel;
+
+#[test]
+fn exhaustive_catches_the_fenceless_bakery() {
+    let broken = BakeryLock::without_doorway_fence(2, 1);
+    let config = ExploreConfig {
+        max_steps: 60,
+        max_transitions: 4_000_000,
+    };
+    let report = check_exhaustive(&broken, MemoryModel::Tso, &config);
+    let Verdict::Violation {
+        invariant,
+        shrunk,
+        found_len,
+        ..
+    } = &report.verdict
+    else {
+        panic!("explorer missed the fenceless bakery");
+    };
+    assert_eq!(*invariant, "mutual-exclusion");
+    assert!(shrunk.len() <= *found_len);
+}
+
+#[test]
+fn exhaustive_catches_the_unhardened_bakery_under_pso() {
+    // Under PSO the explorer enumerates `CommitVar` directives too, so
+    // the doorway reordering (`choosing := 0` overtaking `number`) is in
+    // its search space.
+    let bakery = BakeryLock::new(2, 1);
+    let config = ExploreConfig {
+        max_steps: 60,
+        max_transitions: 8_000_000,
+    };
+    let report = check_exhaustive(&bakery, MemoryModel::Pso, &config);
+    let Verdict::Violation { invariant, .. } = &report.verdict else {
+        panic!("explorer missed the PSO doorway reordering");
+    };
+    assert_eq!(*invariant, "mutual-exclusion");
+}
+
+#[test]
+fn exhaustive_passes_the_pso_hardened_bakery_under_pso() {
+    let hardened = BakeryLock::pso_hardened(2, 1);
+    let config = ExploreConfig {
+        max_steps: 60,
+        max_transitions: 8_000_000,
+    };
+    let report = check_exhaustive(&hardened, MemoryModel::Pso, &config);
+    assert!(
+        report.stats.complete,
+        "PSO state space not exhausted: {:?}",
+        report.stats
+    );
+    report.assert_pass();
+}
+
+#[test]
+fn swarm_catches_the_unhardened_bakery_under_pso() {
+    let bakery = BakeryLock::new(2, 1);
+    let config = SwarmConfig {
+        schedules: 2048,
+        max_steps: 512,
+        seed: 1,
+    };
+    let report = check_swarm(&bakery, MemoryModel::Pso, &config);
+    let Verdict::Violation { invariant, .. } = &report.verdict else {
+        panic!(
+            "swarm missed the PSO doorway reordering after {} schedules",
+            report.stats.schedules_run
+        );
+    };
+    assert_eq!(*invariant, "mutual-exclusion");
+}

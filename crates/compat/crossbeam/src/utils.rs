@@ -1,0 +1,61 @@
+//! `crossbeam::utils` subset: `CachePadded`.
+
+/// Pads and aligns a value to 128 bytes so adjacent instances never share
+/// a cache line (128 covers spatial-prefetcher pairs on x86 and the line
+/// size on apple-silicon aarch64, matching upstream's choice).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads `value`.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CachePadded;
+
+    #[test]
+    fn alignment_and_access() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        let mut p = CachePadded::new(7u64);
+        *p += 1;
+        assert_eq!(*p, 8);
+        assert_eq!(CachePadded::new(3u32).into_inner(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline drop-in replacement for the subset of `proptest` this
+//! workspace uses.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so the real `proptest` cannot be fetched. This crate re-implements the
+//! API surface the test suite relies on — the `proptest!` macro,
+//! `prop_assert*`/`prop_assume`, range/tuple/`Just`/`prop_oneof!`
+//! strategies, `prop_map`, and `prop::collection::vec` — on top of a
+//! deterministic splitmix/xorshift generator.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** On failure the offending inputs are printed
+//!   verbatim; rerunning is deterministic, so the case reproduces exactly.
+//! * **No persistence.** `*.proptest-regressions` files are neither read
+//!   nor written — regressions worth keeping should be promoted to named
+//!   `#[test]` cases (see `tests/object_semantics.rs`).
+//! * **Deterministic seeding.** Case `i` of test `t` derives its seed from
+//!   `(fnv(t), i)`, so every run explores the same inputs. This trades
+//!   coverage-over-time for reproducibility, which is the better deal for
+//!   an offline CI.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+mod macros;
+
+/// `use proptest::prelude::*` — macros, core types, and the `prop` alias.
+pub mod prelude {
+    /// Alias mirroring upstream's `prelude::prop` re-export of the crate.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(7);
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (5u8..=9).generate(&mut rng);
+            assert!((5..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_the_size_range() {
+        let mut rng = TestRng::deterministic(3);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u32..4, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 4));
+        }
+    }
+
+    #[test]
+    fn oneof_draws_from_every_arm() {
+        let s = prop_oneof![Just(1u64), Just(2u64), Just(3u64)];
+        let mut rng = TestRng::deterministic(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = crate::collection::vec((0u32..9, 0u64..100), 1..8);
+        let a: Vec<_> = {
+            let mut rng = TestRng::deterministic(42);
+            (0..50).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::deterministic(42);
+            (0..50).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u64..50, y in 1usize..4) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(y.min(3), y);
+            prop_assume!(x != 13); // exercises the reject path
+            prop_assert_ne!(x, 13);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The `proptest!` test macro and the `prop_assert*`/`prop_assume!`
+//! in-case assertion macros.
+
+/// Declares property tests.
+///
+/// Each case draws its inputs from a deterministic stream derived from
+/// the test's module path and name plus the case index, runs the body
+/// (which may use `?` on [`TestCaseResult`](crate::test_runner::TestCaseResult)),
+/// and on failure panics with the rendered inputs — rerunning reproduces
+/// the same case exactly.
+#[macro_export]
+macro_rules! proptest {
+    // Entry with a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+
+    // Muncher: done.
+    (@munch ($cfg:expr)) => {};
+
+    // Muncher: one test fn, then recurse on the rest.
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strat = ($($strat,)+);
+            let test_id =
+                $crate::test_runner::fnv(concat!(module_path!(), "::", stringify!($name)));
+            let mut successes: u32 = 0;
+            let mut rejects: u32 = 0;
+            let mut case: u64 = 0;
+            while successes < config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(test_id ^ case);
+                case += 1;
+                let ($($arg,)+) = $crate::strategy::Strategy::generate(&strat, &mut rng);
+                // Render inputs up front: the body may consume them.
+                let rendered = format!(
+                    concat!($(stringify!($arg), " = {:?}\n  "),+),
+                    $(&$arg),+
+                );
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => successes += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(reason)) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= config.max_global_rejects,
+                            "proptest {}: too many rejected cases (last: {})",
+                            stringify!($name),
+                            reason,
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                        panic!(
+                            "proptest {} failed (case #{}): {}\n  {}",
+                            stringify!($name),
+                            case - 1,
+                            reason,
+                            rendered,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+
+    // Entry without a config header: use the default.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; failure fails only the
+/// current case (with its inputs), not the whole process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                concat!("assertion failed: ", stringify!($cond), ": {}"),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                concat!(
+                    "assertion failed: `",
+                    stringify!($left),
+                    " == ",
+                    stringify!($right),
+                    "`\n  left: {:?}\n right: {:?}"
+                ),
+                left, right,
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, printing the common value on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                concat!(
+                    "assertion failed: `",
+                    stringify!($left),
+                    " != ",
+                    stringify!($right),
+                    "`\n  both: {:?}"
+                ),
+                left,
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (drawing a fresh one) unless the condition
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -31,8 +31,6 @@ use std::fmt;
 use tpa_tso::machine::NextEvent;
 use tpa_tso::{erase, Directive, Machine, ProcId, StepError, System};
 
-use serde::Serialize;
-
 use crate::inset;
 
 /// Configuration of a construction run.
@@ -108,7 +106,7 @@ impl fmt::Display for StopReason {
 }
 
 /// Statistics of one phase step (one line of the Figure 1 trace).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct PhaseTrace {
     /// Round number (1-based).
     pub round: usize,
@@ -123,7 +121,7 @@ pub struct PhaseTrace {
 }
 
 /// Statistics of one completed induction round.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RoundTrace {
     /// Round number (1-based); the round constructs `H_round`.
     pub round: usize,
@@ -226,7 +224,9 @@ impl<'a> Construction<'a> {
         let mut active = BTreeSet::new();
         for i in 0..system.n() {
             let p = ProcId(i as u32);
-            machine.step(Directive::Issue(p)).map_err(StopReason::Step)?;
+            machine
+                .step(Directive::Issue(p))
+                .map_err(StopReason::Step)?;
             active.insert(p);
         }
         Ok(Construction {
@@ -355,7 +355,9 @@ impl<'a> Construction<'a> {
 
     fn finish(self, stop: StopReason) -> (Outcome, Machine) {
         let survivor = self.active.iter().copied().next_back();
-        let survivor_fences = survivor.map(|p| self.machine.fences_completed(p)).unwrap_or(0);
+        let survivor_fences = survivor
+            .map(|p| self.machine.fences_completed(p))
+            .unwrap_or(0);
         let total_contention = self.machine.fin().len() + usize::from(survivor.is_some());
         let outcome = Outcome {
             algorithm: self.system.name().to_owned(),
@@ -436,9 +438,7 @@ impl<'a> Construction<'a> {
     /// Runs every active process to its next special event, erasing the
     /// ones that livelock or halt. Returns the pending events in
     /// increasing ID order.
-    pub(crate) fn run_all_to_special(
-        &mut self,
-    ) -> Result<Vec<(ProcId, NextEvent)>, Failure> {
+    pub(crate) fn run_all_to_special(&mut self) -> Result<Vec<(ProcId, NextEvent)>, Failure> {
         let mut blocked = BTreeSet::new();
         let mut nexts = Vec::new();
         let ids: Vec<ProcId> = self.active.iter().copied().collect();
@@ -531,7 +531,11 @@ mod tests {
 
     fn run_lock(name: &str, n: usize, max_rounds: usize) -> Outcome {
         let lock = lock_by_name(name, n, 1).expect("unknown lock");
-        let cfg = Config { max_rounds, check_invariants: true, ..Config::default() };
+        let cfg = Config {
+            max_rounds,
+            check_invariants: true,
+            ..Config::default()
+        };
         Construction::new(&lock, cfg).unwrap().run()
     }
 
@@ -549,8 +553,16 @@ mod tests {
         // check_invariants = true: any IN-set violation stops the run with
         // InvariantViolated, which this test treats as a failure.
         for name in [
-            "tournament", "splitter", "bakery", "filter", "dijkstra", "tas", "ttas",
-            "ticketq", "mcs", "onebit",
+            "tournament",
+            "splitter",
+            "bakery",
+            "filter",
+            "dijkstra",
+            "tas",
+            "ttas",
+            "ticketq",
+            "mcs",
+            "onebit",
         ] {
             let out = run_lock(name, 16, 6);
             match out.stop {
@@ -566,18 +578,32 @@ mod tests {
     fn tournament_rounds_grow_with_n() {
         let r16 = run_lock("tournament", 16, 16).fences_forced();
         let r256 = run_lock("tournament", 256, 16).fences_forced();
-        assert!(r256 > r16, "forced fences must grow with n: {r16} vs {r256}");
+        assert!(
+            r256 > r16,
+            "forced fences must grow with n: {r16} vs {r256}"
+        );
     }
 
     #[test]
     fn every_completed_round_forces_one_fence_on_survivors() {
         let lock = lock_by_name("tournament", 64, 1).unwrap();
-        let cfg = Config { max_rounds: 3, check_invariants: true, ..Config::default() };
+        let cfg = Config {
+            max_rounds: 3,
+            check_invariants: true,
+            ..Config::default()
+        };
         let out = Construction::new(&lock, cfg).unwrap().run();
-        assert!(matches!(out.stop, StopReason::CompletedRounds), "{}", out.stop);
+        assert!(
+            matches!(out.stop, StopReason::CompletedRounds),
+            "{}",
+            out.stop
+        );
         assert_eq!(out.rounds_completed(), 3);
         assert!(out.final_active >= 1);
-        assert_eq!(out.survivor_fences, 3, "survivor completed one fence per round");
+        assert_eq!(
+            out.survivor_fences, 3,
+            "survivor completed one fence per round"
+        );
     }
 
     #[test]
@@ -586,7 +612,11 @@ mod tests {
         let mut finishers: Vec<ProcId> = out.rounds.iter().map(|r| r.finisher).collect();
         let total = finishers.len();
         finishers.dedup();
-        assert_eq!(finishers.len(), total, "each round finishes a distinct process");
+        assert_eq!(
+            finishers.len(),
+            total,
+            "each round finishes a distinct process"
+        );
     }
 
     #[test]
@@ -619,7 +649,11 @@ mod tests {
             Box::new(OneTimeMutex::new(TreiberStack::counter_prefill(n), n)),
         ];
         for sys in systems {
-            let cfg = Config { max_rounds: 4, check_invariants: true, ..Config::default() };
+            let cfg = Config {
+                max_rounds: 4,
+                check_invariants: true,
+                ..Config::default()
+            };
             let out = Construction::new(sys.as_ref(), cfg).unwrap().run();
             match out.stop {
                 StopReason::InvariantViolated(v) | StopReason::EraseInvalid(v) => {

@@ -44,7 +44,9 @@ pub fn check_inset(machine: &Machine, inv: &BTreeSet<ProcId>) -> InSetReport {
     let act: BTreeSet<ProcId> = machine.act().into_iter().collect();
 
     if !inv.is_subset(&act) {
-        report.violations.push("INV is not a subset of Act(E)".to_owned());
+        report
+            .violations
+            .push("INV is not a subset of Act(E)".to_owned());
     }
 
     // IN1: ∀p: AW(p, E) ∩ INV ⊆ {p}.
@@ -52,9 +54,9 @@ pub fn check_inset(machine: &Machine, inv: &BTreeSet<ProcId>) -> InSetReport {
         let p = ProcId(i as u32);
         let aw = machine.awareness(p);
         if !aw.intersects_only_self(p, inv) {
-            report
-                .violations
-                .push(format!("IN1: {p} is aware of an invisible process (AW = {aw:?})"));
+            report.violations.push(format!(
+                "IN1: {p} is aware of an invisible process (AW = {aw:?})"
+            ));
         }
     }
 
@@ -88,8 +90,11 @@ pub fn check_inset(machine: &Machine, inv: &BTreeSet<ProcId>) -> InSetReport {
     // invisible process.
     for v in 0..machine.spec().count() {
         let var = VarId(v as u32);
-        let active_accessors =
-            machine.accessed(var).iter().filter(|p| act.contains(p)).count();
+        let active_accessors = machine
+            .accessed(var)
+            .iter()
+            .filter(|p| act.contains(p))
+            .count();
         if active_accessors > 1 {
             if let Some(w) = machine.writer(var) {
                 if inv.contains(&w) {
@@ -125,7 +130,9 @@ pub fn check_in3<S: System + ?Sized>(
         ));
     }
     if !out.criticality_preserved {
-        report.violations.push("IN3: criticality changed under erasure".to_owned());
+        report
+            .violations
+            .push("IN3: criticality changed under erasure".to_owned());
     }
     Ok(report)
 }
@@ -156,8 +163,12 @@ pub fn check_ordered(machine: &Machine) -> InSetReport {
             continue;
         }
         // (b)
-        let active_accessors: BTreeSet<ProcId> =
-            machine.accessed(var).iter().filter(|p| act.contains(p)).copied().collect();
+        let active_accessors: BTreeSet<ProcId> = machine
+            .accessed(var)
+            .iter()
+            .filter(|p| act.contains(p))
+            .copied()
+            .collect();
         if active_accessors.len() <= 1 {
             continue;
         }
@@ -206,7 +217,13 @@ mod tests {
     #[test]
     fn fresh_execution_is_regular() {
         let sys = ScriptSystem::new(3, 1, |_| {
-            vec![Instr::Enter, Instr::Read { var: 0, reg: 0 }, Instr::Cs, Instr::Exit, Instr::Halt]
+            vec![
+                Instr::Enter,
+                Instr::Read { var: 0, reg: 0 },
+                Instr::Cs,
+                Instr::Exit,
+                Instr::Halt,
+            ]
         });
         let mut m = Machine::new(&sys);
         for i in 0..3 {
@@ -230,7 +247,13 @@ mod tests {
                     Instr::Halt,
                 ]
             } else {
-                vec![Instr::Enter, Instr::Read { var: 0, reg: 0 }, Instr::Cs, Instr::Exit, Instr::Halt]
+                vec![
+                    Instr::Enter,
+                    Instr::Read { var: 0, reg: 0 },
+                    Instr::Cs,
+                    Instr::Exit,
+                    Instr::Halt,
+                ]
             }
         });
         let mut m = Machine::new(&sys);
@@ -244,7 +267,11 @@ mod tests {
         let inv: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
         let report = check_inset(&m, &inv);
         assert!(!report.ok());
-        assert!(report.violations.iter().any(|v| v.contains("IN1")), "{:?}", report.violations);
+        assert!(
+            report.violations.iter().any(|v| v.contains("IN1")),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]
@@ -252,7 +279,13 @@ mod tests {
         // Both processes access v0; p1 (invisible) is its last writer.
         let sys = ScriptSystem::new(2, 1, |pid| {
             if pid.0 == 0 {
-                vec![Instr::Enter, Instr::Read { var: 0, reg: 0 }, Instr::Cs, Instr::Exit, Instr::Halt]
+                vec![
+                    Instr::Enter,
+                    Instr::Read { var: 0, reg: 0 },
+                    Instr::Cs,
+                    Instr::Exit,
+                    Instr::Halt,
+                ]
             } else {
                 vec![
                     Instr::Enter,
@@ -273,7 +306,11 @@ mod tests {
         m.step(Directive::Issue(ProcId(1))).unwrap(); // commit (p1 accesses + writes)
         let inv: BTreeSet<ProcId> = [ProcId(1)].into_iter().collect();
         let report = check_inset(&m, &inv);
-        assert!(report.violations.iter().any(|v| v.contains("IN5")), "{:?}", report.violations);
+        assert!(
+            report.violations.iter().any(|v| v.contains("IN5")),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]
@@ -291,7 +328,12 @@ mod tests {
             }
             fn program(&self, pid: ProcId) -> Box<dyn Program> {
                 if pid.0 == 0 {
-                    tpa_tso::scripted::script(vec![Instr::Enter, Instr::Cs, Instr::Exit, Instr::Halt])
+                    tpa_tso::scripted::script(vec![
+                        Instr::Enter,
+                        Instr::Cs,
+                        Instr::Exit,
+                        Instr::Halt,
+                    ])
                 } else {
                     tpa_tso::scripted::script(vec![
                         Instr::Enter,
@@ -308,7 +350,11 @@ mod tests {
         m.step(Directive::Issue(ProcId(1))).unwrap(); // p1 Enter
         m.step(Directive::Issue(ProcId(1))).unwrap(); // p1 remotely reads p0's var
         let report = check_regular(&m);
-        assert!(report.violations.iter().any(|v| v.contains("IN4")), "{:?}", report.violations);
+        assert!(
+            report.violations.iter().any(|v| v.contains("IN4")),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ fn classify_read_phase(next: NextEvent) -> Class {
         // A CAS stalled behind a buffered critical write: fence-class (the
         // process is effectively draining for its CAS).
         NextEvent::CommitNext { .. } => Class::FenceBound,
-        NextEvent::Read { var, critical: true, .. } => Class::CriticalRead(var),
+        NextEvent::Read {
+            var,
+            critical: true,
+            ..
+        } => Class::CriticalRead(var),
         NextEvent::EndFence => Class::FenceEnd,
         _ => Class::Stuck,
     }
@@ -51,7 +55,11 @@ fn classify_write_phase(next: NextEvent) -> Class {
         NextEvent::Cas { var, .. } => Class::CasCommit(var),
         NextEvent::Transition(Op::Cs) => Class::CsBound,
         NextEvent::BeginFence => Class::FenceBound,
-        NextEvent::Read { var, critical: true, .. } => Class::CriticalRead(var),
+        NextEvent::Read {
+            var,
+            critical: true,
+            ..
+        } => Class::CriticalRead(var),
         _ => Class::Stuck,
     }
 }
@@ -105,8 +113,7 @@ impl Construction<'_> {
                 // ends. Execute their BeginFence events (CAS-bound
                 // processes wait for the write phase).
                 let w: BTreeSet<ProcId> = z1.iter().copied().collect();
-                let erase: BTreeSet<ProcId> =
-                    self.active.difference(&w).copied().collect();
+                let erase: BTreeSet<ProcId> = self.active.difference(&w).copied().collect();
                 self.erase_set(&erase)?;
                 let _ = &cas_bound; // CAS-bound survivors execute in the write phase
                 let survivors: Vec<ProcId> = self.active.iter().copied().collect();
@@ -114,10 +121,16 @@ impl Construction<'_> {
                     // Only genuine fence starts execute here; CAS-bound and
                     // CAS-stalled processes act in the write phase.
                     if self.machine.peek_next(p) == NextEvent::BeginFence {
-                        self.machine.step(Directive::Issue(p)).map_err(Failure::from)?;
+                        self.machine
+                            .step(Directive::Issue(p))
+                            .map_err(Failure::from)?;
                     }
                 }
-                self.trace(format!("read[{iter}]"), "case I (fence-bound)".into(), act_before);
+                self.trace(
+                    format!("read[{iter}]"),
+                    "case I (fence-bound)".into(),
+                    act_before,
+                );
                 self.check("read phase end", false)?;
                 return Ok(iter);
             }
@@ -148,9 +161,15 @@ impl Construction<'_> {
                     self.machine.peek_next(p),
                     NextEvent::Read { critical: true, .. }
                 ));
-                self.machine.step(Directive::Issue(p)).map_err(Failure::from)?;
+                self.machine
+                    .step(Directive::Issue(p))
+                    .map_err(Failure::from)?;
             }
-            self.trace(format!("read[{iter}]"), "case II (critical reads)".into(), act_before);
+            self.trace(
+                format!("read[{iter}]"),
+                "case II (critical reads)".into(),
+                act_before,
+            );
             self.check("read iteration", false)?;
         }
         Err(Failure::Stop(StopReason::PhaseBudget { phase: "read" }))
@@ -199,16 +218,21 @@ impl Construction<'_> {
                 // it and drains (its buffer holds only non-critical writes
                 // here, or it would have classified as a commit).
                 let w: BTreeSet<ProcId> = z1.iter().copied().collect();
-                let erase: BTreeSet<ProcId> =
-                    self.active.difference(&w).copied().collect();
+                let erase: BTreeSet<ProcId> = self.active.difference(&w).copied().collect();
                 self.erase_set(&erase)?;
                 let survivors: Vec<ProcId> = self.active.iter().copied().collect();
                 for p in survivors {
                     if self.machine.peek_next(p) == NextEvent::EndFence {
-                        self.machine.step(Directive::Issue(p)).map_err(Failure::from)?;
+                        self.machine
+                            .step(Directive::Issue(p))
+                            .map_err(Failure::from)?;
                     }
                 }
-                self.trace(format!("write[{iter}]"), "case I (end-fence)".into(), act_before);
+                self.trace(
+                    format!("write[{iter}]"),
+                    "case I (end-fence)".into(),
+                    act_before,
+                );
                 // Claim 4.3.1: after the EndFence batch the execution is
                 // semi-regular and W₀ = Act ∖ {p_max} is an IN-set.
                 self.check_w0("write phase end")?;
@@ -249,7 +273,9 @@ impl Construction<'_> {
                 self.erase_set(&erase)?;
                 let survivors: Vec<ProcId> = self.active.iter().copied().collect();
                 for p in survivors {
-                    self.machine.step(Directive::Issue(p)).map_err(Failure::from)?;
+                    self.machine
+                        .step(Directive::Issue(p))
+                        .map_err(Failure::from)?;
                 }
                 self.trace(
                     format!("write[{iter}]"),
@@ -278,7 +304,9 @@ impl Construction<'_> {
                 let survivors: Vec<ProcId> = self.active.iter().copied().collect();
                 for p in survivors {
                     // Increasing ID order (BTreeSet iteration order).
-                    self.machine.step(Directive::Issue(p)).map_err(Failure::from)?;
+                    self.machine
+                        .step(Directive::Issue(p))
+                        .map_err(Failure::from)?;
                 }
                 self.trace(
                     format!("write[{iter}]"),
@@ -321,9 +349,7 @@ impl Construction<'_> {
                 let next = self.machine.peek_next(p_max);
                 let critical = match next {
                     NextEvent::Halted => {
-                        return Err(Failure::Stop(StopReason::Step(StepError::Halted(
-                            p_max,
-                        ))))
+                        return Err(Failure::Stop(StopReason::Step(StepError::Halted(p_max))))
                     }
                     NextEvent::Read { critical, .. } => critical,
                     NextEvent::CommitNext { critical, .. } => critical,
@@ -333,12 +359,15 @@ impl Construction<'_> {
                 if critical {
                     break;
                 }
-                self.machine.step(Directive::Issue(p_max)).map_err(Failure::from)?;
+                self.machine
+                    .step(Directive::Issue(p_max))
+                    .map_err(Failure::from)?;
                 steps += 1;
                 if steps > self.cfg.step_budget {
-                    return Err(Failure::Stop(StopReason::Step(
-                        StepError::NonTermination { pid: p_max, steps },
-                    )));
+                    return Err(Failure::Stop(StopReason::Step(StepError::NonTermination {
+                        pid: p_max,
+                        steps,
+                    })));
                 }
             }
 
@@ -393,10 +422,14 @@ impl Construction<'_> {
                 }
             }
             // Execute the critical event.
-            self.machine.step(Directive::Issue(p_max)).map_err(Failure::from)?;
+            self.machine
+                .step(Directive::Issue(p_max))
+                .map_err(Failure::from)?;
             criticals += 1;
         }
-        Err(Failure::Stop(StopReason::PhaseBudget { phase: "regularize" }))
+        Err(Failure::Stop(StopReason::PhaseBudget {
+            phase: "regularize",
+        }))
     }
 }
 
@@ -416,7 +449,7 @@ mod tests {
         n: usize,
     }
 
-    #[derive(Clone, Copy, Debug)]
+    #[derive(Clone, Copy, Hash, Debug)]
     enum TState {
         Enter,
         WriteShared,
@@ -428,12 +461,22 @@ mod tests {
         Done,
     }
 
+    #[derive(Clone)]
     struct TProg {
         me: u32,
         state: TState,
     }
 
     impl Program for TProg {
+        fn fork(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
+
+        fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+            use std::hash::Hash;
+            self.state.hash(&mut h);
+        }
+
         fn peek(&self) -> Op {
             match self.state {
                 TState::Enter => Op::Enter,
@@ -470,7 +513,10 @@ mod tests {
         }
 
         fn program(&self, pid: ProcId) -> Box<dyn Program> {
-            Box::new(TProg { me: pid.0, state: TState::Enter })
+            Box::new(TProg {
+                me: pid.0,
+                state: TState::Enter,
+            })
         }
 
         fn name(&self) -> &str {
@@ -481,7 +527,11 @@ mod tests {
     #[test]
     fn high_contention_case_iii_is_exercised_and_ordered() {
         let sys = HotspotToy { n: 16 };
-        let cfg = Config { max_rounds: 1, check_invariants: true, ..Config::default() };
+        let cfg = Config {
+            max_rounds: 1,
+            check_invariants: true,
+            ..Config::default()
+        };
         let out = Construction::new(&sys, cfg).unwrap().run();
         match &out.stop {
             StopReason::InvariantViolated(v) | StopReason::EraseInvalid(v) => {
@@ -500,7 +550,10 @@ mod tests {
             .iter()
             .find(|p| p.case_taken.contains("case III"))
             .unwrap();
-        assert_eq!(c3.act_before, c3.act_after, "pure R/W case III erases nobody");
+        assert_eq!(
+            c3.act_before, c3.act_after,
+            "pure R/W case III erases nobody"
+        );
         assert_eq!(out.rounds_completed(), 1);
     }
 
@@ -509,7 +562,11 @@ mod tests {
         // Claim 4.3.1(c): after the ID-ordered commit sequence, the largest
         // active ID is visible on the hotspot.
         let sys = HotspotToy { n: 8 };
-        let cfg = Config { max_rounds: 1, check_invariants: true, ..Config::default() };
+        let cfg = Config {
+            max_rounds: 1,
+            check_invariants: true,
+            ..Config::default()
+        };
         let mut c = Construction::new(&sys, cfg).unwrap();
         c.read_phase().map_err(|_| "read").unwrap();
         c.write_phase().map_err(|_| "write").unwrap();

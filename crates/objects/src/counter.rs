@@ -29,7 +29,10 @@ pub struct CasCounter {
 impl CasCounter {
     /// A counter starting at 0.
     pub fn new() -> Self {
-        CasCounter { var: None, initial: 0 }
+        CasCounter {
+            var: None,
+            initial: 0,
+        }
     }
 
     /// A counter starting at `initial`.
@@ -55,8 +58,14 @@ impl SharedObject for CasCounter {
 
     fn start_op(&self, opcode: u32, _arg: Value) -> Box<dyn OpMachine> {
         match opcode {
-            OP_FETCH_INC => Box::new(FetchInc { var: self.var(), state: FiState::Read }),
-            OP_READ => Box::new(ReadOnce { var: self.var(), done: false }),
+            OP_FETCH_INC => Box::new(FetchInc {
+                var: self.var(),
+                state: FiState::Read,
+            }),
+            OP_READ => Box::new(ReadOnce {
+                var: self.var(),
+                done: false,
+            }),
             other => panic!("counter has no opcode {other}"),
         }
     }
@@ -66,22 +75,36 @@ impl SharedObject for CasCounter {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum FiState {
     Read,
     Cas(Value),
 }
 
+#[derive(Clone)]
 struct FetchInc {
     var: VarId,
     state: FiState,
 }
 
 impl OpMachine for FetchInc {
+    fn fork(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             FiState::Read => Op::Read(self.var),
-            FiState::Cas(v) => Op::Cas { var: self.var, expected: v, new: v + 1 },
+            FiState::Cas(v) => Op::Cas {
+                var: self.var,
+                expected: v,
+                new: v + 1,
+            },
         }
     }
 
@@ -92,7 +115,13 @@ impl OpMachine for FetchInc {
                 SubStep::Continue
             }
             (FiState::Cas(v), Outcome::CasResult { success: true, .. }) => SubStep::Done(v),
-            (FiState::Cas(_), Outcome::CasResult { success: false, observed }) => {
+            (
+                FiState::Cas(_),
+                Outcome::CasResult {
+                    success: false,
+                    observed,
+                },
+            ) => {
                 // Retry directly from the observed value: saves the re-read.
                 self.state = FiState::Cas(observed);
                 SubStep::Continue
@@ -102,12 +131,22 @@ impl OpMachine for FetchInc {
     }
 }
 
+#[derive(Clone)]
 struct ReadOnce {
     var: VarId,
     done: bool,
 }
 
 impl OpMachine for ReadOnce {
+    fn fork(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.done.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         Op::Read(self.var)
     }
@@ -132,7 +171,12 @@ mod tests {
     #[test]
     fn sequential_fetch_inc_returns_consecutive_values() {
         let sys = ObjectSystem::new(CasCounter::new(), 1, |_| {
-            (0..5).map(|_| OpCall { opcode: OP_FETCH_INC, arg: 0 }).collect()
+            (0..5)
+                .map(|_| OpCall {
+                    opcode: OP_FETCH_INC,
+                    arg: 0,
+                })
+                .collect()
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
         assert_eq!(sys.results(&m, tpa_tso::ProcId(0)), vec![0, 1, 2, 3, 4]);
@@ -142,9 +186,16 @@ mod tests {
     fn concurrent_fetch_inc_hands_out_unique_tickets() {
         for seed in 1..=6u64 {
             let sys = ObjectSystem::new(CasCounter::new(), 4, |_| {
-                (0..3).map(|_| OpCall { opcode: OP_FETCH_INC, arg: 0 }).collect()
+                (0..3)
+                    .map(|_| OpCall {
+                        opcode: OP_FETCH_INC,
+                        arg: 0,
+                    })
+                    .collect()
             });
-            let m = sys.run_random(seed, CommitPolicy::Random { num: 64 }, 200_000).unwrap();
+            let m = sys
+                .run_random(seed, CommitPolicy::Random { num: 64 }, 200_000)
+                .unwrap();
             let mut all: Vec<Value> = (0..4)
                 .flat_map(|p| sys.results(&m, tpa_tso::ProcId(p)))
                 .collect();
@@ -156,7 +207,16 @@ mod tests {
     #[test]
     fn starting_value_is_respected() {
         let sys = ObjectSystem::new(CasCounter::starting_at(10), 1, |_| {
-            vec![OpCall { opcode: OP_FETCH_INC, arg: 0 }, OpCall { opcode: OP_READ, arg: 0 }]
+            vec![
+                OpCall {
+                    opcode: OP_FETCH_INC,
+                    arg: 0,
+                },
+                OpCall {
+                    opcode: OP_READ,
+                    arg: 0,
+                },
+            ]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 1_000).unwrap();
         assert_eq!(sys.results(&m, tpa_tso::ProcId(0)), vec![10, 11]);
@@ -165,7 +225,10 @@ mod tests {
     #[test]
     fn solo_operation_is_one_fence() {
         let sys = ObjectSystem::new(CasCounter::new(), 1, |_| {
-            vec![OpCall { opcode: OP_FETCH_INC, arg: 0 }]
+            vec![OpCall {
+                opcode: OP_FETCH_INC,
+                arg: 0,
+            }]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 1_000).unwrap();
         let stats = &m.metrics().proc(tpa_tso::ProcId(0)).completed[0];

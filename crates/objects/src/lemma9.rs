@@ -29,7 +29,11 @@ pub enum TicketObject {
 
 impl TicketObject {
     /// All three objects of Section 5.
-    pub const ALL: [TicketObject; 3] = [TicketObject::Counter, TicketObject::Queue, TicketObject::Stack];
+    pub const ALL: [TicketObject; 3] = [
+        TicketObject::Counter,
+        TicketObject::Queue,
+        TicketObject::Stack,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -94,33 +98,27 @@ fn max_costs(machine: &Machine) -> SpanCosts {
 fn run_bare(object: TicketObject, n: usize, max_steps: usize) -> Result<SpanCosts, String> {
     let calls = |_: ProcId| vec![OpCall { opcode: 0, arg: 0 }];
     let machine = match object {
-        TicketObject::Counter => {
-            ObjectSystem::new(CasCounter::new(), n, calls)
-                .run_to_completion(CommitPolicy::Lazy, max_steps)?
-        }
-        TicketObject::Queue => {
-            ObjectSystem::new(ArrayQueue::counter_prefill(n), n, calls)
-                .run_to_completion(CommitPolicy::Lazy, max_steps)?
-        }
-        TicketObject::Stack => {
-            ObjectSystem::new(TreiberStack::counter_prefill(n), n, calls)
-                .run_to_completion(CommitPolicy::Lazy, max_steps)?
-        }
+        TicketObject::Counter => ObjectSystem::new(CasCounter::new(), n, calls)
+            .run_to_completion(CommitPolicy::Lazy, max_steps)?,
+        TicketObject::Queue => ObjectSystem::new(ArrayQueue::counter_prefill(n), n, calls)
+            .run_to_completion(CommitPolicy::Lazy, max_steps)?,
+        TicketObject::Stack => ObjectSystem::new(TreiberStack::counter_prefill(n), n, calls)
+            .run_to_completion(CommitPolicy::Lazy, max_steps)?,
     };
     Ok(max_costs(&machine))
 }
 
 fn run_reduction(object: TicketObject, n: usize, max_steps: usize) -> Result<SpanCosts, String> {
     let machine = match object {
-        TicketObject::Counter => {
-            run_mutex(OneTimeMutex::new(CasCounter::new(), n), max_steps)?
-        }
-        TicketObject::Queue => {
-            run_mutex(OneTimeMutex::new(ArrayQueue::counter_prefill(n), n), max_steps)?
-        }
-        TicketObject::Stack => {
-            run_mutex(OneTimeMutex::new(TreiberStack::counter_prefill(n), n), max_steps)?
-        }
+        TicketObject::Counter => run_mutex(OneTimeMutex::new(CasCounter::new(), n), max_steps)?,
+        TicketObject::Queue => run_mutex(
+            OneTimeMutex::new(ArrayQueue::counter_prefill(n), n),
+            max_steps,
+        )?,
+        TicketObject::Stack => run_mutex(
+            OneTimeMutex::new(TreiberStack::counter_prefill(n), n),
+            max_steps,
+        )?,
     };
     Ok(max_costs(&machine))
 }

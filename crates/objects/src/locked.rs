@@ -30,12 +30,20 @@ pub struct LockedCounter {
 impl LockedCounter {
     /// A locked counter starting at 0.
     pub fn new() -> Self {
-        LockedCounter { lock: None, count: None, initial: 0 }
+        LockedCounter {
+            lock: None,
+            count: None,
+            initial: 0,
+        }
     }
 
     /// A locked counter starting at `initial`.
     pub fn starting_at(initial: Value) -> Self {
-        LockedCounter { lock: None, count: None, initial }
+        LockedCounter {
+            lock: None,
+            count: None,
+            initial,
+        }
     }
 
     fn ids(&self) -> (VarId, VarId) {
@@ -61,10 +69,18 @@ impl SharedObject for LockedCounter {
     fn start_op(&self, opcode: u32, _arg: Value) -> Box<dyn OpMachine> {
         let (lock, count) = self.ids();
         match opcode {
-            OP_FETCH_INC => {
-                Box::new(LockedFetchInc { lock, count, state: LfState::Acquire, old: 0 })
-            }
-            OP_READ => Box::new(LockedRead { lock, count, state: LrState::Acquire, val: 0 }),
+            OP_FETCH_INC => Box::new(LockedFetchInc {
+                lock,
+                count,
+                state: LfState::Acquire,
+                old: 0,
+            }),
+            OP_READ => Box::new(LockedRead {
+                lock,
+                count,
+                state: LrState::Acquire,
+                val: 0,
+            }),
             other => panic!("locked counter has no opcode {other}"),
         }
     }
@@ -74,7 +90,7 @@ impl SharedObject for LockedCounter {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum LfState {
     /// `CAS(lock, 0, 1)` spin.
     Acquire,
@@ -87,6 +103,7 @@ enum LfState {
     FenceRelease,
 }
 
+#[derive(Clone)]
 struct LockedFetchInc {
     lock: VarId,
     count: VarId,
@@ -95,9 +112,23 @@ struct LockedFetchInc {
 }
 
 impl OpMachine for LockedFetchInc {
+    fn fork(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.old.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
-            LfState::Acquire => Op::Cas { var: self.lock, expected: 0, new: 1 },
+            LfState::Acquire => Op::Cas {
+                var: self.lock,
+                expected: 0,
+                new: 1,
+            },
             LfState::ReadCount => Op::Read(self.count),
             LfState::WriteCount => Op::Write(self.count, self.old + 1),
             LfState::WriteUnlock => Op::Write(self.lock, 0),
@@ -132,7 +163,7 @@ impl OpMachine for LockedFetchInc {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum LrState {
     Acquire,
     ReadCount,
@@ -140,6 +171,7 @@ enum LrState {
     FenceRelease,
 }
 
+#[derive(Clone)]
 struct LockedRead {
     lock: VarId,
     count: VarId,
@@ -148,9 +180,23 @@ struct LockedRead {
 }
 
 impl OpMachine for LockedRead {
+    fn fork(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.val.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
-            LrState::Acquire => Op::Cas { var: self.lock, expected: 0, new: 1 },
+            LrState::Acquire => Op::Cas {
+                var: self.lock,
+                expected: 0,
+                new: 1,
+            },
             LrState::ReadCount => Op::Read(self.count),
             LrState::WriteUnlock => Op::Write(self.lock, 0),
             LrState::FenceRelease => Op::Fence,
@@ -191,9 +237,18 @@ mod tests {
     fn sequential_semantics_match_the_cas_counter() {
         let sys = ObjectSystem::new(LockedCounter::new(), 1, |_| {
             vec![
-                OpCall { opcode: OP_FETCH_INC, arg: 0 },
-                OpCall { opcode: OP_FETCH_INC, arg: 0 },
-                OpCall { opcode: OP_READ, arg: 0 },
+                OpCall {
+                    opcode: OP_FETCH_INC,
+                    arg: 0,
+                },
+                OpCall {
+                    opcode: OP_FETCH_INC,
+                    arg: 0,
+                },
+                OpCall {
+                    opcode: OP_READ,
+                    arg: 0,
+                },
             ]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
@@ -204,11 +259,18 @@ mod tests {
     fn concurrent_tickets_are_unique() {
         for seed in 1..=8u64 {
             let sys = ObjectSystem::new(LockedCounter::new(), 4, |_| {
-                vec![OpCall { opcode: OP_FETCH_INC, arg: 0 }; 2]
+                vec![
+                    OpCall {
+                        opcode: OP_FETCH_INC,
+                        arg: 0
+                    };
+                    2
+                ]
             });
-            let m = sys.run_random(seed, CommitPolicy::Random { num: 64 }, 500_000).unwrap();
-            let mut all: Vec<Value> =
-                (0..4).flat_map(|p| sys.results(&m, ProcId(p))).collect();
+            let m = sys
+                .run_random(seed, CommitPolicy::Random { num: 64 }, 500_000)
+                .unwrap();
+            let mut all: Vec<Value> = (0..4).flat_map(|p| sys.results(&m, ProcId(p))).collect();
             all.sort_unstable();
             assert_eq!(all, (0..8).collect::<Vec<_>>(), "seed {seed}");
         }
@@ -217,7 +279,10 @@ mod tests {
     #[test]
     fn solo_operation_pays_the_locks_two_fences() {
         let sys = ObjectSystem::new(LockedCounter::new(), 1, |_| {
-            vec![OpCall { opcode: OP_FETCH_INC, arg: 0 }]
+            vec![OpCall {
+                opcode: OP_FETCH_INC,
+                arg: 0,
+            }]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
         let span = &m.metrics().proc(ProcId(0)).completed[0];
@@ -231,12 +296,16 @@ mod tests {
         // correctness hinges exactly on the ordering the paper's model
         // gives for free on TSO.
         let sys = ObjectSystem::new(LockedCounter::new(), 2, |_| {
-            vec![OpCall { opcode: OP_FETCH_INC, arg: 0 }]
+            vec![OpCall {
+                opcode: OP_FETCH_INC,
+                arg: 0,
+            }]
         });
         for seed in 1..=8u64 {
-            let m = sys.run_random(seed, CommitPolicy::Random { num: 32 }, 500_000).unwrap();
-            let mut all: Vec<Value> =
-                (0..2).flat_map(|p| sys.results(&m, ProcId(p))).collect();
+            let m = sys
+                .run_random(seed, CommitPolicy::Random { num: 32 }, 500_000)
+                .unwrap();
+            let mut all: Vec<Value> = (0..2).flat_map(|p| sys.results(&m, ProcId(p))).collect();
             all.sort_unstable();
             assert_eq!(all, vec![0, 1], "seed {seed}: lost update");
         }

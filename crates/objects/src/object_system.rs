@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use tpa_tso::sched::{self, CommitPolicy};
-use tpa_tso::{
-    EventKind, Machine, Op, Outcome, ProcId, Program, System, Value, VarSpec,
-};
+use tpa_tso::{EventKind, Machine, Op, Outcome, ProcId, Program, System, Value, VarSpec};
 
 use crate::opmachine::{OpMachine, SharedObject, SubStep};
 
@@ -37,7 +35,12 @@ impl<O: SharedObject + 'static> ObjectSystem<O> {
         let spec = b.build();
         let calls = (0..n).map(|i| gen(ProcId(i as u32))).collect();
         let name = format!("object<{}>", object.name());
-        ObjectSystem { object: Arc::new(object), spec, calls, name }
+        ObjectSystem {
+            object: Arc::new(object),
+            spec,
+            calls,
+            name,
+        }
     }
 
     /// Runs round-robin until all processes halt.
@@ -125,6 +128,18 @@ enum OpState {
     Halted,
 }
 
+impl Clone for OpState {
+    fn clone(&self) -> Self {
+        match self {
+            OpState::Invoke => OpState::Invoke,
+            OpState::Running(m) => OpState::Running(m.fork()),
+            OpState::Return(v) => OpState::Return(*v),
+            OpState::Halted => OpState::Halted,
+        }
+    }
+}
+
+#[derive(Clone)]
 struct ObjectProgram {
     object: Arc<dyn SharedObject>,
     calls: Vec<OpCall>,
@@ -133,6 +148,27 @@ struct ObjectProgram {
 }
 
 impl Program for ObjectProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.next_call.hash(&mut h);
+        match &self.state {
+            OpState::Invoke => 0u8.hash(&mut h),
+            OpState::Running(m) => {
+                1u8.hash(&mut h);
+                m.state_hash(h);
+            }
+            OpState::Return(v) => {
+                2u8.hash(&mut h);
+                v.hash(&mut h);
+            }
+            OpState::Halted => 3u8.hash(&mut h),
+        }
+    }
+
     fn peek(&self) -> Op {
         match &self.state {
             OpState::Invoke => {
@@ -140,7 +176,10 @@ impl Program for ObjectProgram {
                     Op::Halt
                 } else {
                     let c = self.calls[self.next_call];
-                    Op::Invoke { op: c.opcode, arg: c.arg }
+                    Op::Invoke {
+                        op: c.opcode,
+                        arg: c.arg,
+                    }
                 }
             }
             OpState::Running(m) => m.peek(),
@@ -181,19 +220,35 @@ mod tests {
     #[test]
     fn invoke_and_return_markers_bracket_operations() {
         let sys = ObjectSystem::new(CasCounter::new(), 1, |_| {
-            vec![OpCall { opcode: OP_FETCH_INC, arg: 0 }]
+            vec![OpCall {
+                opcode: OP_FETCH_INC,
+                arg: 0,
+            }]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 1_000).unwrap();
-        let kinds: Vec<_> = m.log().iter().map(|e| std::mem::discriminant(&e.kind)).collect();
+        let kinds: Vec<_> = m
+            .log()
+            .iter()
+            .map(|e| std::mem::discriminant(&e.kind))
+            .collect();
         assert!(kinds.len() >= 3);
         assert!(matches!(m.log()[0].kind, EventKind::Invoke { .. }));
-        assert!(matches!(m.log().last().unwrap().kind, EventKind::Return { .. }));
+        assert!(matches!(
+            m.log().last().unwrap().kind,
+            EventKind::Return { .. }
+        ));
     }
 
     #[test]
     fn per_operation_spans_are_recorded() {
         let sys = ObjectSystem::new(CasCounter::new(), 2, |_| {
-            vec![OpCall { opcode: OP_FETCH_INC, arg: 0 }; 3]
+            vec![
+                OpCall {
+                    opcode: OP_FETCH_INC,
+                    arg: 0
+                };
+                3
+            ]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
         for p in 0..2u32 {

@@ -38,6 +38,16 @@ pub trait OpMachine {
 
     /// Advances with the outcome of the peeked operation.
     fn apply(&mut self, outcome: Outcome) -> SubStep;
+
+    /// Snapshots the fragment mid-operation. Required so a containing
+    /// [`tpa_tso::Program`] can implement `Program::fork` for the
+    /// `tpa-check` schedule explorer.
+    fn fork(&self) -> Box<dyn OpMachine>;
+
+    /// Hashes the fragment's behavioural state (control location plus any
+    /// live locals). Same contract as [`tpa_tso::Program::state_hash`]:
+    /// under-hashing makes explorer pruning unsound.
+    fn state_hash(&self, h: &mut dyn std::hash::Hasher);
 }
 
 /// An implemented shared object: variable layout plus operation factory.

@@ -131,7 +131,7 @@ fn nth(base: VarId, i: Value) -> VarId {
     VarId(base.0 + i as u32)
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum DeqState {
     ReadHead,
     ReadTail { h: Value },
@@ -140,6 +140,7 @@ enum DeqState {
     ReadItem { h: Value },
 }
 
+#[derive(Clone)]
 struct Dequeue {
     head: VarId,
     tail: VarId,
@@ -149,11 +150,24 @@ struct Dequeue {
 }
 
 impl OpMachine for Dequeue {
+    fn fork(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             DeqState::ReadHead => Op::Read(self.head),
             DeqState::ReadTail { .. } => Op::Read(self.tail),
-            DeqState::CasHead { h } => Op::Cas { var: self.head, expected: h, new: h + 1 },
+            DeqState::CasHead { h } => Op::Cas {
+                var: self.head,
+                expected: h,
+                new: h + 1,
+            },
             DeqState::WaitReady { h } => Op::Read(nth(self.ready_base, h)),
             DeqState::ReadItem { h } => Op::Read(nth(self.items_base, h)),
         }
@@ -199,7 +213,7 @@ impl OpMachine for Dequeue {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum EnqState {
     ReadTail,
     CasTail { t: Value },
@@ -208,6 +222,7 @@ enum EnqState {
     FencePublish,
 }
 
+#[derive(Clone)]
 struct Enqueue {
     tail: VarId,
     items_base: VarId,
@@ -219,10 +234,24 @@ struct Enqueue {
 }
 
 impl OpMachine for Enqueue {
+    fn fork(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.slot.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             EnqState::ReadTail => Op::Read(self.tail),
-            EnqState::CasTail { t } => Op::Cas { var: self.tail, expected: t, new: t + 1 },
+            EnqState::CasTail { t } => Op::Cas {
+                var: self.tail,
+                expected: t,
+                new: t + 1,
+            },
             EnqState::WriteItem => Op::Write(nth(self.items_base, self.slot), self.arg),
             EnqState::WriteReady => Op::Write(nth(self.ready_base, self.slot), 1),
             EnqState::FencePublish => Op::Fence,
@@ -244,12 +273,18 @@ impl OpMachine for Enqueue {
                 SubStep::Continue
             }
             EnqState::CasTail { .. } => match outcome {
-                Outcome::CasResult { success: true, observed } => {
+                Outcome::CasResult {
+                    success: true,
+                    observed,
+                } => {
                     self.slot = observed;
                     self.state = EnqState::WriteItem;
                     SubStep::Continue
                 }
-                Outcome::CasResult { success: false, observed } => {
+                Outcome::CasResult {
+                    success: false,
+                    observed,
+                } => {
                     if observed >= self.capacity {
                         return SubStep::Done(EMPTY);
                     }
@@ -285,23 +320,53 @@ mod tests {
     fn fifo_order_sequentially() {
         let sys = ObjectSystem::new(ArrayQueue::new(8), 1, |_| {
             vec![
-                OpCall { opcode: OP_ENQUEUE, arg: 10 },
-                OpCall { opcode: OP_ENQUEUE, arg: 20 },
-                OpCall { opcode: OP_DEQUEUE, arg: 0 },
-                OpCall { opcode: OP_ENQUEUE, arg: 30 },
-                OpCall { opcode: OP_DEQUEUE, arg: 0 },
-                OpCall { opcode: OP_DEQUEUE, arg: 0 },
-                OpCall { opcode: OP_DEQUEUE, arg: 0 },
+                OpCall {
+                    opcode: OP_ENQUEUE,
+                    arg: 10,
+                },
+                OpCall {
+                    opcode: OP_ENQUEUE,
+                    arg: 20,
+                },
+                OpCall {
+                    opcode: OP_DEQUEUE,
+                    arg: 0,
+                },
+                OpCall {
+                    opcode: OP_ENQUEUE,
+                    arg: 30,
+                },
+                OpCall {
+                    opcode: OP_DEQUEUE,
+                    arg: 0,
+                },
+                OpCall {
+                    opcode: OP_DEQUEUE,
+                    arg: 0,
+                },
+                OpCall {
+                    opcode: OP_DEQUEUE,
+                    arg: 0,
+                },
             ]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
-        assert_eq!(sys.results(&m, ProcId(0)), vec![10, 20, 10, 30, 20, 30, EMPTY]);
+        assert_eq!(
+            sys.results(&m, ProcId(0)),
+            vec![10, 20, 10, 30, 20, 30, EMPTY]
+        );
     }
 
     #[test]
     fn counter_prefill_dequeues_in_order() {
         let sys = ObjectSystem::new(ArrayQueue::counter_prefill(4), 1, |_| {
-            vec![OpCall { opcode: OP_DEQUEUE, arg: 0 }; 5]
+            vec![
+                OpCall {
+                    opcode: OP_DEQUEUE,
+                    arg: 0
+                };
+                5
+            ]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
         assert_eq!(sys.results(&m, ProcId(0)), vec![0, 1, 2, 3, EMPTY]);
@@ -311,11 +376,18 @@ mod tests {
     fn concurrent_dequeues_take_distinct_items() {
         for seed in 1..=6u64 {
             let sys = ObjectSystem::new(ArrayQueue::counter_prefill(8), 4, |_| {
-                vec![OpCall { opcode: OP_DEQUEUE, arg: 0 }; 2]
+                vec![
+                    OpCall {
+                        opcode: OP_DEQUEUE,
+                        arg: 0
+                    };
+                    2
+                ]
             });
-            let m = sys.run_random(seed, CommitPolicy::Random { num: 64 }, 400_000).unwrap();
-            let mut all: Vec<Value> =
-                (0..4).flat_map(|p| sys.results(&m, ProcId(p))).collect();
+            let m = sys
+                .run_random(seed, CommitPolicy::Random { num: 64 }, 400_000)
+                .unwrap();
+            let mut all: Vec<Value> = (0..4).flat_map(|p| sys.results(&m, ProcId(p))).collect();
             all.sort_unstable();
             assert_eq!(all, (0..8).collect::<Vec<_>>(), "seed {seed}");
         }
@@ -324,7 +396,16 @@ mod tests {
     #[test]
     fn enqueue_beyond_capacity_reports_full() {
         let sys = ObjectSystem::new(ArrayQueue::new(1), 1, |_| {
-            vec![OpCall { opcode: OP_ENQUEUE, arg: 1 }, OpCall { opcode: OP_ENQUEUE, arg: 2 }]
+            vec![
+                OpCall {
+                    opcode: OP_ENQUEUE,
+                    arg: 1,
+                },
+                OpCall {
+                    opcode: OP_ENQUEUE,
+                    arg: 2,
+                },
+            ]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
         assert_eq!(sys.results(&m, ProcId(0)), vec![1, EMPTY]);
@@ -336,15 +417,30 @@ mod tests {
         // so a dequeuer never observes a reserved-but-unready slot value.
         let sys = ObjectSystem::new(ArrayQueue::new(4), 2, |pid| {
             if pid.0 == 0 {
-                vec![OpCall { opcode: OP_ENQUEUE, arg: 42 }]
+                vec![OpCall {
+                    opcode: OP_ENQUEUE,
+                    arg: 42,
+                }]
             } else {
-                vec![OpCall { opcode: OP_DEQUEUE, arg: 0 }, OpCall { opcode: OP_DEQUEUE, arg: 0 }]
+                vec![
+                    OpCall {
+                        opcode: OP_DEQUEUE,
+                        arg: 0,
+                    },
+                    OpCall {
+                        opcode: OP_DEQUEUE,
+                        arg: 0,
+                    },
+                ]
             }
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
         let results = sys.results(&m, ProcId(1));
         for r in results {
-            assert!(r == 42 || r == EMPTY, "dequeue returned unpublished value {r}");
+            assert!(
+                r == 42 || r == EMPTY,
+                "dequeue returned unpublished value {r}"
+            );
         }
     }
 }

@@ -143,6 +143,50 @@ enum RState {
     Done,
 }
 
+impl Clone for RState {
+    fn clone(&self) -> Self {
+        match self {
+            RState::Enter => RState::Enter,
+            RState::FetchTicket(m) => RState::FetchTicket(m.fork()),
+            RState::WriteWaiting => RState::WriteWaiting,
+            RState::FenceWaiting => RState::FenceWaiting,
+            RState::ReadRelease => RState::ReadRelease,
+            RState::SpinWait => RState::SpinWait,
+            RState::Cs => RState::Cs,
+            RState::WriteRelease => RState::WriteRelease,
+            RState::FenceRelease => RState::FenceRelease,
+            RState::ReadWaiting => RState::ReadWaiting,
+            RState::WriteSpin(q) => RState::WriteSpin(*q),
+            RState::FenceSpin => RState::FenceSpin,
+            RState::Exit => RState::Exit,
+            RState::Done => RState::Done,
+        }
+    }
+}
+
+impl RState {
+    /// Control-location discriminant for [`Program::state_hash`].
+    fn tag(&self) -> u8 {
+        match self {
+            RState::Enter => 0,
+            RState::FetchTicket(_) => 1,
+            RState::WriteWaiting => 2,
+            RState::FenceWaiting => 3,
+            RState::ReadRelease => 4,
+            RState::SpinWait => 5,
+            RState::Cs => 6,
+            RState::WriteRelease => 7,
+            RState::FenceRelease => 8,
+            RState::ReadWaiting => 9,
+            RState::WriteSpin(_) => 10,
+            RState::FenceSpin => 11,
+            RState::Exit => 12,
+            RState::Done => 13,
+        }
+    }
+}
+
+#[derive(Clone)]
 struct OneTimeProgram {
     me: ProcId,
     release_base: VarId,
@@ -168,13 +212,26 @@ impl OneTimeProgram {
 }
 
 impl Program for OneTimeProgram {
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.tag().hash(&mut h);
+        match &self.state {
+            RState::FetchTicket(m) => m.state_hash(h),
+            RState::WriteSpin(q) => q.hash(&mut h),
+            _ => {}
+        }
+        self.ticket.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match &self.state {
             RState::Enter => Op::Enter,
             RState::FetchTicket(m) => m.peek(),
-            RState::WriteWaiting => {
-                Op::Write(self.waiting_var(self.ticket), self.me.0 as Value)
-            }
+            RState::WriteWaiting => Op::Write(self.waiting_var(self.ticket), self.me.0 as Value),
             RState::FenceWaiting | RState::FenceRelease | RState::FenceSpin => Op::Fence,
             RState::ReadRelease => Op::Read(self.release_var(self.ticket)),
             RState::SpinWait => Op::Read(self.spin_var(self.me.index())),
@@ -251,8 +308,7 @@ mod tests {
         // One-time mutex: every process performs exactly one passage.
         for n in [1, 2, 4, 8] {
             let sys = OneTimeMutex::new(CasCounter::new(), n);
-            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000)
-                .unwrap();
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000).unwrap();
         }
         for seed in 1..=8u64 {
             let sys = OneTimeMutex::new(CasCounter::new(), 4);
@@ -264,8 +320,7 @@ mod tests {
     fn queue_reduction_battery() {
         for n in [1, 2, 5] {
             let sys = OneTimeMutex::new(ArrayQueue::counter_prefill(n), n);
-            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000)
-                .unwrap();
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000).unwrap();
         }
         for seed in 1..=8u64 {
             let sys = OneTimeMutex::new(ArrayQueue::counter_prefill(4), 4);
@@ -277,8 +332,7 @@ mod tests {
     fn stack_reduction_battery() {
         for n in [1, 2, 5] {
             let sys = OneTimeMutex::new(TreiberStack::counter_prefill(n), n);
-            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000)
-                .unwrap();
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000).unwrap();
         }
         for seed in 1..=8u64 {
             let sys = OneTimeMutex::new(TreiberStack::counter_prefill(4), 4);
@@ -289,8 +343,8 @@ mod tests {
     #[test]
     fn passages_enter_in_ticket_order() {
         let sys = OneTimeMutex::new(CasCounter::new(), 4);
-        let m = testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000)
-            .unwrap();
+        let m =
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000).unwrap();
         let cs: Vec<_> = m
             .log()
             .iter()

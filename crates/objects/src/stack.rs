@@ -92,7 +92,11 @@ impl SharedObject for TreiberStack {
             }
         }
         for i in 0..cap {
-            let init = if i < self.prefill.len() { i as Value } else { 0 };
+            let init = if i < self.prefill.len() {
+                i as Value
+            } else {
+                0
+            };
             let v = b.var(format!("stack.next[{i}]"), init, None);
             if i == 0 {
                 self.next_base = Some(v);
@@ -103,7 +107,12 @@ impl SharedObject for TreiberStack {
     fn start_op(&self, opcode: u32, arg: Value) -> Box<dyn OpMachine> {
         let (top, alloc, value_base, next_base) = self.ids();
         match opcode {
-            OP_POP => Box::new(Pop { top, value_base, next_base, state: PopState::ReadTop }),
+            OP_POP => Box::new(Pop {
+                top,
+                value_base,
+                next_base,
+                state: PopState::ReadTop,
+            }),
             OP_PUSH => Box::new(Push {
                 top,
                 alloc,
@@ -127,7 +136,7 @@ fn nth(base: VarId, i: Value) -> VarId {
     VarId(base.0 + i as u32)
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum PopState {
     ReadTop,
     ReadNext { t: Value },
@@ -135,6 +144,7 @@ enum PopState {
     ReadValue { t: Value },
 }
 
+#[derive(Clone)]
 struct Pop {
     top: VarId,
     value_base: VarId,
@@ -143,11 +153,24 @@ struct Pop {
 }
 
 impl OpMachine for Pop {
+    fn fork(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             PopState::ReadTop => Op::Read(self.top),
             PopState::ReadNext { t } => Op::Read(nth(self.next_base, t - 1)),
-            PopState::CasTop { t, nx } => Op::Cas { var: self.top, expected: t, new: nx },
+            PopState::CasTop { t, nx } => Op::Cas {
+                var: self.top,
+                expected: t,
+                new: nx,
+            },
             PopState::ReadValue { t } => Op::Read(nth(self.value_base, t - 1)),
         }
     }
@@ -167,7 +190,10 @@ impl OpMachine for Pop {
                 SubStep::Continue
             }
             PopState::ReadNext { t } => {
-                self.state = PopState::CasTop { t, nx: read(outcome) };
+                self.state = PopState::CasTop {
+                    t,
+                    nx: read(outcome),
+                };
                 SubStep::Continue
             }
             PopState::CasTop { t, .. } => match outcome {
@@ -186,7 +212,7 @@ impl OpMachine for Pop {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Hash, Debug)]
 enum PushState {
     ReadAlloc,
     CasAlloc { a: Value },
@@ -197,6 +223,7 @@ enum PushState {
     CasTop { t: Value },
 }
 
+#[derive(Clone)]
 struct Push {
     top: VarId,
     alloc: VarId,
@@ -209,17 +236,33 @@ struct Push {
 }
 
 impl OpMachine for Push {
+    fn fork(&self) -> Box<dyn OpMachine> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.state.hash(&mut h);
+        self.slot.hash(&mut h);
+    }
+
     fn peek(&self) -> Op {
         match self.state {
             PushState::ReadAlloc => Op::Read(self.alloc),
-            PushState::CasAlloc { a } => Op::Cas { var: self.alloc, expected: a, new: a + 1 },
+            PushState::CasAlloc { a } => Op::Cas {
+                var: self.alloc,
+                expected: a,
+                new: a + 1,
+            },
             PushState::WriteValue => Op::Write(nth(self.value_base, self.slot), self.arg),
             PushState::ReadTop => Op::Read(self.top),
             PushState::WriteNext { t } => Op::Write(nth(self.next_base, self.slot), t),
             PushState::FencePublish { .. } => Op::Fence,
-            PushState::CasTop { t } => {
-                Op::Cas { var: self.top, expected: t, new: self.slot + 1 }
-            }
+            PushState::CasTop { t } => Op::Cas {
+                var: self.top,
+                expected: t,
+                new: self.slot + 1,
+            },
         }
     }
 
@@ -243,7 +286,10 @@ impl OpMachine for Push {
                     self.state = PushState::WriteValue;
                     SubStep::Continue
                 }
-                Outcome::CasResult { success: false, observed } => {
+                Outcome::CasResult {
+                    success: false,
+                    observed,
+                } => {
                     if observed >= self.capacity {
                         return SubStep::Done(EMPTY);
                     }
@@ -294,23 +340,53 @@ mod tests {
     fn lifo_order_sequentially() {
         let sys = ObjectSystem::new(TreiberStack::new(8), 1, |_| {
             vec![
-                OpCall { opcode: OP_PUSH, arg: 10 },
-                OpCall { opcode: OP_PUSH, arg: 20 },
-                OpCall { opcode: OP_PUSH, arg: 30 },
-                OpCall { opcode: OP_POP, arg: 0 },
-                OpCall { opcode: OP_POP, arg: 0 },
-                OpCall { opcode: OP_POP, arg: 0 },
-                OpCall { opcode: OP_POP, arg: 0 },
+                OpCall {
+                    opcode: OP_PUSH,
+                    arg: 10,
+                },
+                OpCall {
+                    opcode: OP_PUSH,
+                    arg: 20,
+                },
+                OpCall {
+                    opcode: OP_PUSH,
+                    arg: 30,
+                },
+                OpCall {
+                    opcode: OP_POP,
+                    arg: 0,
+                },
+                OpCall {
+                    opcode: OP_POP,
+                    arg: 0,
+                },
+                OpCall {
+                    opcode: OP_POP,
+                    arg: 0,
+                },
+                OpCall {
+                    opcode: OP_POP,
+                    arg: 0,
+                },
             ]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
-        assert_eq!(sys.results(&m, ProcId(0)), vec![10, 20, 30, 30, 20, 10, EMPTY]);
+        assert_eq!(
+            sys.results(&m, ProcId(0)),
+            vec![10, 20, 30, 30, 20, 10, EMPTY]
+        );
     }
 
     #[test]
     fn counter_prefill_pops_in_order() {
         let sys = ObjectSystem::new(TreiberStack::counter_prefill(4), 1, |_| {
-            vec![OpCall { opcode: OP_POP, arg: 0 }; 5]
+            vec![
+                OpCall {
+                    opcode: OP_POP,
+                    arg: 0
+                };
+                5
+            ]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
         assert_eq!(sys.results(&m, ProcId(0)), vec![0, 1, 2, 3, EMPTY]);
@@ -320,11 +396,18 @@ mod tests {
     fn concurrent_pops_take_distinct_items() {
         for seed in 1..=6u64 {
             let sys = ObjectSystem::new(TreiberStack::counter_prefill(8), 4, |_| {
-                vec![OpCall { opcode: OP_POP, arg: 0 }; 2]
+                vec![
+                    OpCall {
+                        opcode: OP_POP,
+                        arg: 0
+                    };
+                    2
+                ]
             });
-            let m = sys.run_random(seed, CommitPolicy::Random { num: 64 }, 400_000).unwrap();
-            let mut all: Vec<Value> =
-                (0..4).flat_map(|p| sys.results(&m, ProcId(p))).collect();
+            let m = sys
+                .run_random(seed, CommitPolicy::Random { num: 64 }, 400_000)
+                .unwrap();
+            let mut all: Vec<Value> = (0..4).flat_map(|p| sys.results(&m, ProcId(p))).collect();
             all.sort_unstable();
             assert_eq!(all, (0..8).collect::<Vec<_>>(), "seed {seed}");
         }
@@ -335,11 +418,19 @@ mod tests {
         for seed in 1..=4u64 {
             let sys = ObjectSystem::new(TreiberStack::new(8), 4, |pid| {
                 vec![
-                    OpCall { opcode: OP_PUSH, arg: 100 + pid.0 as Value },
-                    OpCall { opcode: OP_PUSH, arg: 200 + pid.0 as Value },
+                    OpCall {
+                        opcode: OP_PUSH,
+                        arg: 100 + pid.0 as Value,
+                    },
+                    OpCall {
+                        opcode: OP_PUSH,
+                        arg: 200 + pid.0 as Value,
+                    },
                 ]
             });
-            let m = sys.run_random(seed, CommitPolicy::Random { num: 64 }, 400_000).unwrap();
+            let m = sys
+                .run_random(seed, CommitPolicy::Random { num: 64 }, 400_000)
+                .unwrap();
             // Drain sequentially on a fresh single-process system is not
             // possible (state is gone) — instead check the in-memory list.
             let mut contents = Vec::new();
@@ -349,8 +440,7 @@ mod tests {
                 cursor = m.value(tpa_tso::VarId(2 + 8 + (cursor - 1) as u32));
             }
             contents.sort_unstable();
-            let mut expected: Vec<Value> =
-                (0..4).flat_map(|p| [100 + p, 200 + p]).collect();
+            let mut expected: Vec<Value> = (0..4).flat_map(|p| [100 + p, 200 + p]).collect();
             expected.sort_unstable();
             assert_eq!(contents, expected, "seed {seed}");
         }
@@ -359,7 +449,16 @@ mod tests {
     #[test]
     fn push_beyond_capacity_reports_failure() {
         let sys = ObjectSystem::new(TreiberStack::new(1), 1, |_| {
-            vec![OpCall { opcode: OP_PUSH, arg: 1 }, OpCall { opcode: OP_PUSH, arg: 2 }]
+            vec![
+                OpCall {
+                    opcode: OP_PUSH,
+                    arg: 1,
+                },
+                OpCall {
+                    opcode: OP_PUSH,
+                    arg: 2,
+                },
+            ]
         });
         let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
         assert_eq!(sys.results(&m, ProcId(0)), vec![1, EMPTY]);

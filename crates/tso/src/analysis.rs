@@ -60,10 +60,16 @@ pub fn spans(log: &[Event]) -> Vec<Span> {
     let mut result: Vec<Span> = Vec::new();
     for e in log {
         if is_start(e.kind) {
-            result.push(Span { pid: e.pid, start: e.seq, end: None });
+            result.push(Span {
+                pid: e.pid,
+                start: e.seq,
+                end: None,
+            });
         } else if is_end(e.kind) {
-            if let Some(open) =
-                result.iter_mut().rev().find(|s| s.pid == e.pid && s.end.is_none())
+            if let Some(open) = result
+                .iter_mut()
+                .rev()
+                .find(|s| s.pid == e.pid && s.end.is_none())
             {
                 open.end = Some(e.seq);
             }
@@ -102,7 +108,11 @@ pub fn contention(log: &[Event], span: Span) -> Contention {
         }
     }
 
-    Contention { interval: interval.len(), point, total: total.len() }
+    Contention {
+        interval: interval.len(),
+        point,
+        total: total.len(),
+    }
 }
 
 /// Aggregate event statistics of an execution.
@@ -130,10 +140,16 @@ pub struct EventStats {
 
 /// Computes aggregate event statistics for a log.
 pub fn event_stats(log: &[Event]) -> EventStats {
-    let mut s = EventStats { events: log.len(), ..EventStats::default() };
+    let mut s = EventStats {
+        events: log.len(),
+        ..EventStats::default()
+    };
     for e in log {
         match e.kind {
-            EventKind::Read { source: crate::event::ReadSource::Memory, .. } => {
+            EventKind::Read {
+                source: crate::event::ReadSource::Memory,
+                ..
+            } => {
                 s.memory_reads += 1;
             }
             EventKind::Read { .. } => s.buffer_reads += 1,
@@ -172,7 +188,7 @@ mod tests {
         step(&mut m, 1); // p1 Exit
         step(&mut m, 0); // p0 Cs
         step(&mut m, 0); // p0 Exit
-        // p2 never runs.
+                         // p2 never runs.
         m
     }
 
@@ -212,7 +228,14 @@ mod tests {
         }
         let sp = spans(m.log());
         let c = contention(m.log(), sp[0]);
-        assert_eq!(c, Contention { interval: 1, point: 1, total: 1 });
+        assert_eq!(
+            c,
+            Contention {
+                interval: 1,
+                point: 1,
+                total: 1
+            }
+        );
     }
 
     #[test]
@@ -256,7 +279,12 @@ mod tests {
                 Instr::Read { var: 0, reg: 0 }, // buffer read
                 Instr::Read { var: 1, reg: 1 }, // memory read (critical)
                 Instr::Fence,
-                Instr::Cas { var: 1, expected: 0, new: 2, success_reg: 2 },
+                Instr::Cas {
+                    var: 1,
+                    expected: 0,
+                    new: 2,
+                    success_reg: 2,
+                },
                 Instr::Cs,
                 Instr::Exit,
                 Instr::Halt,
@@ -275,9 +303,6 @@ mod tests {
         assert_eq!(s.cas, 1);
         assert_eq!(s.transitions, 3);
         assert!(s.criticals >= 2);
-        assert_eq!(
-            s.events,
-            m.log().len()
-        );
+        assert_eq!(s.events, m.log().len());
     }
 }

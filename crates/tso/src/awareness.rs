@@ -34,7 +34,9 @@ impl AwSet {
 
     /// An empty awareness set (used for never-scheduled processes).
     pub fn empty() -> Self {
-        AwSet { inner: Arc::new(BTreeSet::new()) }
+        AwSet {
+            inner: Arc::new(BTreeSet::new()),
+        }
     }
 
     /// Returns `true` if the set contains `p`.
@@ -64,8 +66,12 @@ impl AwSet {
         if Arc::ptr_eq(&self.inner, &other.inner) {
             return;
         }
-        let missing: Vec<ProcId> =
-            other.inner.iter().filter(|p| !self.inner.contains(p)).copied().collect();
+        let missing: Vec<ProcId> = other
+            .inner
+            .iter()
+            .filter(|p| !self.inner.contains(p))
+            .copied()
+            .collect();
         if !missing.is_empty() {
             let set = Arc::make_mut(&mut self.inner);
             set.extend(missing);
@@ -98,7 +104,9 @@ impl fmt::Debug for AwSet {
 
 impl FromIterator<ProcId> for AwSet {
     fn from_iter<T: IntoIterator<Item = ProcId>>(iter: T) -> Self {
-        AwSet { inner: Arc::new(iter.into_iter().collect()) }
+        AwSet {
+            inner: Arc::new(iter.into_iter().collect()),
+        }
     }
 }
 

@@ -55,7 +55,11 @@ impl WriteBuffer {
                 entry.value = value;
                 entry.aw_snapshot = aw_snapshot;
             }
-            None => self.entries.push_back(PendingWrite { var, value, aw_snapshot }),
+            None => self.entries.push_back(PendingWrite {
+                var,
+                value,
+                aw_snapshot,
+            }),
         }
     }
 

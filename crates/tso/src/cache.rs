@@ -54,7 +54,9 @@ pub struct CacheDir {
 impl CacheDir {
     /// Creates directories for `var_count` variables, all uncached.
     pub fn new(var_count: usize) -> Self {
-        CacheDir { lines: vec![CacheLine::default(); var_count] }
+        CacheDir {
+            lines: vec![CacheLine::default(); var_count],
+        }
     }
 
     /// Records a read of `var` by `p` and returns its CC cost.
@@ -74,7 +76,10 @@ impl CacheDir {
             line.wb_shared.insert(p);
         }
 
-        CcCost { wt_rmr, wb_rmr: !wb_hit }
+        CcCost {
+            wt_rmr,
+            wb_rmr: !wb_hit,
+        }
     }
 
     /// Records a write commit to `var` by `p` and returns its CC cost.
@@ -158,7 +163,10 @@ mod tests {
         let mut d = CacheDir::new(1);
         d.read(ProcId(0), V);
         d.write(ProcId(0), V);
-        assert!(!d.read(ProcId(0), V).wt_rmr, "own copy stays valid across own write");
+        assert!(
+            !d.read(ProcId(0), V).wt_rmr,
+            "own copy stays valid across own write"
+        );
     }
 
     #[test]
@@ -167,7 +175,10 @@ mod tests {
         assert!(d.write(ProcId(0), V).wb_rmr);
         // p0 now exclusive; p1's read downgrades it.
         assert!(d.read(ProcId(1), V).wb_rmr);
-        assert!(d.wb_holds(ProcId(0), V), "downgraded to shared, still holds");
+        assert!(
+            d.wb_holds(ProcId(0), V),
+            "downgraded to shared, still holds"
+        );
         assert!(d.wb_holds(ProcId(1), V));
         // p0 re-reading is a hit (shared copy retained).
         assert!(!d.read(ProcId(0), V).wb_rmr);
@@ -179,7 +190,10 @@ mod tests {
     fn wb_exclusive_writer_hits_on_rewrite() {
         let mut d = CacheDir::new(1);
         d.write(ProcId(0), V);
-        assert!(!d.write(ProcId(0), V).wb_rmr, "exclusive holder rewrites for free");
+        assert!(
+            !d.write(ProcId(0), V).wb_rmr,
+            "exclusive holder rewrites for free"
+        );
     }
 
     #[test]
@@ -190,7 +204,10 @@ mod tests {
         assert!(d.write(ProcId(0), V).wb_rmr);
         assert!(!d.wb_holds(ProcId(1), V));
         assert!(!d.wb_holds(ProcId(2), V));
-        assert!(d.read(ProcId(1), V).wb_rmr, "invalidated reader misses again");
+        assert!(
+            d.read(ProcId(1), V).wb_rmr,
+            "invalidated reader misses again"
+        );
     }
 
     #[test]

@@ -177,9 +177,16 @@ mod tests {
         let m = run_all(&sys);
         let erased: BTreeSet<ProcId> = [ProcId(1)].into_iter().collect();
         let out = erase(&sys, &m, &erased).unwrap();
-        assert!(out.projection_identical, "mismatch: {:?}", out.first_mismatch);
+        assert!(
+            out.projection_identical,
+            "mismatch: {:?}",
+            out.first_mismatch
+        );
         assert!(out.criticality_preserved);
-        assert_eq!(out.machine.log().len(), m.log().len() - project(m.log(), ProcId(1)).len());
+        assert_eq!(
+            out.machine.log().len(),
+            m.log().len() - project(m.log(), ProcId(1)).len()
+        );
     }
 
     #[test]
@@ -232,8 +239,18 @@ mod tests {
         let step1 = erase(&sys, &m, &y).unwrap();
         let step2 = erase(&sys, &step1.machine, &z).unwrap();
         let direct = erase(&sys, &m, &yz).unwrap();
-        let a: Vec<_> = step2.machine.log().iter().map(|e| (e.pid, e.kind)).collect();
-        let b: Vec<_> = direct.machine.log().iter().map(|e| (e.pid, e.kind)).collect();
+        let a: Vec<_> = step2
+            .machine
+            .log()
+            .iter()
+            .map(|e| (e.pid, e.kind))
+            .collect();
+        let b: Vec<_> = direct
+            .machine
+            .log()
+            .iter()
+            .map(|e| (e.pid, e.kind))
+            .collect();
         assert_eq!(a, b);
     }
 

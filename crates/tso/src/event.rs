@@ -209,17 +209,31 @@ impl fmt::Display for Event {
                     ReadSource::Buffer => "buf",
                     ReadSource::Memory => "mem",
                 };
-                write!(f, "[{}] {} read{}({})={} <{}>", self.seq, self.pid, crit, var, value, src)
+                write!(
+                    f,
+                    "[{}] {} read{}({})={} <{}>",
+                    self.seq, self.pid, crit, var, value, src
+                )
             }
             EventKind::IssueWrite { var, value } => {
                 write!(f, "[{}] {} issue({}:={})", self.seq, self.pid, var, value)
             }
             EventKind::CommitWrite { var, value } => {
-                write!(f, "[{}] {} commit{}({}:={})", self.seq, self.pid, crit, var, value)
+                write!(
+                    f,
+                    "[{}] {} commit{}({}:={})",
+                    self.seq, self.pid, crit, var, value
+                )
             }
             EventKind::BeginFence => write!(f, "[{}] {} begin-fence", self.seq, self.pid),
             EventKind::EndFence => write!(f, "[{}] {} end-fence", self.seq, self.pid),
-            EventKind::Cas { var, expected, new, success, observed } => write!(
+            EventKind::Cas {
+                var,
+                expected,
+                new,
+                success,
+                observed,
+            } => write!(
                 f,
                 "[{}] {} cas{}({}: {}->{}) = {} (saw {})",
                 self.seq, self.pid, crit, var, expected, new, success, observed
@@ -230,7 +244,9 @@ impl fmt::Display for Event {
             EventKind::Invoke { op, arg } => {
                 write!(f, "[{}] {} invoke(op{}, {})", self.seq, self.pid, op, arg)
             }
-            EventKind::Return { value } => write!(f, "[{}] {} return({})", self.seq, self.pid, value),
+            EventKind::Return { value } => {
+                write!(f, "[{}] {} return({})", self.seq, self.pid, value)
+            }
         }
     }
 }
@@ -240,53 +256,150 @@ mod tests {
     use super::*;
 
     fn ev(pid: u32, kind: EventKind) -> Event {
-        Event { seq: 0, pid: ProcId(pid), kind, critical: false }
+        Event {
+            seq: 0,
+            pid: ProcId(pid),
+            kind,
+            critical: false,
+        }
     }
 
     #[test]
     fn buffer_reads_are_not_accesses() {
-        let e = ev(0, EventKind::Read { var: VarId(1), value: 5, source: ReadSource::Buffer });
+        let e = ev(
+            0,
+            EventKind::Read {
+                var: VarId(1),
+                value: 5,
+                source: ReadSource::Buffer,
+            },
+        );
         assert!(!e.is_access());
-        let e = ev(0, EventKind::Read { var: VarId(1), value: 5, source: ReadSource::Memory });
+        let e = ev(
+            0,
+            EventKind::Read {
+                var: VarId(1),
+                value: 5,
+                source: ReadSource::Memory,
+            },
+        );
         assert!(e.is_access());
     }
 
     #[test]
     fn issue_writes_are_not_accesses_but_commits_are() {
-        assert!(!ev(0, EventKind::IssueWrite { var: VarId(1), value: 5 }).is_access());
-        assert!(ev(0, EventKind::CommitWrite { var: VarId(1), value: 5 }).is_access());
+        assert!(!ev(
+            0,
+            EventKind::IssueWrite {
+                var: VarId(1),
+                value: 5
+            }
+        )
+        .is_access());
+        assert!(ev(
+            0,
+            EventKind::CommitWrite {
+                var: VarId(1),
+                value: 5
+            }
+        )
+        .is_access());
     }
 
     #[test]
     fn congruence_ignores_values() {
-        let a = ev(2, EventKind::Read { var: VarId(1), value: 5, source: ReadSource::Memory });
-        let b = ev(2, EventKind::Read { var: VarId(1), value: 9, source: ReadSource::Buffer });
+        let a = ev(
+            2,
+            EventKind::Read {
+                var: VarId(1),
+                value: 5,
+                source: ReadSource::Memory,
+            },
+        );
+        let b = ev(
+            2,
+            EventKind::Read {
+                var: VarId(1),
+                value: 9,
+                source: ReadSource::Buffer,
+            },
+        );
         assert!(a.congruent(&b));
-        let c = ev(3, EventKind::Read { var: VarId(1), value: 5, source: ReadSource::Memory });
+        let c = ev(
+            3,
+            EventKind::Read {
+                var: VarId(1),
+                value: 5,
+                source: ReadSource::Memory,
+            },
+        );
         assert!(!a.congruent(&c), "different processes are never congruent");
-        let d = ev(2, EventKind::Read { var: VarId(2), value: 5, source: ReadSource::Memory });
+        let d = ev(
+            2,
+            EventKind::Read {
+                var: VarId(2),
+                value: 5,
+                source: ReadSource::Memory,
+            },
+        );
         assert!(!a.congruent(&d), "different variables are not congruent");
     }
 
     #[test]
     fn congruence_of_writes_and_fences() {
-        let w1 = ev(1, EventKind::IssueWrite { var: VarId(0), value: 1 });
-        let w2 = ev(1, EventKind::IssueWrite { var: VarId(0), value: 2 });
+        let w1 = ev(
+            1,
+            EventKind::IssueWrite {
+                var: VarId(0),
+                value: 1,
+            },
+        );
+        let w2 = ev(
+            1,
+            EventKind::IssueWrite {
+                var: VarId(0),
+                value: 2,
+            },
+        );
         assert!(w1.congruent(&w2));
         assert!(ev(1, EventKind::BeginFence).congruent(&ev(1, EventKind::BeginFence)));
         assert!(!ev(1, EventKind::BeginFence).congruent(&ev(1, EventKind::EndFence)));
-        assert!(!w1.congruent(&ev(1, EventKind::CommitWrite { var: VarId(0), value: 1 })));
+        assert!(!w1.congruent(&ev(
+            1,
+            EventKind::CommitWrite {
+                var: VarId(0),
+                value: 1
+            }
+        )));
     }
 
     #[test]
     fn special_kind_classification() {
-        let mut crit =
-            ev(0, EventKind::Read { var: VarId(1), value: 0, source: ReadSource::Memory });
+        let mut crit = ev(
+            0,
+            EventKind::Read {
+                var: VarId(1),
+                value: 0,
+                source: ReadSource::Memory,
+            },
+        );
         crit.critical = true;
         assert_eq!(crit.special_kind(), Some(SpecialKind::Critical));
-        assert_eq!(ev(0, EventKind::Enter).special_kind(), Some(SpecialKind::Transition));
-        assert_eq!(ev(0, EventKind::BeginFence).special_kind(), Some(SpecialKind::Fence));
-        let plain = ev(0, EventKind::IssueWrite { var: VarId(1), value: 0 });
+        assert_eq!(
+            ev(0, EventKind::Enter).special_kind(),
+            Some(SpecialKind::Transition)
+        );
+        assert_eq!(
+            ev(0, EventKind::BeginFence).special_kind(),
+            Some(SpecialKind::Fence)
+        );
+        let plain = ev(
+            0,
+            EventKind::IssueWrite {
+                var: VarId(1),
+                value: 0,
+            },
+        );
         assert_eq!(plain.special_kind(), None);
     }
 

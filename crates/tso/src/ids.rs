@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The value domain of shared variables.
 ///
 /// The paper assumes, WLOG, that distinct writes write distinct values; we
@@ -15,7 +13,7 @@ pub type Value = u64;
 ///
 /// Process identifiers double as the total order used by the lower-bound
 /// construction ("increasing ID order" in the write phase).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ProcId(pub u32);
 
 impl ProcId {
@@ -39,7 +37,7 @@ impl From<u32> for ProcId {
 }
 
 /// Identifier of a shared variable.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct VarId(pub u32);
 
 impl VarId {

@@ -135,13 +135,19 @@ impl std::fmt::Display for StepError {
             StepError::Halted(p) => write!(f, "process {p} has halted"),
             StepError::EmptyBuffer(p) => write!(f, "commit scheduled for {p} with empty buffer"),
             StepError::BadCommit { pid, var } => {
-                write!(f, "{pid} cannot commit {var}: not pending, or reordering under TSO")
+                write!(
+                    f,
+                    "{pid} cannot commit {var}: not pending, or reordering under TSO"
+                )
             }
             StepError::BadTransition { pid, op, section } => {
                 write!(f, "{pid} attempted {op:?} while in section {section:?}")
             }
             StepError::NonTermination { pid, steps } => {
-                write!(f, "{pid} ran {steps} steps without reaching a special event")
+                write!(
+                    f,
+                    "{pid} ran {steps} steps without reaching a special event"
+                )
             }
             StepError::InvalidErasure(why) => write!(f, "invalid in-place erasure: {why}"),
             StepError::NothingToSchedule => write!(f, "no process to schedule"),
@@ -199,9 +205,7 @@ impl NextEvent {
     pub fn special_kind(&self) -> Option<SpecialKind> {
         match self {
             NextEvent::Halted => None,
-            NextEvent::CommitNext { critical, .. } => {
-                critical.then_some(SpecialKind::Critical)
-            }
+            NextEvent::CommitNext { critical, .. } => critical.then_some(SpecialKind::Critical),
             NextEvent::EndFence | NextEvent::BeginFence => Some(SpecialKind::Fence),
             NextEvent::Read { critical, .. } => critical.then_some(SpecialKind::Critical),
             NextEvent::IssueWrite { .. } => None,
@@ -438,11 +442,18 @@ impl Machine {
             Op::Halt => NextEvent::Halted,
             Op::Read(v) => {
                 if entry.buffer.contains(v) {
-                    NextEvent::Read { var: v, from_buffer: true, critical: false }
+                    NextEvent::Read {
+                        var: v,
+                        from_buffer: true,
+                        critical: false,
+                    }
                 } else {
-                    let critical =
-                        self.is_remote(p, v) && !entry.remote_reads.contains(&v);
-                    NextEvent::Read { var: v, from_buffer: false, critical }
+                    let critical = self.is_remote(p, v) && !entry.remote_reads.contains(&v);
+                    NextEvent::Read {
+                        var: v,
+                        from_buffer: false,
+                        critical,
+                    }
                 }
             }
             Op::Write(v, _) => NextEvent::IssueWrite { var: v },
@@ -456,7 +467,10 @@ impl Machine {
                         critical: self.commit_would_be_critical(p, w.var),
                     }
                 } else {
-                    NextEvent::Cas { var, critical: self.cas_would_be_critical(p, var) }
+                    NextEvent::Cas {
+                        var,
+                        critical: self.cas_would_be_critical(p, var),
+                    }
                 }
             }
             op @ (Op::Enter | Op::Cs | Op::Exit | Op::Invoke { .. } | Op::Return(_)) => {
@@ -509,13 +523,14 @@ impl Machine {
 
     fn do_commit_var(&mut self, p: ProcId, v: VarId) -> Result<Event, StepError> {
         let entry = &mut self.procs[p.index()];
-        if self.model == MemoryModel::Tso
-            && entry.buffer.peek_oldest().map(|w| w.var) != Some(v)
-        {
+        if self.model == MemoryModel::Tso && entry.buffer.peek_oldest().map(|w| w.var) != Some(v) {
             // TSO forbids reordering commits; only the oldest may go.
             return Err(StepError::BadCommit { pid: p, var: v });
         }
-        let w = entry.buffer.pop_var(v).ok_or(StepError::BadCommit { pid: p, var: v })?;
+        let w = entry
+            .buffer
+            .pop_var(v)
+            .ok_or(StepError::BadCommit { pid: p, var: v })?;
         self.apply_commit(p, w)
     }
 
@@ -541,7 +556,10 @@ impl Machine {
         Ok(Event {
             seq: self.next_seq(),
             pid: p,
-            kind: EventKind::CommitWrite { var: w.var, value: w.value },
+            kind: EventKind::CommitWrite {
+                var: w.var,
+                value: w.value,
+            },
             critical,
         })
     }
@@ -616,7 +634,11 @@ impl Machine {
             return Event {
                 seq: self.next_seq(),
                 pid: p,
-                kind: EventKind::Read { var: v, value, source: ReadSource::Buffer },
+                kind: EventKind::Read {
+                    var: v,
+                    value,
+                    source: ReadSource::Buffer,
+                },
                 critical: false,
             };
         }
@@ -652,7 +674,11 @@ impl Machine {
         Event {
             seq: self.next_seq(),
             pid: p,
-            kind: EventKind::Read { var: v, value, source: ReadSource::Memory },
+            kind: EventKind::Read {
+                var: v,
+                value,
+                source: ReadSource::Memory,
+            },
             critical,
         }
     }
@@ -695,12 +721,20 @@ impl Machine {
         totals.critical += critical as u64;
         totals.fences += 1;
 
-        self.procs[p.index()].program.apply(Outcome::CasResult { success, observed });
+        self.procs[p.index()]
+            .program
+            .apply(Outcome::CasResult { success, observed });
 
         Event {
             seq: self.next_seq(),
             pid: p,
-            kind: EventKind::Cas { var, expected, new, success, observed },
+            kind: EventKind::Cas {
+                var,
+                expected,
+                new,
+                success,
+                observed,
+            },
             critical,
         }
     }
@@ -714,17 +748,19 @@ impl Machine {
             (Op::Invoke { op, arg }, Section::Ncs) => {
                 (EventKind::Invoke { op, arg }, Section::Entry)
             }
-            (Op::Return(value), Section::Entry) => {
-                (EventKind::Return { value }, Section::Ncs)
+            (Op::Return(value), Section::Entry) => (EventKind::Return { value }, Section::Ncs),
+            (op, section) => {
+                return Err(StepError::BadTransition {
+                    pid: p,
+                    op,
+                    section,
+                })
             }
-            (op, section) => return Err(StepError::BadTransition { pid: p, op, section }),
         };
 
         match kind {
             EventKind::Enter => self.metrics.open_span(p, SpanKind::Passage),
-            EventKind::Invoke { op, .. } => {
-                self.metrics.open_span(p, SpanKind::Operation(op))
-            }
+            EventKind::Invoke { op, .. } => self.metrics.open_span(p, SpanKind::Operation(op)),
             _ => {}
         }
         self.metrics.proc_mut(p).events += 1;
@@ -740,7 +776,12 @@ impl Machine {
         entry.section = new_section;
         entry.program.apply(Outcome::Progressed);
 
-        Ok(Event { seq: self.next_seq(), pid: p, kind, critical: false })
+        Ok(Event {
+            seq: self.next_seq(),
+            pid: p,
+            kind,
+            critical: false,
+        })
     }
 
     /// Whether `p` was erased in place.
@@ -856,7 +897,10 @@ impl Machine {
             }
             self.step(Directive::Issue(p))?;
         }
-        Err(StepError::NonTermination { pid: p, steps: max_steps })
+        Err(StepError::NonTermination {
+            pid: p,
+            steps: max_steps,
+        })
     }
 
     /// Runs `p` solo until it completes `passages` full passages (or
@@ -886,7 +930,10 @@ impl Machine {
         if self.procs[p.index()].passages_completed >= target {
             Ok(())
         } else {
-            Err(StepError::NonTermination { pid: p, steps: max_steps })
+            Err(StepError::NonTermination {
+                pid: p,
+                steps: max_steps,
+            })
         }
     }
 
@@ -900,6 +947,195 @@ impl Machine {
     pub fn criticals(&self, p: ProcId) -> u64 {
         self.metrics.proc(p).totals.critical
     }
+
+    /// Snapshots the machine: a behaviourally identical copy sharing
+    /// nothing with `self`. The schedule explorer (`tpa-check`) forks the
+    /// machine at every branching point.
+    pub fn fork(&self) -> Machine {
+        Machine {
+            model: self.model,
+            spec: self.spec.clone(),
+            vars: self.vars.clone(),
+            cache: self.cache.clone(),
+            procs: self
+                .procs
+                .iter()
+                .map(|e| ProcEntry {
+                    program: e.program.fork(),
+                    buffer: e.buffer.clone(),
+                    in_fence: e.in_fence,
+                    section: e.section,
+                    aw: e.aw.clone(),
+                    remote_reads: e.remote_reads.clone(),
+                    passages_completed: e.passages_completed,
+                    erased: e.erased,
+                })
+                .collect(),
+            accessed: self.accessed.clone(),
+            log: self.log.clone(),
+            schedule: self.schedule.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Hashes the machine's *behavioural* state: everything that can
+    /// influence future events or invariant verdicts, and nothing that
+    /// cannot.
+    ///
+    /// Included: memory model; per-variable committed value and writer;
+    /// per-process erased/fence flags, section, passage count, buffered
+    /// writes in issue order, remote-read history (it decides criticality),
+    /// and the program's own [`Program::state_hash`]. Excluded: the event
+    /// log, awareness sets, RMR metrics and cache occupancy — two states
+    /// agreeing on everything hashed here generate identical future event
+    /// sequences for every schedule, so the explorer may treat them as one.
+    pub fn state_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (self.model == MemoryModel::Pso).hash(&mut h);
+        for v in 0..self.vars.count() {
+            let state = self.vars.get(VarId(v as u32));
+            state.value.hash(&mut h);
+            state.writer.hash(&mut h);
+        }
+        for entry in &self.procs {
+            entry.erased.hash(&mut h);
+            entry.in_fence.hash(&mut h);
+            (entry.section as u8).hash(&mut h);
+            entry.passages_completed.hash(&mut h);
+            entry.buffer.len().hash(&mut h);
+            for w in entry.buffer.iter() {
+                w.var.hash(&mut h);
+                w.value.hash(&mut h);
+            }
+            let mut reads: Vec<VarId> = entry.remote_reads.iter().copied().collect();
+            reads.sort_unstable();
+            reads.hash(&mut h);
+            entry.program.state_hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// The scheduling moves with pairwise-distinct effects available to
+    /// the adversary for process `p` in the current state.
+    ///
+    /// Redundant directives are canonicalised away so the explorer never
+    /// branches on two names for the same transition:
+    ///
+    /// * while `p` drains a fence (or stalls on a CAS) with a non-empty
+    ///   buffer, `Issue(p)` already commits the oldest write, so no
+    ///   separate `Commit(p)` is offered;
+    /// * under TSO, `CommitVar` can only name the oldest write — identical
+    ///   to `Commit` — so it is never offered; under PSO it is offered for
+    ///   each *non-oldest* pending variable.
+    pub fn enabled_directives(&self, p: ProcId) -> Vec<Directive> {
+        let entry = &self.procs[p.index()];
+        if entry.erased {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let halted = !entry.in_fence && matches!(entry.program.peek(), Op::Halt);
+        if !halted {
+            out.push(Directive::Issue(p));
+        }
+        let issue_commits = !entry.buffer.is_empty()
+            && (entry.in_fence || (!halted && matches!(entry.program.peek(), Op::Cas { .. })));
+        if !entry.buffer.is_empty() && !issue_commits {
+            out.push(Directive::Commit(p));
+        }
+        if self.model == MemoryModel::Pso {
+            for w in entry.buffer.iter().skip(1) {
+                out.push(Directive::CommitVar(p, w.var));
+            }
+        }
+        out
+    }
+
+    /// The shared-memory footprint `d` would have if executed now.
+    ///
+    /// Returns `None` if `d` is not executable in the current state.
+    pub fn footprint(&self, d: Directive) -> Option<Footprint> {
+        let p = d.pid();
+        let entry = &self.procs[p.index()];
+        if entry.erased {
+            return None;
+        }
+        let commit_of = |var: VarId| Footprint {
+            pid: p,
+            read: None,
+            write: Some(var),
+        };
+        match d {
+            Directive::Commit(_) => entry.buffer.peek_oldest().map(|w| commit_of(w.var)),
+            Directive::CommitVar(_, v) => entry
+                .buffer
+                .iter()
+                .any(|w| w.var == v)
+                .then(|| commit_of(v)),
+            Directive::Issue(_) => match self.peek_next(p) {
+                NextEvent::Halted => None,
+                NextEvent::CommitNext { var, .. } => Some(commit_of(var)),
+                NextEvent::Read {
+                    var, from_buffer, ..
+                } => Some(Footprint {
+                    pid: p,
+                    read: (!from_buffer).then_some(var),
+                    write: None,
+                }),
+                NextEvent::Cas { var, .. } => Some(Footprint {
+                    pid: p,
+                    read: Some(var),
+                    write: Some(var),
+                }),
+                // Issued writes go to the private buffer; fence brackets and
+                // transitions touch no shared variable.
+                NextEvent::IssueWrite { .. }
+                | NextEvent::BeginFence
+                | NextEvent::EndFence
+                | NextEvent::Transition(_) => Some(Footprint {
+                    pid: p,
+                    read: None,
+                    write: None,
+                }),
+            },
+        }
+    }
+
+    /// Whether `a` and `b`, both executable now, commute: executing them
+    /// in either order reaches the same state and neither disables the
+    /// other.
+    ///
+    /// Same-process directives never commute (program order). Distinct
+    /// processes conflict only through shared memory: a write to `v`
+    /// conflicts with any access of `v`. A process' own moves never change
+    /// which directives *another* process has enabled, nor that process'
+    /// footprint, so footprint disjointness at the current state is
+    /// sufficient — this is the independence relation the explorer's
+    /// sleep sets are built on.
+    pub fn independent(&self, a: Directive, b: Directive) -> bool {
+        if a.pid() == b.pid() {
+            return false;
+        }
+        let (Some(fa), Some(fb)) = (self.footprint(a), self.footprint(b)) else {
+            return false;
+        };
+        let conflicts = |w: Option<VarId>, other: &Footprint| {
+            w.is_some() && (w == other.read || w == other.write)
+        };
+        !conflicts(fa.write, &fb) && !conflicts(fb.write, &fa)
+    }
+}
+
+/// The shared-memory variables a directive would touch, used for the
+/// commutativity analysis in [`Machine::independent`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Footprint {
+    /// The process the directive schedules.
+    pub pid: ProcId,
+    /// Shared variable read from memory, if any.
+    pub read: Option<VarId>,
+    /// Shared variable written (committed or CAS-ed), if any.
+    pub write: Option<VarId>,
 }
 
 #[cfg(test)]
@@ -960,7 +1196,11 @@ mod tests {
         let e = m.step(Directive::Issue(ProcId(0))).unwrap();
         assert_eq!(
             e.kind,
-            EventKind::Read { var: VarId(0), value: 7, source: ReadSource::Buffer }
+            EventKind::Read {
+                var: VarId(0),
+                value: 7,
+                source: ReadSource::Buffer
+            }
         );
         assert!(!e.is_access(), "buffer reads do not access the variable");
         assert_eq!(m.value(VarId(0)), 0, "memory unchanged until commit");
@@ -986,11 +1226,29 @@ mod tests {
         assert_eq!(e.kind, EventKind::BeginFence);
         assert_eq!(m.mode(p), Mode::Write);
         let e = m.step(Directive::Issue(p)).unwrap();
-        assert_eq!(e.kind, EventKind::CommitWrite { var: VarId(0), value: 1 });
+        assert_eq!(
+            e.kind,
+            EventKind::CommitWrite {
+                var: VarId(0),
+                value: 1
+            }
+        );
         let e = m.step(Directive::Issue(p)).unwrap();
-        assert_eq!(e.kind, EventKind::CommitWrite { var: VarId(1), value: 2 });
+        assert_eq!(
+            e.kind,
+            EventKind::CommitWrite {
+                var: VarId(1),
+                value: 2
+            }
+        );
         let e = m.step(Directive::Issue(p)).unwrap();
-        assert_eq!(e.kind, EventKind::CommitWrite { var: VarId(2), value: 3 });
+        assert_eq!(
+            e.kind,
+            EventKind::CommitWrite {
+                var: VarId(2),
+                value: 3
+            }
+        );
         let e = m.step(Directive::Issue(p)).unwrap();
         assert_eq!(e.kind, EventKind::EndFence);
         assert_eq!(m.mode(p), Mode::Read);
@@ -1058,7 +1316,10 @@ mod tests {
         // (First schedule p0's issue so the write exists but is buffered.)
         m.step(Directive::Issue(p0)).unwrap();
         m.step(Directive::Issue(p1)).unwrap();
-        assert!(!m.awareness(p1).contains(p0), "buffered writes are invisible");
+        assert!(
+            !m.awareness(p1).contains(p0),
+            "buffered writes are invisible"
+        );
         // p0 commits via its fence; p2 reads v1 after p1 commits: p2 learns
         // of p1 but NOT of p0 (p1 issued its write before reading v0? No —
         // p1 read v0 first, then issued; but the read saw the OLD value, so
@@ -1153,13 +1414,35 @@ mod tests {
     #[test]
     fn cas_semantics_success_and_failure() {
         let sys = ScriptSystem::new(2, 1, |_| {
-            vec![Instr::Cas { var: 0, expected: 0, new: 1, success_reg: 0 }, Instr::Halt]
+            vec![
+                Instr::Cas {
+                    var: 0,
+                    expected: 0,
+                    new: 1,
+                    success_reg: 0,
+                },
+                Instr::Halt,
+            ]
         });
         let mut m = Machine::new(&sys);
         let e = m.step(Directive::Issue(ProcId(0))).unwrap();
-        assert!(matches!(e.kind, EventKind::Cas { success: true, observed: 0, .. }));
+        assert!(matches!(
+            e.kind,
+            EventKind::Cas {
+                success: true,
+                observed: 0,
+                ..
+            }
+        ));
         let e = m.step(Directive::Issue(ProcId(1))).unwrap();
-        assert!(matches!(e.kind, EventKind::Cas { success: false, observed: 1, .. }));
+        assert!(matches!(
+            e.kind,
+            EventKind::Cas {
+                success: false,
+                observed: 1,
+                ..
+            }
+        ));
         assert_eq!(m.value(VarId(0)), 1);
         assert_eq!(m.program(ProcId(0)).unwrap().register(0), Some(1));
         assert_eq!(m.program(ProcId(1)).unwrap().register(0), Some(0));
@@ -1174,16 +1457,27 @@ mod tests {
         let sys = ScriptSystem::new(1, 2, |_| {
             vec![
                 Instr::Write { var: 1, value: 9 },
-                Instr::Cas { var: 0, expected: 0, new: 1, success_reg: 0 },
+                Instr::Cas {
+                    var: 0,
+                    expected: 0,
+                    new: 1,
+                    success_reg: 0,
+                },
                 Instr::Halt,
             ]
         });
         let mut m = Machine::new(&sys);
         let p = ProcId(0);
         m.step(Directive::Issue(p)).unwrap(); // buffered write to v1
-        assert!(matches!(m.peek_next(p), NextEvent::CommitNext { var: VarId(1), .. }));
+        assert!(matches!(
+            m.peek_next(p),
+            NextEvent::CommitNext { var: VarId(1), .. }
+        ));
         let e = m.step(Directive::Issue(p)).unwrap(); // drains buffer first
-        assert!(matches!(e.kind, EventKind::CommitWrite { var: VarId(1), .. }));
+        assert!(matches!(
+            e.kind,
+            EventKind::CommitWrite { var: VarId(1), .. }
+        ));
         let e = m.step(Directive::Issue(p)).unwrap(); // now the CAS
         assert!(matches!(e.kind, EventKind::Cas { success: true, .. }));
     }
@@ -1228,7 +1522,10 @@ mod tests {
         let mut m = Machine::new(&sys);
         let p = ProcId(0);
         // First step: the critical read is special, execute it manually.
-        assert!(matches!(m.peek_next(p), NextEvent::Read { critical: true, .. }));
+        assert!(matches!(
+            m.peek_next(p),
+            NextEvent::Read { critical: true, .. }
+        ));
         m.step(Directive::Issue(p)).unwrap();
         let err = m.run_until_special(p, 50).unwrap_err();
         assert!(matches!(err, StepError::NonTermination { .. }));
@@ -1257,8 +1554,8 @@ mod tests {
 
     #[test]
     fn dsm_ownership_makes_local_accesses_free() {
-        use crate::vars::VarSpec;
         use crate::program::System;
+        use crate::vars::VarSpec;
 
         struct LocalSpin;
         impl System for LocalSpin {
@@ -1359,8 +1656,14 @@ mod pso_tests {
     fn pso_commit_var_criticality_matches_commit_semantics() {
         let sys = ScriptSystem::new(2, 2, |pid| {
             vec![
-                Instr::Write { var: pid.0, value: 5 },
-                Instr::Write { var: 1 - pid.0, value: 6 },
+                Instr::Write {
+                    var: pid.0,
+                    value: 5,
+                },
+                Instr::Write {
+                    var: 1 - pid.0,
+                    value: 6,
+                },
                 Instr::Fence,
                 Instr::Halt,
             ]

@@ -79,12 +79,17 @@ pub struct ProcMetrics {
 
 impl ProcMetrics {
     fn new() -> Self {
-        ProcMetrics { totals: Counters::default(), completed: Vec::new(), open_snapshot: None }
+        ProcMetrics {
+            totals: Counters::default(),
+            completed: Vec::new(),
+            open_snapshot: None,
+        }
     }
 
     /// Counters accumulated in the currently open span, if one is open.
     pub fn open_span(&self) -> Option<(SpanKind, Counters)> {
-        self.open_snapshot.map(|(kind, snap)| (kind, self.totals - snap))
+        self.open_snapshot
+            .map(|(kind, snap)| (kind, self.totals - snap))
     }
 }
 
@@ -97,7 +102,9 @@ pub struct Metrics {
 impl Metrics {
     /// Fresh metrics for `n` processes.
     pub fn new(n: usize) -> Self {
-        Metrics { procs: (0..n).map(|_| ProcMetrics::new()).collect() }
+        Metrics {
+            procs: (0..n).map(|_| ProcMetrics::new()).collect(),
+        }
     }
 
     /// Per-process metrics.
@@ -107,7 +114,10 @@ impl Metrics {
 
     /// Iterates over all per-process metrics in ID order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcId, &ProcMetrics)> {
-        self.procs.iter().enumerate().map(|(i, m)| (ProcId(i as u32), m))
+        self.procs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ProcId(i as u32), m))
     }
 
     pub(crate) fn proc_mut(&mut self, pid: ProcId) -> &mut Counters {
@@ -126,8 +136,10 @@ impl Metrics {
 
     pub(crate) fn close_span(&mut self, pid: ProcId) {
         let m = &mut self.procs[pid.index()];
-        let (kind, snap) =
-            m.open_snapshot.take().expect("closing a span that was never opened");
+        let (kind, snap) = m
+            .open_snapshot
+            .take()
+            .expect("closing a span that was never opened");
         let stats = PassageStats {
             pid,
             index: m.completed.len(),
@@ -140,13 +152,21 @@ impl Metrics {
     /// Sums a counter across all completed spans of all processes, using
     /// the supplied projection.
     pub fn sum_completed(&self, f: impl Fn(&PassageStats) -> u64) -> u64 {
-        self.procs.iter().flat_map(|m| m.completed.iter()).map(f).sum()
+        self.procs
+            .iter()
+            .flat_map(|m| m.completed.iter())
+            .map(f)
+            .sum()
     }
 
     /// The maximum of a projected counter across completed spans, if any
     /// span completed.
     pub fn max_completed(&self, f: impl Fn(&PassageStats) -> u64) -> Option<u64> {
-        self.procs.iter().flat_map(|m| m.completed.iter()).map(f).max()
+        self.procs
+            .iter()
+            .flat_map(|m| m.completed.iter())
+            .map(f)
+            .max()
     }
 }
 
@@ -156,8 +176,22 @@ mod tests {
 
     #[test]
     fn counters_subtract_componentwise() {
-        let a = Counters { events: 10, rmr_dsm: 5, rmr_wt: 4, rmr_wb: 3, critical: 2, fences: 1 };
-        let b = Counters { events: 4, rmr_dsm: 2, rmr_wt: 2, rmr_wb: 1, critical: 1, fences: 0 };
+        let a = Counters {
+            events: 10,
+            rmr_dsm: 5,
+            rmr_wt: 4,
+            rmr_wb: 3,
+            critical: 2,
+            fences: 1,
+        };
+        let b = Counters {
+            events: 4,
+            rmr_dsm: 2,
+            rmr_wt: 2,
+            rmr_wb: 1,
+            critical: 1,
+            fences: 0,
+        };
         let d = a - b;
         assert_eq!(d.events, 6);
         assert_eq!(d.rmr_dsm, 3);

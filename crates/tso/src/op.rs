@@ -112,7 +112,12 @@ mod tests {
         assert_eq!(Op::Read(VarId(4)).var(), Some(VarId(4)));
         assert_eq!(Op::Write(VarId(2), 9).var(), Some(VarId(2)));
         assert_eq!(
-            Op::Cas { var: VarId(1), expected: 0, new: 1 }.var(),
+            Op::Cas {
+                var: VarId(1),
+                expected: 0,
+                new: 1
+            }
+            .var(),
             Some(VarId(1))
         );
         assert_eq!(Op::Fence.var(), None);

@@ -42,6 +42,21 @@ pub trait Program {
         let _ = index;
         None
     }
+
+    /// Snapshots the program: returns a behaviourally identical copy in
+    /// the same state. Required by the schedule explorer
+    /// (`tpa-check`), which branches the whole machine at every choice
+    /// point.
+    fn fork(&self) -> Box<dyn Program>;
+
+    /// Feeds every behaviourally relevant piece of local state into `h`.
+    ///
+    /// Two programs that hash equally must behave identically on every
+    /// future outcome sequence — the explorer uses this to recognise
+    /// already-visited global states, so *under*-hashing causes unsound
+    /// pruning while over-hashing merely wastes cache entries. Include
+    /// control location and every live register; exclude diagnostics.
+    fn state_hash(&self, h: &mut dyn std::hash::Hasher);
 }
 
 /// An `n`-process algorithm instance: variable layout plus a program

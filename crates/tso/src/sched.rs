@@ -48,7 +48,9 @@ pub struct XorShift {
 impl XorShift {
     /// Seeds the generator; a zero seed is mapped to a fixed constant.
     pub fn new(seed: u64) -> Self {
-        XorShift { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+        XorShift {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
     }
 
     /// Next raw value.
@@ -109,7 +111,10 @@ pub fn drive_round_robin(
                 continue;
             }
             if steps >= max_steps {
-                return Ok(RunStats { steps, all_halted: false });
+                return Ok(RunStats {
+                    steps,
+                    all_halted: false,
+                });
             }
             machine.step(Directive::Issue(p))?;
             steps += 1;
@@ -131,7 +136,10 @@ pub fn drive_round_robin(
             }
         }
         if !any {
-            return Ok(RunStats { steps, all_halted: true });
+            return Ok(RunStats {
+                steps,
+                all_halted: true,
+            });
         }
     }
 }
@@ -192,12 +200,13 @@ pub fn drive_random(
         // Collect runnable processes (non-halted, or with pending commits).
         let runnable: Vec<ProcId> = (0..n)
             .map(|i| ProcId(i as u32))
-            .filter(|&p| {
-                machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p)
-            })
+            .filter(|&p| machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p))
             .collect();
         if runnable.is_empty() {
-            return Ok(RunStats { steps, all_halted: true });
+            return Ok(RunStats {
+                steps,
+                all_halted: true,
+            });
         }
         let p = runnable[rng.below(runnable.len())];
         let can_commit = !machine.buffer_empty(p);
@@ -225,7 +234,10 @@ pub fn drive_random(
         }
         steps += 1;
     }
-    Ok(RunStats { steps, all_halted: false })
+    Ok(RunStats {
+        steps,
+        all_halted: false,
+    })
 }
 
 #[cfg(test)]
@@ -236,7 +248,10 @@ mod tests {
     fn writer_system(n: usize) -> ScriptSystem {
         ScriptSystem::new(n, n, |pid| {
             vec![
-                Instr::Write { var: pid.0, value: u64::from(pid.0) + 1 },
+                Instr::Write {
+                    var: pid.0,
+                    value: u64::from(pid.0) + 1,
+                },
                 Instr::Fence,
                 Instr::Halt,
             ]
@@ -259,7 +274,11 @@ mod tests {
             vec![Instr::Write { var: 0, value: 5 }, Instr::Halt]
         });
         let (m, _) = run_round_robin(&sys, CommitPolicy::Eager, 100).unwrap();
-        assert_eq!(m.value(crate::ids::VarId(0)), 5, "eager commit made the write visible");
+        assert_eq!(
+            m.value(crate::ids::VarId(0)),
+            5,
+            "eager commit made the write visible"
+        );
     }
 
     #[test]
@@ -290,7 +309,10 @@ mod tests {
         let (b, _) = run_random(&sys, 2, CommitPolicy::Random { num: 64 }, 10_000).unwrap();
         let ka: Vec<_> = a.log().iter().map(|e| (e.pid, e.kind)).collect();
         let kb: Vec<_> = b.log().iter().map(|e| (e.pid, e.kind)).collect();
-        assert_ne!(ka, kb, "different seeds should give different interleavings");
+        assert_ne!(
+            ka, kb,
+            "different seeds should give different interleavings"
+        );
     }
 
     #[test]

@@ -157,7 +157,12 @@ pub struct ScriptProgram {
 impl ScriptProgram {
     /// Creates a program at instruction 0 with zeroed registers.
     pub fn new(code: Arc<Vec<Instr>>) -> Self {
-        let mut p = ScriptProgram { code, pc: 0, regs: [0; REGS], halted: false };
+        let mut p = ScriptProgram {
+            code,
+            pc: 0,
+            regs: [0; REGS],
+            halted: false,
+        };
         p.resolve_local();
         p
     }
@@ -184,14 +189,25 @@ impl ScriptProgram {
                     self.pc += 1;
                 }
                 Instr::JumpIfZero { reg, target } => {
-                    self.pc = if self.regs[reg] == 0 { target } else { self.pc + 1 };
+                    self.pc = if self.regs[reg] == 0 {
+                        target
+                    } else {
+                        self.pc + 1
+                    };
                 }
                 Instr::JumpIfNonZero { reg, target } => {
-                    self.pc = if self.regs[reg] != 0 { target } else { self.pc + 1 };
+                    self.pc = if self.regs[reg] != 0 {
+                        target
+                    } else {
+                        self.pc + 1
+                    };
                 }
                 Instr::JumpIfEq { a, b, target } => {
-                    self.pc =
-                        if self.regs[a] == self.regs[b] { target } else { self.pc + 1 };
+                    self.pc = if self.regs[a] == self.regs[b] {
+                        target
+                    } else {
+                        self.pc + 1
+                    };
                 }
                 Instr::Jump { target } => self.pc = target,
                 Instr::Halt => {
@@ -221,9 +237,13 @@ impl Program for ScriptProgram {
             Instr::WriteIdx { base, idx_reg, reg } => {
                 Op::Write(self.var_of(base, idx_reg), self.regs[reg])
             }
-            Instr::Cas { var, expected, new, .. } => {
-                Op::Cas { var: VarId(var), expected, new }
-            }
+            Instr::Cas {
+                var, expected, new, ..
+            } => Op::Cas {
+                var: VarId(var),
+                expected,
+                new,
+            },
             Instr::Fence => Op::Fence,
             Instr::Enter => Op::Enter,
             Instr::Cs => Op::Cs,
@@ -269,6 +289,19 @@ impl Program for ScriptProgram {
     fn register(&self, index: usize) -> Option<Value> {
         self.regs.get(index).copied()
     }
+
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        // The code is immutable and shared; pc + registers + the halt flag
+        // fully determine future behaviour.
+        self.pc.hash(&mut h);
+        self.regs.hash(&mut h);
+        self.halted.hash(&mut h);
+    }
 }
 
 /// Convenience constructor for a boxed [`ScriptProgram`].
@@ -289,7 +322,11 @@ impl ScriptSystem {
     /// process.
     pub fn new(n: usize, var_count: usize, mut gen: impl FnMut(ProcId) -> Vec<Instr>) -> Self {
         let scripts = (0..n).map(|i| Arc::new(gen(ProcId(i as u32)))).collect();
-        ScriptSystem { scripts, var_count, name: "scripted".to_owned() }
+        ScriptSystem {
+            scripts,
+            var_count,
+            name: "scripted".to_owned(),
+        }
     }
 
     /// Sets a diagnostic name.
@@ -338,14 +375,22 @@ mod tests {
         // Sum v0..v2 into r1 using an index loop.
         let sys = ScriptSystem::new(1, 3, |_| {
             vec![
-                Instr::SetReg { reg: 0, value: 0 },  // i = 0
-                Instr::SetReg { reg: 3, value: 3 },  // bound
+                Instr::SetReg { reg: 0, value: 0 }, // i = 0
+                Instr::SetReg { reg: 3, value: 3 }, // bound
                 // loop:
-                Instr::ReadIdx { base: 0, idx_reg: 0, reg: 2 }, // r2 = v[i]   (index 2)
-                Instr::AddConst { reg: 1, delta: 0 },           // placeholder (r1 += r2 below)
+                Instr::ReadIdx {
+                    base: 0,
+                    idx_reg: 0,
+                    reg: 2,
+                }, // r2 = v[i]   (index 2)
+                Instr::AddConst { reg: 1, delta: 0 }, // placeholder (r1 += r2 below)
                 Instr::CopyReg { dst: 4, src: 1 },
-                Instr::AddConst { reg: 0, delta: 1 },           // i += 1
-                Instr::JumpIfEq { a: 0, b: 3, target: 8 },
+                Instr::AddConst { reg: 0, delta: 1 }, // i += 1
+                Instr::JumpIfEq {
+                    a: 0,
+                    b: 3,
+                    target: 8,
+                },
                 Instr::Jump { target: 2 },
                 Instr::Halt,
             ]
@@ -363,7 +408,11 @@ mod tests {
     #[test]
     fn scripts_are_deterministic_across_spawns() {
         let sys = ScriptSystem::new(1, 1, |_| {
-            vec![Instr::Read { var: 0, reg: 0 }, Instr::Write { var: 0, value: 1 }, Instr::Halt]
+            vec![
+                Instr::Read { var: 0, reg: 0 },
+                Instr::Write { var: 0, value: 1 },
+                Instr::Halt,
+            ]
         });
         let a = sys.program(ProcId(0));
         let b = sys.program(ProcId(0));

@@ -146,7 +146,11 @@ mod tests {
                     Instr::Halt,
                 ]
             } else {
-                vec![Instr::Read { var: 1, reg: 0 }, Instr::Read { var: 0, reg: 1 }, Instr::Halt]
+                vec![
+                    Instr::Read { var: 1, reg: 0 },
+                    Instr::Read { var: 0, reg: 1 },
+                    Instr::Halt,
+                ]
             }
         })
     }
@@ -182,6 +186,94 @@ mod tests {
         let sched = vec![Directive::Issue(ProcId(1))];
         let out = shrink_schedule(&sys, MemoryModel::Tso, &sched, v0_is_42);
         assert_eq!(out, sched);
+    }
+
+    #[test]
+    fn ddmin_output_is_one_minimal() {
+        let sys = writer_system();
+        let p0 = ProcId(0);
+        let p1 = ProcId(1);
+        let noisy = vec![
+            Directive::Issue(p1),
+            Directive::Issue(p0),
+            Directive::Issue(p1),
+            Directive::Issue(p0),
+            Directive::Issue(p0),
+            Directive::Issue(p0),
+            Directive::Issue(p0),
+            Directive::Issue(p0),
+        ];
+        let shrunk = shrink_schedule(&sys, MemoryModel::Tso, &noisy, v0_is_42);
+        // 1-minimality: removing any single remaining directive kills the
+        // property (the guarantee ddmin's final singleton pass provides).
+        for i in 0..shrunk.len() {
+            let mut candidate = shrunk.clone();
+            candidate.remove(i);
+            assert!(
+                !exhibits(&sys, MemoryModel::Tso, &candidate, &v0_is_42),
+                "directive {i} of {shrunk:?} is removable"
+            );
+        }
+    }
+
+    #[test]
+    fn shrinks_a_pso_schedule_keeping_the_reordered_commit() {
+        // p0 issues three writes; under PSO the young v1 write commits
+        // first (CommitVar), letting p1 observe v1 = 1 while v0 is still
+        // 0 — impossible under TSO's FIFO commits.
+        let sys = ScriptSystem::new(2, 3, |pid| {
+            if pid.0 == 0 {
+                vec![
+                    Instr::Write { var: 0, value: 1 },
+                    Instr::Write { var: 1, value: 1 },
+                    Instr::Write { var: 2, value: 1 },
+                    Instr::Fence,
+                    Instr::Halt,
+                ]
+            } else {
+                vec![
+                    Instr::Read { var: 1, reg: 0 },
+                    Instr::Read { var: 0, reg: 1 },
+                    Instr::Halt,
+                ]
+            }
+        });
+        let p0 = ProcId(0);
+        let p1 = ProcId(1);
+        let reordered = |m: &Machine| {
+            // Registers default to 0, so require p1 to have executed both
+            // reads (halted) before trusting them.
+            let halted = m
+                .program(p1)
+                .is_some_and(|p| matches!(p.peek(), crate::op::Op::Halt));
+            let reg = |r| m.program(p1).and_then(|p| p.register(r));
+            halted && reg(0) == Some(1) && reg(1) == Some(0) && m.value(VarId(0)) == 0
+        };
+        let noisy = vec![
+            Directive::Issue(p0),               // issue v0
+            Directive::Issue(p0),               // issue v1
+            Directive::Issue(p0),               // issue v2 (noise)
+            Directive::CommitVar(p0, VarId(2)), // commit v2 out of order (noise)
+            Directive::CommitVar(p0, VarId(1)), // commit v1 past v0
+            Directive::Issue(p1),               // read v1 = 1
+            Directive::Issue(p1),               // read v0 = 0 -> property
+            Directive::Commit(p0),              // commit v0 (noise)
+        ];
+        assert!(exhibits(&sys, MemoryModel::Pso, &noisy, &reordered));
+        let shrunk = shrink_schedule(&sys, MemoryModel::Pso, &noisy, reordered);
+        assert!(exhibits(&sys, MemoryModel::Pso, &shrunk, &reordered));
+        // The out-of-order CommitVar is load-bearing and must survive;
+        // the v2 noise and the trailing commit must not.
+        assert!(
+            shrunk.contains(&Directive::CommitVar(p0, VarId(1))),
+            "{shrunk:?}"
+        );
+        assert!(
+            !shrunk.contains(&Directive::CommitVar(p0, VarId(2))),
+            "{shrunk:?}"
+        );
+        assert!(!shrunk.contains(&Directive::Commit(p0)), "{shrunk:?}");
+        assert_eq!(shrunk.len(), 5, "{shrunk:?}");
     }
 
     #[test]

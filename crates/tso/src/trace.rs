@@ -13,17 +13,27 @@ use crate::ids::ProcId;
 fn short(kind: &EventKind, critical: bool) -> String {
     let c = if critical { "!" } else { "" };
     match kind {
-        EventKind::Read { var, value, source: ReadSource::Memory } => {
+        EventKind::Read {
+            var,
+            value,
+            source: ReadSource::Memory,
+        } => {
             format!("r{c}({var})={value}")
         }
-        EventKind::Read { var, value, source: ReadSource::Buffer } => {
+        EventKind::Read {
+            var,
+            value,
+            source: ReadSource::Buffer,
+        } => {
             format!("rb({var})={value}")
         }
         EventKind::IssueWrite { var, value } => format!("w({var}:={value})"),
         EventKind::CommitWrite { var, value } => format!("C{c}({var}:={value})"),
         EventKind::BeginFence => "[fence".to_owned(),
         EventKind::EndFence => "fence]".to_owned(),
-        EventKind::Cas { var, new, success, .. } => {
+        EventKind::Cas {
+            var, new, success, ..
+        } => {
             format!("cas{c}({var}:={new}){}", if *success { "+" } else { "-" })
         }
         EventKind::Enter => "ENTER".to_owned(),
@@ -83,7 +93,10 @@ mod tests {
         let sys = ScriptSystem::new(2, 1, |pid| {
             vec![
                 Instr::Enter,
-                Instr::Write { var: 0, value: u64::from(pid.0) + 1 },
+                Instr::Write {
+                    var: 0,
+                    value: u64::from(pid.0) + 1,
+                },
                 Instr::Fence,
                 Instr::Cs,
                 Instr::Exit,
@@ -115,9 +128,7 @@ mod tests {
 
     #[test]
     fn critical_events_are_marked() {
-        let sys = ScriptSystem::new(1, 1, |_| {
-            vec![Instr::Read { var: 0, reg: 0 }, Instr::Halt]
-        });
+        let sys = ScriptSystem::new(1, 1, |_| vec![Instr::Read { var: 0, reg: 0 }, Instr::Halt]);
         let mut m = Machine::new(&sys);
         m.step(Directive::Issue(ProcId(0))).unwrap();
         let t = timeline(m.log(), 1);
@@ -128,8 +139,18 @@ mod tests {
     fn cas_success_and_failure_render_distinctly() {
         let sys = ScriptSystem::new(1, 1, |_| {
             vec![
-                Instr::Cas { var: 0, expected: 0, new: 1, success_reg: 0 },
-                Instr::Cas { var: 0, expected: 0, new: 2, success_reg: 1 },
+                Instr::Cas {
+                    var: 0,
+                    expected: 0,
+                    new: 1,
+                    success_reg: 0,
+                },
+                Instr::Cas {
+                    var: 0,
+                    expected: 0,
+                    new: 2,
+                    success_reg: 1,
+                },
                 Instr::Halt,
             ]
         });

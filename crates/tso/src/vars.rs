@@ -20,7 +20,11 @@ impl VarSpec {
     /// A spec with `count` variables, all initialised to `0` and remote to
     /// every process (the CC layout).
     pub fn remote(count: usize) -> Self {
-        VarSpec { owners: vec![None; count], init: vec![0; count], names: vec![None; count] }
+        VarSpec {
+            owners: vec![None; count],
+            init: vec![0; count],
+            names: vec![None; count],
+        }
     }
 
     /// Starts building a spec incrementally.
@@ -91,7 +95,11 @@ impl VarSpecBuilder {
 
     /// Finalises the spec.
     pub fn build(self) -> VarSpec {
-        VarSpec { owners: self.owners, init: self.init, names: self.names }
+        VarSpec {
+            owners: self.owners,
+            init: self.init,
+            names: self.names,
+        }
     }
 }
 
@@ -149,11 +157,7 @@ impl VarTable {
 
     /// Removes every commit by a process in `erased` from `v`'s history and
     /// restores the latest surviving commit (or the initial value).
-    pub fn revert_erased(
-        &mut self,
-        v: VarId,
-        erased: &std::collections::BTreeSet<ProcId>,
-    ) {
+    pub fn revert_erased(&mut self, v: VarId, erased: &std::collections::BTreeSet<ProcId>) {
         let s = &mut self.states[v.index()];
         if !s.history.iter().any(|(p, _, _)| erased.contains(p)) {
             return;

@@ -18,12 +18,19 @@ fn main() {
     let Some(lock) = lock_by_name(&algo, n, 1) else {
         eprintln!(
             "unknown algorithm `{algo}`; available: {:?}",
-            all_locks(2, 1).iter().map(|l| l.name().to_owned()).collect::<Vec<_>>()
+            all_locks(2, 1)
+                .iter()
+                .map(|l| l.name().to_owned())
+                .collect::<Vec<_>>()
         );
         std::process::exit(1);
     };
 
-    let cfg = Config { max_rounds: 16, check_invariants: true, ..Config::default() };
+    let cfg = Config {
+        max_rounds: 16,
+        check_invariants: true,
+        ..Config::default()
+    };
     let outcome = match Construction::new(lock.as_ref(), cfg) {
         Ok(c) => c.run(),
         Err(e) => {
@@ -49,8 +56,13 @@ fn main() {
     for r in &outcome.rounds {
         println!(
             "  {:<4} {:<4} {:<4} {:<4} {:<4} {:<10} {}",
-            r.round, r.read_iters, r.write_iters, r.reg_criticals, r.criticals_per_active,
-            r.act_end, r.finisher
+            r.round,
+            r.read_iters,
+            r.write_iters,
+            r.reg_criticals,
+            r.criticals_per_active,
+            r.act_end,
+            r.finisher
         );
     }
     println!(

@@ -24,7 +24,10 @@ fn main() {
 
     // Corollary 2 vs Corollary 3: the double-log vs triple-log regimes.
     println!("\nforced fences by adaptivity family:");
-    println!("{:>14} {:>12} {:>12} {:>12}", "N", "f=k", "f=2^k", "f=8·log2k");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12}",
+        "N", "f=k", "f=2^k", "f=8·log2k"
+    );
     for j in [4u32, 6, 8, 10, 12, 14, 16, 18, 20] {
         let log2n = (1u64 << j) as f64;
         let ln_n = bounds::ln_of_pow2(log2n);
@@ -45,7 +48,11 @@ fn main() {
         let ln_act = bounds::theorem3_act_ln(bounds::ln_of_pow2(64.0), l_i, f64::from(i));
         println!(
             "  i = {i}: ln |Act| >= {ln_act:>10.2}  {}",
-            if ln_act > 0.0 { "(witnesses guaranteed)" } else { "(vacuous at this N)" }
+            if ln_act > 0.0 {
+                "(witnesses guaranteed)"
+            } else {
+                "(vacuous at this N)"
+            }
         );
     }
 }

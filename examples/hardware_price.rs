@@ -13,12 +13,11 @@ use tpa::algos::hw::all_hw_locks;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let max_threads: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(4)
-        });
+    let max_threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(4)
+    });
     let ops: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50_000);
 
     println!("lock-protected counter increments, {ops} per thread\n");

@@ -18,11 +18,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sys = ObjectSystem::new(ArrayQueue::new(16), 4, |pid| {
         if pid.0 % 2 == 0 {
             vec![
-                OpCall { opcode: OP_ENQUEUE, arg: 10 + u64::from(pid.0) },
-                OpCall { opcode: OP_ENQUEUE, arg: 20 + u64::from(pid.0) },
+                OpCall {
+                    opcode: OP_ENQUEUE,
+                    arg: 10 + u64::from(pid.0),
+                },
+                OpCall {
+                    opcode: OP_ENQUEUE,
+                    arg: 20 + u64::from(pid.0),
+                },
             ]
         } else {
-            vec![OpCall { opcode: OP_DEQUEUE, arg: 0 }; 2]
+            vec![
+                OpCall {
+                    opcode: OP_DEQUEUE,
+                    arg: 0
+                };
+                2
+            ]
         }
     });
     let m = sys.run_random(7, CommitPolicy::Random { num: 64 }, 1_000_000)?;
@@ -33,21 +45,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A pre-filled stack used as the paper's limited-use counter: pops
     // return 0, 1, 2, … like fetch&increment.
     let sys = ObjectSystem::new(TreiberStack::counter_prefill(6), 2, |_| {
-        vec![OpCall { opcode: OP_POP, arg: 0 }; 3]
+        vec![
+            OpCall {
+                opcode: OP_POP,
+                arg: 0
+            };
+            3
+        ]
     });
     let m = sys.run_to_completion(CommitPolicy::Lazy, 100_000)?;
-    let mut tickets: Vec<Value> =
-        (0..2).flat_map(|p| sys.results(&m, ProcId(p))).collect();
+    let mut tickets: Vec<Value> = (0..2).flat_map(|p| sys.results(&m, ProcId(p))).collect();
     tickets.sort_unstable();
     println!("\nstack-as-counter tickets: {tickets:?}");
 
     // An actual CAS counter, with a push for symmetry.
     let sys = ObjectSystem::new(CasCounter::new(), 3, |_| {
-        vec![OpCall { opcode: OP_FETCH_INC, arg: 0 }; 2]
+        vec![
+            OpCall {
+                opcode: OP_FETCH_INC,
+                arg: 0
+            };
+            2
+        ]
     });
     let m = sys.run_to_completion(CommitPolicy::Lazy, 100_000)?;
-    let mut tickets: Vec<Value> =
-        (0..3).flat_map(|p| sys.results(&m, ProcId(p))).collect();
+    let mut tickets: Vec<Value> = (0..3).flat_map(|p| sys.results(&m, ProcId(p))).collect();
     tickets.sort_unstable();
     println!("counter tickets: {tickets:?}");
     let _ = OP_PUSH; // (push exercised in the test suite)

@@ -27,8 +27,8 @@ fn find_violation(seed: u64) -> Option<Vec<Directive>> {
         }
         let p = runnable[rng.below(runnable.len())];
         let pending = machine.pending_vars(p);
-        let commit = !pending.is_empty()
-            && (machine.peek_next(p) == NextEvent::Halted || rng.chance(64));
+        let commit =
+            !pending.is_empty() && (machine.peek_next(p) == NextEvent::Halted || rng.chance(64));
         let d = if commit {
             Directive::CommitVar(p, pending[rng.below(pending.len())])
         } else if machine.peek_next(p) != NextEvent::Halted {
@@ -49,7 +49,10 @@ fn main() {
     let mut witness = None;
     for seed in 0..5_000u64 {
         if let Some(schedule) = find_violation(seed) {
-            println!("violation found at seed {seed}: {} directives", schedule.len());
+            println!(
+                "violation found at seed {seed}: {} directives",
+                schedule.len()
+            );
             witness = Some(schedule);
             break;
         }

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let me = pid.0;
         vec![
             Instr::Write { var: me, value: 1 },
-            Instr::Read { var: 1 - me, reg: 0 },
+            Instr::Read {
+                var: 1 - me,
+                reg: 0,
+            },
             Instr::Halt,
         ]
     });

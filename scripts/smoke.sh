@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Smoke check: everything a reviewer needs green before merging.
+#
+#   scripts/smoke.sh
+#
+# Runs, in order:
+#   1. tier-1: release build + full test suite (offline, as CI does)
+#   2. the aggregated experiment harness in --quick mode
+#   3. the exhaustive-explorer smoke sweep (n = 2, incl. the
+#      bakery-nofence negative control — nonzero exit if it slips by)
+#   4. formatting check
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/4] tier-1: build + tests =="
+cargo build --offline --release --workspace
+cargo test --offline -q --workspace
+
+echo "== [2/4] experiment harness (quick) =="
+cargo run --offline --release -p tpa-bench --bin report_all -- --quick
+
+echo "== [3/4] explorer smoke (quick) =="
+cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick
+
+echo "== [4/4] cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "smoke: all green"

@@ -5,14 +5,16 @@
 //! queues) in the TSO model cannot have constant fence complexity; with a
 //! linear adaptivity function the fence complexity is `Ω(log log n)`.
 //!
-//! This umbrella crate re-exports the four building blocks:
+//! This umbrella crate re-exports the five building blocks:
 //!
 //! * [`tso`] — the operational TSO simulator (write buffers, fences,
 //!   RMR/critical-event accounting, awareness sets, erasure);
 //! * [`algos`] — mutual-exclusion algorithms, simulated and real-hardware;
 //! * [`objects`] — counters/stacks/queues and the Section 5 reductions;
 //! * [`adversary`] — the paper's lower-bound construction and analytic
-//!   bounds.
+//!   bounds;
+//! * [`check`] — the bounded-exhaustive schedule explorer, swarm fuzzer,
+//!   and counterexample shrinker that verify the portfolio.
 //!
 //! ```
 //! use tpa::prelude::*;
@@ -32,6 +34,7 @@
 
 pub use tpa_adversary as adversary;
 pub use tpa_algos as algos;
+pub use tpa_check as check;
 pub use tpa_objects as objects;
 pub use tpa_tso as tso;
 
@@ -39,9 +42,11 @@ pub use tpa_tso as tso;
 pub mod prelude {
     pub use tpa_adversary::{Adaptivity, Config, Construction, StopReason};
     pub use tpa_algos::{all_locks, lock_by_name};
+    pub use tpa_check::{check_exhaustive, check_swarm, ExploreConfig, SwarmConfig, Verdict};
     pub use tpa_objects::{ArrayQueue, CasCounter, OneTimeMutex, TreiberStack};
     pub use tpa_tso::sched::{run_random, run_round_robin, CommitPolicy};
     pub use tpa_tso::{
-        Directive, Machine, Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec,
+        Directive, Machine, MemoryModel, Op, Outcome, ProcId, Program, System, Value, VarId,
+        VarSpec,
     };
 }

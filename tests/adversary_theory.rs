@@ -6,7 +6,11 @@ use tpa::prelude::*;
 
 fn run(algo: &str, n: usize, rounds: usize) -> tpa::adversary::Outcome {
     let lock = lock_by_name(algo, n, 1).unwrap();
-    let cfg = Config { max_rounds: rounds, check_invariants: true, ..Config::default() };
+    let cfg = Config {
+        max_rounds: rounds,
+        check_invariants: true,
+        ..Config::default()
+    };
     Construction::new(lock.as_ref(), cfg).unwrap().run()
 }
 
@@ -16,7 +20,11 @@ fn theorem1_witness_shape() {
     // exactly i fences inside its single passage, and erasing all other
     // actives leaves total contention i+1 — Theorem 1's statement.
     let out = run("tournament", 128, 4);
-    assert!(matches!(out.stop, StopReason::CompletedRounds), "{}", out.stop);
+    assert!(
+        matches!(out.stop, StopReason::CompletedRounds),
+        "{}",
+        out.stop
+    );
     assert_eq!(out.survivor_fences, 4);
     assert_eq!(out.total_contention, 5);
 }
@@ -51,9 +59,15 @@ fn tournament_witness_grows_like_log_n() {
     let f8 = run("tournament", 8, 16).fences_forced();
     let f64_ = run("tournament", 64, 16).fences_forced();
     let f512 = run("tournament", 512, 16).fences_forced();
-    assert!(f8 < f64_ && f64_ < f512, "log-ish growth: {f8} {f64_} {f512}");
+    assert!(
+        f8 < f64_ && f64_ < f512,
+        "log-ish growth: {f8} {f64_} {f512}"
+    );
     // Each quadrupling of n adds a couple of fences, not a multiple.
-    assert!(f512 <= f8 + 8, "growth should be additive (logarithmic): {f8} {f512}");
+    assert!(
+        f512 <= f8 + 8,
+        "growth should be additive (logarithmic): {f8} {f512}"
+    );
 }
 
 #[test]
@@ -74,7 +88,11 @@ fn adaptive_locks_live_in_the_double_log_regime() {
 #[test]
 fn invariants_hold_on_object_reductions() {
     let sys = OneTimeMutex::new(CasCounter::new(), 32);
-    let cfg = Config { max_rounds: 6, check_invariants: true, ..Config::default() };
+    let cfg = Config {
+        max_rounds: 6,
+        check_invariants: true,
+        ..Config::default()
+    };
     let out = Construction::new(&sys, cfg).unwrap().run();
     match out.stop {
         StopReason::InvariantViolated(v) | StopReason::EraseInvalid(v) => {
@@ -104,7 +122,9 @@ fn construction_budget_failure_is_reported_not_hung() {
     // A one-process lock exhausts the active set immediately (min_active
     // defaults to 2) — the construction reports rather than spins.
     let lock = lock_by_name("tournament", 1, 1).unwrap();
-    let out = Construction::new(lock.as_ref(), Config::default()).unwrap().run();
+    let out = Construction::new(lock.as_ref(), Config::default())
+        .unwrap()
+        .run();
     assert!(matches!(out.stop, StopReason::ActiveExhausted));
     assert_eq!(out.rounds_completed(), 0);
 }
@@ -119,16 +139,27 @@ fn theorem1_finale_erase_to_the_witness_execution() {
 
     let rounds = 4usize;
     let lock = lock_by_name("tournament", 128, 1).unwrap();
-    let cfg = Config { max_rounds: rounds, check_invariants: true, ..Config::default() };
+    let cfg = Config {
+        max_rounds: rounds,
+        check_invariants: true,
+        ..Config::default()
+    };
     let construction = Construction::new(lock.as_ref(), cfg).unwrap();
     let (outcome, machine) = construction.run_with_machine();
-    assert!(matches!(outcome.stop, StopReason::CompletedRounds), "{}", outcome.stop);
+    assert!(
+        matches!(outcome.stop, StopReason::CompletedRounds),
+        "{}",
+        outcome.stop
+    );
     let witness = outcome.survivor.expect("a witness survives");
 
     // Erase all other active processes (they are invisible, so this is a
     // valid Lemma 4 erasure) via the validating replay backend.
-    let others: BTreeSet<ProcId> =
-        machine.act().into_iter().filter(|p| *p != witness).collect();
+    let others: BTreeSet<ProcId> = machine
+        .act()
+        .into_iter()
+        .filter(|p| *p != witness)
+        .collect();
     let erased = tpa::tso::erase::erase(&lock, &machine, &others).unwrap();
     assert!(erased.projection_identical, "{:?}", erased.first_mismatch);
     assert!(erased.criticality_preserved);

@@ -20,7 +20,10 @@ fn independent_system(n: usize) -> ScriptSystem {
     ScriptSystem::new(n, n, move |pid| {
         vec![
             Instr::Enter,
-            Instr::Write { var: pid.0, value: u64::from(pid.0) + 10 },
+            Instr::Write {
+                var: pid.0,
+                value: u64::from(pid.0) + 10,
+            },
             Instr::Fence,
             Instr::Read { var: pid.0, reg: 0 },
             Instr::Cs,
@@ -31,7 +34,10 @@ fn independent_system(n: usize) -> ScriptSystem {
 }
 
 fn log_kinds(m: &Machine) -> Vec<(ProcId, EventKind, bool)> {
-    m.log().iter().map(|e| (e.pid, e.kind, e.critical)).collect()
+    m.log()
+        .iter()
+        .map(|e| (e.pid, e.kind, e.critical))
+        .collect()
 }
 
 proptest! {
@@ -104,9 +110,22 @@ fn in_place_erasure_rejects_observed_processes() {
     // p1 read p0's committed value: erasing p0 must fail the precondition.
     let sys = ScriptSystem::new(2, 1, |pid| {
         if pid.0 == 0 {
-            vec![Instr::Enter, Instr::Write { var: 0, value: 1 }, Instr::Fence, Instr::Cs, Instr::Exit, Instr::Halt]
+            vec![
+                Instr::Enter,
+                Instr::Write { var: 0, value: 1 },
+                Instr::Fence,
+                Instr::Cs,
+                Instr::Exit,
+                Instr::Halt,
+            ]
         } else {
-            vec![Instr::Enter, Instr::Read { var: 0, reg: 0 }, Instr::Cs, Instr::Exit, Instr::Halt]
+            vec![
+                Instr::Enter,
+                Instr::Read { var: 0, reg: 0 },
+                Instr::Cs,
+                Instr::Exit,
+                Instr::Halt,
+            ]
         }
     });
     let mut m = Machine::new(&sys);
@@ -119,7 +138,10 @@ fn in_place_erasure_rejects_observed_processes() {
     m.step(Directive::Issue(ProcId(1))).unwrap(); // read -> aware of p0
     let erased: BTreeSet<ProcId> = [ProcId(0)].into_iter().collect();
     let err = m.erase_in_place(&erased).unwrap_err();
-    assert!(matches!(err, tpa::tso::StepError::InvalidErasure(_)), "{err}");
+    assert!(
+        matches!(err, tpa::tso::StepError::InvalidErasure(_)),
+        "{err}"
+    );
 }
 
 #[test]
@@ -153,7 +175,14 @@ fn erased_processes_are_tombstoned() {
 /// lock in the portfolio.
 #[test]
 fn construction_outcomes_identical_across_backends() {
-    for algo in ["tournament", "splitter", "ticketq", "bakery", "onebit", "dijkstra"] {
+    for algo in [
+        "tournament",
+        "splitter",
+        "ticketq",
+        "bakery",
+        "onebit",
+        "dijkstra",
+    ] {
         let run = |fast: bool| {
             let lock = lock_by_name(algo, 32, 1).unwrap();
             let cfg = Config {
@@ -171,8 +200,16 @@ fn construction_outcomes_identical_across_backends() {
         assert_eq!(slow.final_active, fast.final_active, "{algo}");
         assert_eq!(slow.survivor, fast.survivor, "{algo}");
         assert_eq!(slow.total_contention, fast.total_contention, "{algo}");
-        let s: Vec<_> = slow.rounds.iter().map(|r| (r.act_start, r.act_end, r.finisher)).collect();
-        let f: Vec<_> = fast.rounds.iter().map(|r| (r.act_start, r.act_end, r.finisher)).collect();
+        let s: Vec<_> = slow
+            .rounds
+            .iter()
+            .map(|r| (r.act_start, r.act_end, r.finisher))
+            .collect();
+        let f: Vec<_> = fast
+            .rounds
+            .iter()
+            .map(|r| (r.act_start, r.act_end, r.finisher))
+            .collect();
         assert_eq!(s, f, "{algo}: per-round traces diverged");
         assert!(
             !matches!(fast.stop, StopReason::EraseInvalid(_)),

@@ -15,7 +15,10 @@ fn independent_system(n: usize, writes: usize) -> ScriptSystem {
     ScriptSystem::new(n, n, move |pid| {
         let mut code = Vec::new();
         for w in 0..writes {
-            code.push(Instr::Write { var: pid.0, value: w as Value + 1 });
+            code.push(Instr::Write {
+                var: pid.0,
+                value: w as Value + 1,
+            });
             code.push(Instr::Fence);
             code.push(Instr::Read { var: pid.0, reg: 0 });
         }
@@ -158,7 +161,10 @@ fn fact1_part1_erasure_distributes_over_concatenation() {
     for split in [0, full.len() / 3, full.len() / 2, full.len()] {
         let (e1, e2) = full.split_at(split);
         let filter = |part: &[Directive]| -> Vec<Directive> {
-            part.iter().copied().filter(|d| !erased.contains(&d.pid())).collect()
+            part.iter()
+                .copied()
+                .filter(|d| !erased.contains(&d.pid()))
+                .collect()
         };
         let mut concat = filter(e1);
         concat.extend(filter(e2));
@@ -175,7 +181,7 @@ fn awareness_is_transitive_through_issue_time_chains() {
     let sys = ScriptSystem::new(3, 2, |pid| match pid.0 {
         0 => vec![Instr::Write { var: 0, value: 1 }, Instr::Fence, Instr::Halt],
         1 => vec![
-            Instr::Read { var: 0, reg: 0 },   // becomes aware of p0 ...
+            Instr::Read { var: 0, reg: 0 },    // becomes aware of p0 ...
             Instr::Write { var: 1, value: 2 }, // ... BEFORE issuing this write
             Instr::Fence,
             Instr::Halt,

@@ -11,7 +11,10 @@ fn store_buffer() -> ScriptSystem {
         let me = pid.0;
         vec![
             Instr::Write { var: me, value: 1 },
-            Instr::Read { var: 1 - me, reg: 0 },
+            Instr::Read {
+                var: 1 - me,
+                reg: 0,
+            },
             Instr::Halt,
         ]
     })
@@ -41,17 +44,22 @@ fn store_buffer_with_fences_never_reads_both_zero() {
         vec![
             Instr::Write { var: me, value: 1 },
             Instr::Fence,
-            Instr::Read { var: 1 - me, reg: 0 },
+            Instr::Read {
+                var: 1 - me,
+                reg: 0,
+            },
             Instr::Halt,
         ]
     });
     for seed in 0..200u64 {
-        let (m, stats) =
-            run_random(&sys, seed, CommitPolicy::Random { num: 64 }, 10_000).unwrap();
+        let (m, stats) = run_random(&sys, seed, CommitPolicy::Random { num: 64 }, 10_000).unwrap();
         assert!(stats.all_halted);
         let r0 = m.program(ProcId(0)).unwrap().register(0).unwrap();
         let r1 = m.program(ProcId(1)).unwrap().register(0).unwrap();
-        assert!(r0 == 1 || r1 == 1, "SB with fences gave (0,0) at seed {seed}");
+        assert!(
+            r0 == 1 || r1 == 1,
+            "SB with fences gave (0,0) at seed {seed}"
+        );
     }
 }
 
@@ -103,8 +111,16 @@ fn read_own_write_early() {
     m.step(Directive::Issue(ProcId(0))).unwrap();
     m.step(Directive::Issue(ProcId(0))).unwrap();
     m.step(Directive::Issue(ProcId(1))).unwrap();
-    assert_eq!(m.program(ProcId(0)).unwrap().register(0), Some(7), "own write visible");
-    assert_eq!(m.program(ProcId(1)).unwrap().register(0), Some(0), "foreign write invisible");
+    assert_eq!(
+        m.program(ProcId(0)).unwrap().register(0),
+        Some(7),
+        "own write visible"
+    );
+    assert_eq!(
+        m.program(ProcId(1)).unwrap().register(0),
+        Some(0),
+        "foreign write invisible"
+    );
 }
 
 #[test]
@@ -139,12 +155,21 @@ fn cas_acts_as_a_fence() {
     let sys = ScriptSystem::new(1, 2, |_| {
         vec![
             Instr::Write { var: 0, value: 9 },
-            Instr::Cas { var: 1, expected: 0, new: 1, success_reg: 0 },
+            Instr::Cas {
+                var: 1,
+                expected: 0,
+                new: 1,
+                success_reg: 0,
+            },
             Instr::Halt,
         ]
     });
     let (m, _) = run_round_robin(&sys, CommitPolicy::Lazy, 100).unwrap();
-    assert_eq!(m.value(VarId(0)), 9, "buffered write committed by the CAS drain");
+    assert_eq!(
+        m.value(VarId(0)),
+        9,
+        "buffered write committed by the CAS drain"
+    );
     assert_eq!(m.value(VarId(1)), 1);
 }
 

@@ -5,8 +5,18 @@ use proptest::prelude::*;
 use tpa::algos::testing;
 use tpa::prelude::*;
 
-const ALGOS: &[&str] =
-    &["tas", "ttas", "ticketq", "bakery", "filter", "tournament", "dijkstra", "splitter"];
+const ALGOS: &[&str] = &[
+    "tas",
+    "ttas",
+    "ticketq",
+    "bakery",
+    "filter",
+    "mcs",
+    "onebit",
+    "tournament",
+    "dijkstra",
+    "splitter",
+];
 
 #[test]
 fn exclusion_under_many_random_schedules() {
@@ -24,13 +34,8 @@ fn fair_schedules_complete_all_passages() {
     for algo in ALGOS {
         for n in [1usize, 3, 7] {
             let lock = lock_by_name(algo, n, 2).unwrap();
-            testing::check_round_robin_completion(
-                lock.as_ref(),
-                CommitPolicy::Lazy,
-                2,
-                6_000_000,
-            )
-            .unwrap_or_else(|e| panic!("{algo} n={n}: {e}"));
+            testing::check_round_robin_completion(lock.as_ref(), CommitPolicy::Lazy, 2, 6_000_000)
+                .unwrap_or_else(|e| panic!("{algo} n={n}: {e}"));
         }
     }
 }
@@ -46,6 +51,153 @@ fn weak_obstruction_freedom_from_arbitrary_members() {
                 .unwrap_or_else(|e| panic!("{algo} p{pid}: {e}"));
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Systematic verification (tpa-check): every interleaving up to a bound.
+// ---------------------------------------------------------------------
+
+/// Every lock in the portfolio, exhaustively verified at n = 2: every
+/// directive interleaving up to the step bound satisfies mutual
+/// exclusion, the store-buffer laws, and bounded deadlock-freedom.
+#[test]
+fn exhaustive_exclusion_every_lock_n2() {
+    for lock in tpa::algos::all_locks(2, 1) {
+        let config = ExploreConfig {
+            max_steps: 60,
+            max_transitions: 4_000_000,
+        };
+        let report = check_exhaustive(lock.as_ref(), MemoryModel::Tso, &config);
+        assert!(
+            report.stats.complete,
+            "{}: exhausted the transition budget",
+            report.algo
+        );
+        report.assert_pass();
+    }
+}
+
+/// A deeper cut at n = 3 for the locks whose state spaces stay small
+/// enough to exhaust quickly.
+#[test]
+fn exhaustive_exclusion_small_locks_n3() {
+    for name in ["tas", "ttas", "splitter", "ticketq", "onebit"] {
+        let lock = lock_by_name(name, 3, 1).unwrap();
+        let config = ExploreConfig {
+            max_steps: 40,
+            max_transitions: 4_000_000,
+        };
+        let report = check_exhaustive(lock.as_ref(), MemoryModel::Tso, &config);
+        assert!(
+            report.stats.complete,
+            "{name}: exhausted the transition budget"
+        );
+        report.assert_pass();
+    }
+}
+
+/// The rest of the portfolio at sizes too large to exhaust: biased swarm
+/// schedules (commit-starving, fence-stalling, bursty) instead.
+#[test]
+fn swarm_exclusion_every_lock_n5() {
+    for lock in tpa::algos::all_locks(5, 2) {
+        let config = SwarmConfig {
+            schedules: 48,
+            max_steps: 3000,
+            seed: 0xC0DE,
+        };
+        check_swarm(lock.as_ref(), MemoryModel::Tso, &config).assert_pass();
+    }
+}
+
+/// The negative control: a bakery with the doorway-closing fence removed
+/// must be caught by the explorer, and the counterexample must shrink to
+/// a replayable schedule that still violates mutual exclusion.
+#[test]
+fn explorer_catches_fenceless_bakery_and_shrinks_the_witness() {
+    use tpa::check::invariant::MutualExclusion;
+    use tpa::check::Invariant;
+
+    let broken = tpa::algos::sim::bakery::BakeryLock::without_doorway_fence(2, 1);
+    let config = ExploreConfig {
+        max_steps: 60,
+        max_transitions: 4_000_000,
+    };
+    let report = check_exhaustive(&broken, MemoryModel::Tso, &config);
+    let Verdict::Violation {
+        invariant,
+        found_len,
+        shrunk,
+        rendered,
+        ..
+    } = &report.verdict
+    else {
+        panic!("bakery-nofence was not caught");
+    };
+    assert_eq!(*invariant, "mutual-exclusion");
+    assert!(!shrunk.is_empty() && shrunk.len() <= *found_len);
+    // The violation fires when both processes have CS *enabled* (before
+    // either takes the transition), so the trace shows both entries.
+    assert!(rendered.contains("ENTER"), "{rendered}");
+
+    // The shrunk schedule replays to a violating state from scratch.
+    let mut machine = Machine::with_model(&broken, MemoryModel::Tso);
+    let mut exhibits = MutualExclusion.check(&machine).is_some();
+    for d in shrunk {
+        machine
+            .step(*d)
+            .expect("shrunk schedule must replay cleanly");
+        exhibits |= MutualExclusion.check(&machine).is_some();
+    }
+    assert!(exhibits, "shrunk schedule no longer violates exclusion");
+}
+
+/// Swarm fuzzing's negative control: the *unhardened* bakery under PSO,
+/// where `CommitVar` may reorder the `number` and `choosing := 0`
+/// commits (the Section 6 separation). The narrow TSO race above needs
+/// the exhaustive explorer; this coarser PSO race is within reach of
+/// biased random schedules.
+#[test]
+fn swarm_catches_the_unhardened_bakery_under_pso() {
+    let bakery = tpa::algos::sim::bakery::BakeryLock::new(2, 1);
+    let config = SwarmConfig {
+        schedules: 2048,
+        max_steps: 512,
+        seed: 1,
+    };
+    let report = check_swarm(&bakery, MemoryModel::Pso, &config);
+    let Verdict::Violation {
+        invariant, shrunk, ..
+    } = &report.verdict
+    else {
+        panic!("swarm missed the PSO doorway reordering");
+    };
+    assert_eq!(*invariant, "mutual-exclusion");
+    assert!(!shrunk.is_empty());
+
+    // The hardened variant survives the same budget.
+    let hardened = tpa::algos::sim::bakery::BakeryLock::pso_hardened(2, 1);
+    check_swarm(&hardened, MemoryModel::Pso, &config).assert_pass();
+}
+
+/// The correct bakery, same bounds, same invariants: the explorer's pass
+/// is meaningful because the only difference from the caught variant is
+/// the doorway fence.
+#[test]
+fn explorer_passes_the_fenced_bakery_under_identical_bounds() {
+    let sound = tpa::algos::sim::bakery::BakeryLock::new(2, 1);
+    let config = ExploreConfig {
+        max_steps: 60,
+        max_transitions: 4_000_000,
+    };
+    let report = check_exhaustive(&sound, MemoryModel::Tso, &config);
+    assert!(report.stats.complete);
+    assert!(
+        report.stats.pruned_sleep > 0,
+        "sleep sets never fired: {:?}",
+        report.stats
+    );
+    report.assert_pass();
 }
 
 proptest! {

@@ -17,8 +17,12 @@ fn arb_program() -> impl Strategy<Value = Vec<Instr>> {
         (0..VARS, 0..8u64).prop_map(|(var, value)| Instr::Write { var, value }),
         (0..VARS).prop_map(|var| Instr::Read { var, reg: 0 }),
         Just(Instr::Fence),
-        (0..VARS, 0..4u64, 0..4u64)
-            .prop_map(|(var, expected, new)| Instr::Cas { var, expected, new, success_reg: 1 }),
+        (0..VARS, 0..4u64, 0..4u64).prop_map(|(var, expected, new)| Instr::Cas {
+            var,
+            expected,
+            new,
+            success_reg: 1
+        }),
     ];
     prop::collection::vec(instr, 1..12).prop_map(|mut v| {
         v.push(Instr::Halt);
@@ -41,12 +45,10 @@ fn check_log_invariants(machine: &Machine, n: usize) -> Result<(), String> {
     for e in machine.log() {
         let b = &mut buffers[e.pid.index()];
         match e.kind {
-            EventKind::IssueWrite { var, value } => {
-                match b.iter_mut().find(|(v, _)| *v == var) {
-                    Some(slot) => slot.1 = value,
-                    None => b.push((var, value)),
-                }
-            }
+            EventKind::IssueWrite { var, value } => match b.iter_mut().find(|(v, _)| *v == var) {
+                Some(slot) => slot.1 = value,
+                None => b.push((var, value)),
+            },
             EventKind::CommitWrite { var, value } => {
                 let pos = b
                     .iter()
@@ -92,7 +94,13 @@ fn check_log_invariants(machine: &Machine, n: usize) -> Result<(), String> {
                     }
                 }
             },
-            EventKind::Cas { var, expected, new, success, observed } => {
+            EventKind::Cas {
+                var,
+                expected,
+                new,
+                success,
+                observed,
+            } => {
                 if !b.is_empty() {
                     return Err("CAS executed with non-empty buffer".to_owned());
                 }

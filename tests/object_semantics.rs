@@ -91,18 +91,124 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Promoted regression seeds. The retired `object_semantics.proptest-
+// regressions` file recorded one historical failure, "shrinks to n = 2,
+// seed = 0"; the offline proptest replacement neither reads nor writes
+// regression files, so that case is pinned here as named deterministic
+// tests — one per property it could have hit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn regression_counter_unique_tickets_n2_seed0() {
+    let (n, per_proc, seed) = (2usize, 1usize, 0u64);
+    let sys = ObjectSystem::new(CasCounter::new(), n, |_| {
+        vec![
+            OpCall {
+                opcode: OP_FETCH_INC,
+                arg: 0
+            };
+            per_proc
+        ]
+    });
+    let m = sys
+        .run_random(seed, CommitPolicy::Random { num: 64 }, 500_000)
+        .unwrap();
+    let mut all: Vec<Value> = (0..n as u32)
+        .flat_map(|p| sys.results(&m, ProcId(p)))
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..(n * per_proc) as Value).collect::<Vec<_>>());
+}
+
+#[test]
+fn regression_stack_conservation_n2_seed0() {
+    let (n, seed) = (2usize, 0u64);
+    let pushes_per = 2usize;
+    let sys = ObjectSystem::new(TreiberStack::new(n * pushes_per), n, |pid| {
+        vec![
+            OpCall {
+                opcode: OP_PUSH,
+                arg: 100 + u64::from(pid.0),
+            },
+            OpCall {
+                opcode: OP_POP,
+                arg: 0,
+            },
+            OpCall {
+                opcode: OP_PUSH,
+                arg: 200 + u64::from(pid.0),
+            },
+        ]
+    });
+    let m = sys
+        .run_random(seed, CommitPolicy::Random { num: 64 }, 500_000)
+        .unwrap();
+    let mut popped: Vec<Value> = (0..n as u32)
+        .filter_map(|p| sys.results(&m, ProcId(p)).get(1).copied())
+        .filter(|v| *v != EMPTY)
+        .collect();
+    let cap = (n * pushes_per) as u32;
+    let mut remaining = Vec::new();
+    let mut cursor = m.value(VarId(0));
+    while cursor != 0 {
+        remaining.push(m.value(VarId(2 + cursor as u32 - 1)));
+        cursor = m.value(VarId(2 + cap + cursor as u32 - 1));
+    }
+    let mut together = popped.drain(..).chain(remaining).collect::<Vec<_>>();
+    together.sort_unstable();
+    let mut expected: Vec<Value> = (0..n as u64).flat_map(|p| [100 + p, 200 + p]).collect();
+    expected.sort_unstable();
+    assert_eq!(together, expected);
+}
+
+#[test]
+fn regression_queue_counter_prefill_n2_seed0() {
+    let (n, seed) = (2usize, 0u64);
+    let sys = ObjectSystem::new(ArrayQueue::counter_prefill(n * 2), n, |_| {
+        vec![
+            OpCall {
+                opcode: OP_DEQUEUE,
+                arg: 0
+            };
+            2
+        ]
+    });
+    let m = sys
+        .run_random(seed, CommitPolicy::Random { num: 64 }, 500_000)
+        .unwrap();
+    let mut all: Vec<Value> = (0..n as u32)
+        .flat_map(|p| sys.results(&m, ProcId(p)))
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..(n * 2) as Value).collect::<Vec<_>>());
+}
+
 #[test]
 fn queue_fifo_per_producer() {
     // Single producer, single consumer: strict FIFO.
     let sys = ObjectSystem::new(ArrayQueue::new(6), 2, |pid| {
         if pid.0 == 0 {
-            (0..6).map(|i| OpCall { opcode: OP_ENQUEUE, arg: 10 * (i + 1) }).collect()
+            (0..6)
+                .map(|i| OpCall {
+                    opcode: OP_ENQUEUE,
+                    arg: 10 * (i + 1),
+                })
+                .collect()
         } else {
-            vec![OpCall { opcode: OP_DEQUEUE, arg: 0 }; 6]
+            vec![
+                OpCall {
+                    opcode: OP_DEQUEUE,
+                    arg: 0
+                };
+                6
+            ]
         }
     });
     for seed in 1..=10u64 {
-        let m = sys.run_random(seed, CommitPolicy::Random { num: 64 }, 500_000).unwrap();
+        let m = sys
+            .run_random(seed, CommitPolicy::Random { num: 64 }, 500_000)
+            .unwrap();
         let got: Vec<Value> = sys
             .results(&m, ProcId(1))
             .into_iter()

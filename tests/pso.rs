@@ -52,13 +52,19 @@ fn pso_reorders_writes_tso_does_not() {
     m.step(Directive::Issue(ProcId(1))).unwrap(); // flag = 1
     m.step(Directive::Issue(ProcId(1))).unwrap(); // data = 0 (!)
     assert_eq!(m.program(ProcId(1)).unwrap().register(0), Some(1));
-    assert_eq!(m.program(ProcId(1)).unwrap().register(1), Some(0), "PSO reordering observed");
+    assert_eq!(
+        m.program(ProcId(1)).unwrap().register(1),
+        Some(0),
+        "PSO reordering observed"
+    );
 
     // The identical directive sequence is rejected under TSO.
     let mut m = Machine::new(&sys);
     m.step(Directive::Issue(ProcId(0))).unwrap();
     m.step(Directive::Issue(ProcId(0))).unwrap();
-    let err = m.step(Directive::CommitVar(ProcId(0), VarId(1))).unwrap_err();
+    let err = m
+        .step(Directive::CommitVar(ProcId(0), VarId(1)))
+        .unwrap_err();
     assert!(matches!(err, tpa::tso::StepError::BadCommit { .. }));
     // Committing the oldest write via CommitVar is fine under TSO.
     m.step(Directive::CommitVar(ProcId(0), VarId(0))).unwrap();
@@ -78,7 +84,10 @@ fn message_passing_never_reorders_under_random_tso() {
         .unwrap();
         let flag = m.program(ProcId(1)).unwrap().register(0).unwrap();
         let data = m.program(ProcId(1)).unwrap().register(1).unwrap();
-        assert!(!(flag == 1 && data == 0), "TSO must not reorder (seed {seed})");
+        assert!(
+            !(flag == 1 && data == 0),
+            "TSO must not reorder (seed {seed})"
+        );
     }
 }
 
@@ -102,7 +111,10 @@ fn message_passing_reorders_under_random_pso() {
             break;
         }
     }
-    assert!(observed, "random PSO schedules should reach the reordered outcome");
+    assert!(
+        observed,
+        "random PSO schedules should reach the reordered outcome"
+    );
 }
 
 /// Drives the directed PSO attack on the plain bakery lock (n = 2): p0's
@@ -140,7 +152,10 @@ fn bakery_exclusion_breaks_under_directed_pso_schedule() {
             _ => break,
         }
     }
-    assert!(!m.buffer_empty(p0), "number and choosing writes are buffered");
+    assert!(
+        !m.buffer_empty(p0),
+        "number and choosing writes are buffered"
+    );
     assert_eq!(m.pending_vars(p0), vec![number0, choosing0]);
 
     // PSO adversary: commit choosing[0] := 0 FIRST (reordered!).
@@ -182,9 +197,7 @@ fn plain_bakery_violation_found_by_random_pso_search() {
         for _ in 0..5_000 {
             let runnable: Vec<ProcId> = (0..2)
                 .map(ProcId)
-                .filter(|&p| {
-                    machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p)
-                })
+                .filter(|&p| machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p))
                 .collect();
             if runnable.is_empty() {
                 break;
@@ -222,9 +235,7 @@ fn hardened_bakery_survives_random_pso_schedules() {
         loop {
             let runnable: Vec<ProcId> = (0..3)
                 .map(ProcId)
-                .filter(|&p| {
-                    machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p)
-                })
+                .filter(|&p| machine.peek_next(p) != NextEvent::Halted || !machine.buffer_empty(p))
                 .collect();
             if runnable.is_empty() {
                 break;
