@@ -1,124 +1,56 @@
 //! C1: explorer effort across the lock portfolio — how far the sleep-set
-//! and state-cache reductions carry bounded-exhaustive verification.
+//! and state-cache reductions carry bounded-exhaustive verification, and
+//! what the work-distributing parallel engine buys on top.
 //!
-//! For each simulated lock at small `n` this runs the `tpa-check`
+//! For each simulated lock at small `n` this runs the `Checker`
 //! exhaustive explorer and reports transitions executed, directives put
-//! to sleep, state-cache skips, and distinct states — the numbers behind
-//! the C1 table in EXPERIMENTS.md. A final line demonstrates the verdict
-//! pipeline on the deliberately broken `bakery-nofence` variant: found,
-//! shrunk, and sized.
+//! to sleep, state-cache skips, distinct states, wall time, and search
+//! throughput — the numbers behind the C1 table in EXPERIMENTS.md. A
+//! 1-thread-vs-4-thread rerun of one instance records the parallel
+//! speedup, and a final line demonstrates the verdict pipeline on the
+//! deliberately broken `bakery-nofence` variant: found, shrunk, sized.
 //!
-//! Usage: `exp_c1_explorer [--quick]`
-//! `--quick` restricts to n = 2 and a smaller step bound.
+//! The machine-readable record lands in `BENCH_check.json` (override the
+//! path with `TPA_BENCH_JSON`); `TPA_JSON` still exports the raw rows.
+//!
+//! Usage: `exp_c1_explorer [--quick] [--threads N]`
+//! `--quick` restricts to n = 2 and a smaller step bound; `--threads`
+//! defaults to everything the machine has.
 
-use tpa_bench::report::{self, ToJson};
-use tpa_check::{check_exhaustive, ExploreConfig, Verdict};
-use tpa_tso::MemoryModel;
-
-/// One row of the C1 table.
-struct C1Row {
-    algo: String,
-    n: usize,
-    max_steps: usize,
-    transitions: u64,
-    pruned_sleep: u64,
-    cache_skips: u64,
-    unique_states: usize,
-    complete: bool,
-    verdict: &'static str,
-}
-
-impl ToJson for C1Row {
-    fn to_json(&self) -> String {
-        report::json_object(&[
-            ("algo", self.algo.to_json()),
-            ("n", self.n.to_json()),
-            ("max_steps", self.max_steps.to_json()),
-            ("transitions", self.transitions.to_json()),
-            ("pruned_sleep", self.pruned_sleep.to_json()),
-            ("cache_skips", self.cache_skips.to_json()),
-            ("unique_states", self.unique_states.to_json()),
-            ("complete", self.complete.to_json()),
-            ("verdict", self.verdict.to_json()),
-        ])
-    }
-}
+use tpa_bench::{c1, report};
+use tpa_check::{default_threads, Verdict};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or_else(default_threads)
+        .max(1);
     let sizes: &[(usize, usize)] = if quick {
         &[(2, 40)]
     } else {
         &[(2, 60), (3, 40)]
     };
 
-    let mut rows: Vec<C1Row> = Vec::new();
-    for &(n, max_steps) in sizes {
-        for lock in tpa_algos::all_locks(n, 1) {
-            let config = ExploreConfig {
-                max_steps,
-                max_transitions: 4_000_000,
-            };
-            let report = check_exhaustive(lock.as_ref(), MemoryModel::Tso, &config);
-            rows.push(C1Row {
-                algo: report.algo.clone(),
-                n,
-                max_steps,
-                transitions: report.stats.transitions,
-                pruned_sleep: report.stats.pruned_sleep,
-                cache_skips: report.stats.cache_skips,
-                unique_states: report.stats.unique_states,
-                complete: report.stats.complete,
-                verdict: if report.verdict.passed() {
-                    "pass"
-                } else {
-                    "VIOLATION"
-                },
-            });
-        }
-    }
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.algo.clone(),
-                r.n.to_string(),
-                r.max_steps.to_string(),
-                r.transitions.to_string(),
-                r.pruned_sleep.to_string(),
-                r.cache_skips.to_string(),
-                r.unique_states.to_string(),
-                if r.complete { "yes" } else { "budget" }.to_string(),
-                r.verdict.to_string(),
-            ]
-        })
-        .collect();
-    report::print_table(
+    let rows = c1::portfolio_rows(sizes, threads);
+    c1::print_table(
         "C1: bounded-exhaustive explorer effort (TSO, 1 passage)",
-        &[
-            "algo",
-            "n",
-            "steps",
-            "transitions",
-            "slept",
-            "cache",
-            "states",
-            "complete",
-            "verdict",
-        ],
-        &table,
+        &rows,
     );
     report::maybe_write_json("c1_explorer", rows.as_slice());
+
+    let (speedup_n, speedup_steps) = if quick { (2, 40) } else { (3, 40) };
+    let speedup = c1::measure_speedup("tas", speedup_n, speedup_steps);
+    c1::write_bench_json(threads, &rows, &speedup);
 
     // The negative control: a lock with a dropped fence must be caught
     // and the counterexample must shrink to a short schedule.
     let broken = tpa_algos::sim::bakery::BakeryLock::without_doorway_fence(2, 1);
-    let config = ExploreConfig {
-        max_steps: 60,
-        max_transitions: 4_000_000,
-    };
-    let report = check_exhaustive(&broken, MemoryModel::Tso, &config);
+    let report = c1::check(&broken, 60, threads);
     match &report.verdict {
         Verdict::Violation {
             invariant,

@@ -235,5 +235,19 @@ fn main() {
         &rows,
     );
 
+    // C1: the checker cross-validation, parallel across what the machine
+    // has. Also emits the BENCH_check.json benchmark record.
+    let threads = tpa_check::default_threads();
+    let sizes: &[(usize, usize)] = if quick {
+        &[(2, 40)]
+    } else {
+        &[(2, 60), (3, 40)]
+    };
+    let c1 = tpa_bench::c1::portfolio_rows(sizes, threads);
+    tpa_bench::c1::print_table(&format!("C1: explorer effort ({threads} threads)"), &c1);
+    let (sp_n, sp_steps) = if quick { (2, 40) } else { (3, 40) };
+    let speedup = tpa_bench::c1::measure_speedup("tas", sp_n, sp_steps);
+    tpa_bench::c1::write_bench_json(threads, &c1, &speedup);
+
     println!("\nall simulator experiments complete; run `cargo bench -p tpa-bench` for H1.");
 }

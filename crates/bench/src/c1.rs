@@ -1,0 +1,223 @@
+//! C1: explorer-effort benchmark rows, shared by `exp_c1_explorer` and
+//! `report_all`.
+//!
+//! For each simulated lock at small `n` this runs the [`Checker`]
+//! exhaustive explorer and records transitions executed, directives put
+//! to sleep, state-cache skips, distinct states, wall time, and search
+//! throughput. [`measure_speedup`] reruns one instance at 1 thread and
+//! at 4 for the parallel-engine record; [`write_bench_json`] lands both
+//! in `BENCH_check.json` (path overridable via `TPA_BENCH_JSON`).
+
+use tpa_check::{default_threads, Checker, Report};
+use tpa_tso::{MemoryModel, System};
+
+use crate::report::{self, fmt_f64, ToJson};
+
+/// One row of the C1 table: one exhaustive check of one lock.
+pub struct CheckRow {
+    /// Lock name, per [`System::name`].
+    pub algo: String,
+    /// Process count the lock was instantiated for.
+    pub n: usize,
+    /// Schedule-length bound the explorer ran under.
+    pub max_steps: usize,
+    /// Worker threads the search fanned across.
+    pub threads: usize,
+    /// Transitions actually executed.
+    pub transitions: u64,
+    /// Directives skipped because they slept.
+    pub pruned_sleep: u64,
+    /// Visits suppressed by the state cache.
+    pub cache_skips: u64,
+    /// Distinct states visited.
+    pub unique_states: usize,
+    /// Wall-clock time for the whole search, in milliseconds.
+    pub wall_ms: f64,
+    /// Distinct states per second of wall time.
+    pub states_per_sec: f64,
+    /// Whether the search exhausted the bounded space.
+    pub complete: bool,
+    /// `"pass"` or `"VIOLATION"`.
+    pub verdict: &'static str,
+}
+
+impl CheckRow {
+    /// Flattens a checker [`Report`] into a table/JSON row.
+    pub fn from_report(report: &Report, n: usize, max_steps: usize) -> Self {
+        CheckRow {
+            algo: report.algo.clone(),
+            n,
+            max_steps,
+            threads: report.threads,
+            transitions: report.stats.transitions,
+            pruned_sleep: report.stats.pruned_sleep,
+            cache_skips: report.stats.cache_skips,
+            unique_states: report.stats.unique_states,
+            wall_ms: report.wall.as_secs_f64() * 1e3,
+            states_per_sec: report.states_per_sec(),
+            complete: report.stats.complete,
+            verdict: if report.verdict.passed() {
+                "pass"
+            } else {
+                "VIOLATION"
+            },
+        }
+    }
+}
+
+impl ToJson for CheckRow {
+    fn to_json(&self) -> String {
+        report::json_object(&[
+            ("algo", self.algo.to_json()),
+            ("n", self.n.to_json()),
+            ("max_steps", self.max_steps.to_json()),
+            ("threads", self.threads.to_json()),
+            ("transitions", self.transitions.to_json()),
+            ("pruned_sleep", self.pruned_sleep.to_json()),
+            ("cache_skips", self.cache_skips.to_json()),
+            ("unique_states", self.unique_states.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+            ("states_per_sec", self.states_per_sec.to_json()),
+            ("complete", self.complete.to_json()),
+            ("verdict", self.verdict.to_json()),
+        ])
+    }
+}
+
+/// The 1-thread-vs-4-thread rerun of one exhaustive instance.
+pub struct SpeedupRecord {
+    /// Lock name.
+    pub algo: String,
+    /// Process count.
+    pub n: usize,
+    /// Schedule-length bound.
+    pub max_steps: usize,
+    /// The 1-thread run.
+    pub base: CheckRow,
+    /// The 4-thread run.
+    pub parallel: CheckRow,
+    /// `base.wall / parallel.wall`.
+    pub speedup: f64,
+    /// What the machine could have offered ([`default_threads`]).
+    pub hardware_threads: usize,
+}
+
+impl ToJson for SpeedupRecord {
+    fn to_json(&self) -> String {
+        report::json_object(&[
+            ("algo", self.algo.to_json()),
+            ("n", self.n.to_json()),
+            ("max_steps", self.max_steps.to_json()),
+            ("sequential", self.base.to_json()),
+            ("parallel", self.parallel.to_json()),
+            ("speedup", self.speedup.to_json()),
+            ("hardware_threads", self.hardware_threads.to_json()),
+        ])
+    }
+}
+
+/// One exhaustive TSO check with the C1 budget (4M transitions).
+pub fn check(system: &dyn System, max_steps: usize, threads: usize) -> Report {
+    Checker::new(system)
+        .model(MemoryModel::Tso)
+        .max_steps(max_steps)
+        .max_transitions(4_000_000)
+        .threads(threads)
+        .exhaustive()
+}
+
+/// Runs the whole lock portfolio at each `(n, max_steps)` size.
+pub fn portfolio_rows(sizes: &[(usize, usize)], threads: usize) -> Vec<CheckRow> {
+    let mut rows = Vec::new();
+    for &(n, max_steps) in sizes {
+        for lock in tpa_algos::all_locks(n, 1) {
+            let report = check(lock.as_ref(), max_steps, threads);
+            rows.push(CheckRow::from_report(&report, n, max_steps));
+        }
+    }
+    rows
+}
+
+/// Reruns one lock at 1 thread and at 4 and records the ratio. On a
+/// multi-core box the 4-thread run should be markedly faster; a 1-core
+/// container honestly reports ~1x (the differential tests, not this
+/// number, carry the determinism claim).
+pub fn measure_speedup(algo: &str, n: usize, max_steps: usize) -> SpeedupRecord {
+    let subject = tpa_algos::lock_by_name(algo, n, 1)
+        .unwrap_or_else(|| panic!("unknown lock {algo:?} for the speedup rerun"));
+    let seq = check(subject.as_ref(), max_steps, 1);
+    let par = check(subject.as_ref(), max_steps, 4);
+    SpeedupRecord {
+        algo: seq.algo.clone(),
+        n,
+        max_steps,
+        speedup: seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9),
+        base: CheckRow::from_report(&seq, n, max_steps),
+        parallel: CheckRow::from_report(&par, n, max_steps),
+        hardware_threads: default_threads(),
+    }
+}
+
+/// Prints the aligned C1 table.
+pub fn print_table(title: &str, rows: &[CheckRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algo.clone(),
+                r.n.to_string(),
+                r.max_steps.to_string(),
+                r.threads.to_string(),
+                r.transitions.to_string(),
+                r.pruned_sleep.to_string(),
+                r.cache_skips.to_string(),
+                r.unique_states.to_string(),
+                format!("{:.1}", r.wall_ms),
+                fmt_f64(r.states_per_sec),
+                if r.complete { "yes" } else { "budget" }.to_string(),
+                r.verdict.to_string(),
+            ]
+        })
+        .collect();
+    report::print_table(
+        title,
+        &[
+            "algo",
+            "n",
+            "steps",
+            "thr",
+            "transitions",
+            "slept",
+            "cache",
+            "states",
+            "wall ms",
+            "states/s",
+            "complete",
+            "verdict",
+        ],
+        &table,
+    );
+}
+
+/// Writes the machine-readable benchmark record to `BENCH_check.json`
+/// (or the `TPA_BENCH_JSON` override) and announces the speedup line.
+pub fn write_bench_json(threads: usize, rows: &[CheckRow], speedup: &SpeedupRecord) {
+    println!(
+        "\nspeedup: {} n={} — {:.1} ms at 1 thread, {:.1} ms at 4 threads \
+         ({:.2}x, {} hardware threads)",
+        speedup.algo,
+        speedup.n,
+        speedup.base.wall_ms,
+        speedup.parallel.wall_ms,
+        speedup.speedup,
+        speedup.hardware_threads,
+    );
+    let path = std::env::var("TPA_BENCH_JSON").unwrap_or_else(|_| "BENCH_check.json".to_owned());
+    let payload = report::json_object(&[
+        ("experiment", "c1_explorer".to_json()),
+        ("threads", threads.to_json()),
+        ("rows", rows.to_json()),
+        ("speedup", speedup.to_json()),
+    ]);
+    report::write_json_file("c1_explorer", &path, &payload);
+}

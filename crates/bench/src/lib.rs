@@ -14,6 +14,7 @@
 //! | T4 | Corollary 1 / Section 6 — the adaptive-vs-fence separation | `exp_t4_separation` |
 //! | T5 | Lemma 9 — object-to-mutex reduction cost transfer | `exp_t5_lemma9` |
 //! | T6 | Theorem 1 — the feasibility frontier across f-families | `exp_t6_frontier` |
+//! | C1 | checker cross-validation — explorer effort & parallel speedup | `exp_c1_explorer` |
 //!
 //! Each binary prints an aligned table and, when the `TPA_JSON`
 //! environment variable names a path, writes the raw rows as JSON.
@@ -21,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod c1;
 pub mod experiments;
 pub mod report;
 

@@ -182,6 +182,16 @@ pub fn maybe_write_json<T: ToJson + ?Sized>(experiment: &str, rows: &T) {
     }
 }
 
+/// Writes `payload` to `path` unconditionally — for benchmark artifacts
+/// that are committed alongside the docs (e.g. `BENCH_check.json`).
+/// Errors are reported to stderr but never fatal.
+pub fn write_json_file(experiment: &str, path: &str, payload: &str) {
+    match fs::File::create(path).and_then(|mut f| f.write_all(payload.as_bytes())) {
+        Ok(()) => eprintln!("[{experiment}] benchmark record written to {path}"),
+        Err(e) => eprintln!("[{experiment}] cannot write {path}: {e}"),
+    }
+}
+
 /// Formats a float compactly for table cells.
 pub fn fmt_f64(x: f64) -> String {
     if x == 0.0 {

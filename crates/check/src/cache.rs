@@ -1,0 +1,156 @@
+//! The visited-state cache: hash-sharded, sleep-set- and rank-aware.
+//!
+//! A state may be revisited along many schedules; a revisit can be
+//! skipped only if an earlier visit *subsumes* it. With one thread the
+//! classic condition is "an earlier visit had a subset sleep set"; with
+//! many threads "earlier" is no longer well-defined, so entries carry two
+//! extra tags that make subsumption independent of the order workers
+//! happen to reach states:
+//!
+//! * **depth** — a visit only covers the subtree reachable within the
+//!   remaining step budget, so a shallow visit subsumes a deeper revisit
+//!   but not vice versa;
+//! * **rank** — the path of sibling indices from the root. A visit may
+//!   only suppress revisits at lexicographically *greater-or-equal*
+//!   ranks. This is what makes the reported witness deterministic: the
+//!   lexicographically least violating path can never be suppressed by a
+//!   cache entry from a lexicographically later part of the tree, no
+//!   matter which worker got there first.
+//!
+//! Entries live in `Mutex<HashMap>` shards selected by the state key's
+//! low bits, so concurrent lookups of different states rarely contend.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use tpa_tso::{FxBuildHasher, StateKey};
+
+use crate::sleep::SleepSet;
+
+/// A node's position in the schedule tree: the sibling index (within the
+/// parent's `enabled_all` order) of every edge from the root. Ordering
+/// rank vectors lexicographically orders nodes in sequential-DFS
+/// visitation order.
+pub(crate) type Rank = Arc<[u32]>;
+
+struct CacheEntry {
+    sleep: SleepSet,
+    depth: u32,
+    rank: Rank,
+}
+
+impl CacheEntry {
+    /// Whether this recorded visit already covers a visit at
+    /// `(sleep, depth, rank)`: it had at least as many directives awake,
+    /// at least as much remaining depth budget, and sits at a
+    /// lexicographically earlier-or-equal position.
+    fn subsumes(&self, sleep: &SleepSet, depth: u32, rank: &[u32]) -> bool {
+        self.depth <= depth && self.rank.as_ref() <= rank && self.sleep.is_subset(sleep)
+    }
+}
+
+/// The sharded concurrent visited-state cache.
+pub(crate) struct StateCache {
+    shards: Vec<Mutex<HashMap<StateKey, Vec<CacheEntry>, FxBuildHasher>>>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    mask: usize,
+}
+
+impl StateCache {
+    /// A cache with at least `shards` shards (rounded up to a power of
+    /// two). One shard is enough for sequential search; parallel search
+    /// wants several per worker.
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        StateCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::default())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Records a visit to `key` unless an already-recorded visit subsumes
+    /// it. Returns `true` if the caller should expand the node, `false`
+    /// if the visit is covered.
+    pub fn try_visit(&self, key: StateKey, sleep: &SleepSet, depth: u32, rank: &Rank) -> bool {
+        let mut shard = self.shards[(key.0 as usize) & self.mask]
+            .lock()
+            .expect("state-cache shard poisoned");
+        let entries = shard.entry(key).or_default();
+        if entries.iter().any(|e| e.subsumes(sleep, depth, rank)) {
+            return false;
+        }
+        // Drop entries the new visit subsumes, so per-key lists stay short.
+        entries.retain(|e| {
+            !(depth <= e.depth && rank.as_ref() <= e.rank.as_ref() && sleep.is_subset(&e.sleep))
+        });
+        entries.push(CacheEntry {
+            sleep: sleep.clone(),
+            depth,
+            rank: rank.clone(),
+        });
+        true
+    }
+
+    /// Number of distinct states recorded.
+    pub fn unique_states(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("state-cache shard poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_tso::{Directive, ProcId};
+
+    fn rank(v: &[u32]) -> Rank {
+        Arc::from(v)
+    }
+
+    fn sleepers(ps: &[u32]) -> SleepSet {
+        let mut s = SleepSet::empty();
+        for &p in ps {
+            s.insert(Directive::Issue(ProcId(p)));
+        }
+        s
+    }
+
+    #[test]
+    fn first_visit_always_expands() {
+        let c = StateCache::new(4);
+        assert!(c.try_visit(StateKey(7), &sleepers(&[]), 0, &rank(&[])));
+        assert_eq!(c.unique_states(), 1);
+    }
+
+    #[test]
+    fn subset_sleep_at_earlier_rank_subsumes() {
+        let c = StateCache::new(1);
+        assert!(c.try_visit(StateKey(7), &sleepers(&[1]), 2, &rank(&[0, 1])));
+        // More asleep, deeper, later: covered.
+        assert!(!c.try_visit(StateKey(7), &sleepers(&[1, 2]), 3, &rank(&[0, 2])));
+        // Fewer asleep: must re-expand.
+        assert!(c.try_visit(StateKey(7), &sleepers(&[]), 3, &rank(&[0, 2])));
+    }
+
+    #[test]
+    fn later_rank_entry_cannot_suppress_an_earlier_visit() {
+        let c = StateCache::new(1);
+        assert!(c.try_visit(StateKey(9), &sleepers(&[]), 2, &rank(&[1, 0])));
+        // Same state reached on a lexicographically earlier path — the
+        // deterministic-witness guarantee requires re-expansion.
+        assert!(c.try_visit(StateKey(9), &sleepers(&[]), 2, &rank(&[0, 5])));
+        // And now the later-rank revisit *is* covered by the earlier one.
+        assert!(!c.try_visit(StateKey(9), &sleepers(&[]), 2, &rank(&[1, 0])));
+        assert_eq!(c.unique_states(), 1);
+    }
+
+    #[test]
+    fn shallower_revisit_is_not_skipped() {
+        let c = StateCache::new(1);
+        assert!(c.try_visit(StateKey(3), &sleepers(&[]), 5, &rank(&[0])));
+        // Same state, same sleep, but more remaining budget: expand.
+        assert!(c.try_visit(StateKey(3), &sleepers(&[]), 1, &rank(&[4])));
+    }
+}

@@ -1,0 +1,235 @@
+//! The `Checker` builder — the one front door to schedule checking.
+//!
+//! ```
+//! use tpa_check::Checker;
+//! use tpa_tso::scripted::{Instr, ScriptSystem};
+//! use tpa_tso::MemoryModel;
+//!
+//! let sys = ScriptSystem::new(2, 2, |pid| {
+//!     vec![
+//!         Instr::Write { var: pid.0, value: 1 },
+//!         Instr::Fence,
+//!         Instr::Halt,
+//!     ]
+//! });
+//! // Every interleaving up to 24 steps, on 2 worker threads, under PSO.
+//! let report = Checker::new(&sys)
+//!     .model(MemoryModel::Pso)
+//!     .max_steps(24)
+//!     .threads(2)
+//!     .exhaustive();
+//! report.assert_pass();
+//!
+//! // Too big to exhaust? Sample 32 biased random schedules instead.
+//! Checker::new(&sys).swarm(32).assert_pass();
+//! ```
+
+use std::time::Instant;
+
+use tpa_tso::{MemoryModel, System};
+
+use crate::explore::ExploreConfig;
+use crate::invariant::{standard_invariants, Invariant};
+use crate::parallel::run_exhaustive;
+use crate::swarm::{run_swarm, SwarmConfig};
+use crate::verdict::{condemn, Report};
+
+/// Configures and runs one check of one system; see the
+/// [module docs](crate::checker) for an example.
+///
+/// Defaults: TSO, the standard invariant battery, one thread, a step
+/// bound of 80 (exhaustive) / 4096 (swarm), a 20M-transition budget, and
+/// the swarm seed the portfolio tests use.
+pub struct Checker<'a> {
+    system: &'a dyn System,
+    model: MemoryModel,
+    invariants: Vec<Box<dyn Invariant>>,
+    max_steps: Option<usize>,
+    max_transitions: u64,
+    threads: usize,
+    seed: u64,
+}
+
+impl<'a> Checker<'a> {
+    /// A checker for `system` with the defaults above.
+    pub fn new(system: &'a dyn System) -> Self {
+        Checker {
+            system,
+            model: MemoryModel::Tso,
+            invariants: standard_invariants(),
+            max_steps: None,
+            max_transitions: ExploreConfig::default().max_transitions,
+            threads: 1,
+            seed: SwarmConfig::default().seed,
+        }
+    }
+
+    /// The store-ordering model to check under.
+    pub fn model(mut self, model: MemoryModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The schedule-length bound. Defaults to the mode's default (80
+    /// exhaustive, 4096 swarm).
+    pub fn max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// The global transition budget for exhaustive search.
+    pub fn max_transitions(mut self, budget: u64) -> Self {
+        self.max_transitions = budget;
+        self
+    }
+
+    /// Worker threads for exhaustive search. Any count produces the same
+    /// verdict and witness; see [`crate::parallel`]. Use
+    /// [`crate::parallel::default_threads`] for "all the machine has".
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The base seed for swarm schedules.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the standard invariant battery.
+    pub fn invariants(mut self, invariants: Vec<Box<dyn Invariant>>) -> Self {
+        self.invariants = invariants;
+        self
+    }
+
+    /// Adds one invariant to the battery.
+    pub fn invariant(mut self, invariant: Box<dyn Invariant>) -> Self {
+        self.invariants.push(invariant);
+        self
+    }
+
+    /// Explores every schedule up to the bounds, in parallel if
+    /// [`Checker::threads`] asked for it.
+    pub fn exhaustive(self) -> Report {
+        let config = ExploreConfig {
+            max_steps: self.max_steps.unwrap_or(ExploreConfig::default().max_steps),
+            max_transitions: self.max_transitions,
+        };
+        let start = Instant::now();
+        let (found, stats) = run_exhaustive(
+            self.system,
+            self.model,
+            &self.invariants,
+            &config,
+            self.threads,
+        );
+        let wall = start.elapsed();
+        Report {
+            algo: self.system.name().to_string(),
+            model: self.model,
+            mode: "exhaustive",
+            threads: self.threads,
+            wall,
+            verdict: condemn(self.system, self.model, &self.invariants, found),
+            stats: stats.into(),
+        }
+    }
+
+    /// Runs `schedules` seeded biased random schedules.
+    pub fn swarm(self, schedules: usize) -> Report {
+        let config = SwarmConfig {
+            schedules,
+            max_steps: self.max_steps.unwrap_or(SwarmConfig::default().max_steps),
+            seed: self.seed,
+        };
+        let start = Instant::now();
+        let (found, stats) = run_swarm(self.system, self.model, &self.invariants, &config);
+        let wall = start.elapsed();
+        Report {
+            algo: self.system.name().to_string(),
+            model: self.model,
+            mode: "swarm",
+            threads: 1,
+            wall,
+            verdict: condemn(self.system, self.model, &self.invariants, found),
+            stats: stats.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::Violation;
+    use tpa_tso::scripted::{Instr, ScriptSystem};
+    use tpa_tso::Machine;
+
+    fn store_buffer() -> ScriptSystem {
+        ScriptSystem::new(2, 2, |pid| {
+            let me = pid.0;
+            vec![
+                Instr::Write { var: me, value: 1 },
+                Instr::Read {
+                    var: 1 - me,
+                    reg: 0,
+                },
+                Instr::Halt,
+            ]
+        })
+    }
+
+    struct BothReadZero;
+    impl Invariant for BothReadZero {
+        fn name(&self) -> &'static str {
+            "both-read-zero"
+        }
+        fn check(&self, m: &Machine) -> Option<Violation> {
+            let halted =
+                |p: u32| m.peek_next(tpa_tso::ProcId(p)) == tpa_tso::machine::NextEvent::Halted;
+            let r = |p: u32| m.program(tpa_tso::ProcId(p)).and_then(|pr| pr.register(0));
+            (halted(0) && halted(1) && r(0) == Some(0) && r(1) == Some(0)).then(|| Violation {
+                invariant: "both-read-zero",
+                detail: "store-buffer reordering observed".into(),
+            })
+        }
+    }
+
+    #[test]
+    fn custom_invariants_flow_through_the_builder() {
+        let sys = store_buffer();
+        let report = Checker::new(&sys)
+            .invariants(vec![Box::new(BothReadZero)])
+            .exhaustive();
+        let Verdict::Violation {
+            invariant, found, ..
+        } = &report.verdict
+        else {
+            panic!("TSO must exhibit r0 = r1 = 0");
+        };
+        assert_eq!(*invariant, "both-read-zero");
+        assert!(found.len() >= 4);
+    }
+
+    use crate::verdict::Verdict;
+
+    #[test]
+    fn thread_count_does_not_change_the_witness() {
+        let sys = store_buffer();
+        let one = Checker::new(&sys)
+            .invariants(vec![Box::new(BothReadZero)])
+            .threads(1)
+            .exhaustive();
+        let four = Checker::new(&sys)
+            .invariants(vec![Box::new(BothReadZero)])
+            .threads(4)
+            .exhaustive();
+        let (Verdict::Violation { found: a, .. }, Verdict::Violation { found: b, .. }) =
+            (&one.verdict, &four.verdict)
+        else {
+            panic!("both runs must find the reordering");
+        };
+        assert_eq!(a, b, "parallel witness differs from sequential");
+        assert_eq!(four.threads, 4);
+    }
+}

@@ -1,9 +1,9 @@
 //! Bounded-exhaustive schedule exploration with sleep-set pruning.
 //!
-//! [`explore`] enumerates every schedule of a [`System`] up to a step
-//! bound by depth-first search over [`Machine::fork`] snapshots, checking
-//! a battery of [`Invariant`]s after every step. Two reductions keep the
-//! search tractable without losing violations:
+//! The search enumerates every schedule of a [`System`] up to a step
+//! bound by depth-first search over [`Machine::fork_for_search`]
+//! snapshots, checking a battery of [`Invariant`]s after every step. Two
+//! reductions keep the search tractable without losing violations:
 //!
 //! * **Sleep sets** (Godefroid): after exploring directive `d` from a
 //!   state, sibling subtrees need not re-explore interleavings that merely
@@ -13,15 +13,16 @@
 //!   footprints are disjoint commute.
 //! * **State cache**: states are keyed by [`Machine::state_hash`]. A
 //!   state revisited with a sleep set *no smaller* than a previously
-//!   explored one is skipped — the earlier visit already covered every
-//!   directive the new visit would try. (Caching modulo sleep sets is
-//!   required for soundness: a plain visited-set would wrongly skip
-//!   revisits that have *more* directives awake.)
+//!   explored one — at no less depth and no earlier rank — is skipped;
+//!   see [`crate::cache`] for why all three tags are needed once workers
+//!   run concurrently.
 //!
 //! Both reductions are sound for state predicates: every reachable state
-//! within the bound is reached by at least one explored schedule.
-
-use std::collections::HashMap;
+//! within the bound is reached by at least one explored schedule. The
+//! engine itself lives in [`crate::parallel`]; this module keeps the
+//! configuration/statistics types and the deprecated free-function entry
+//! point. New code should drive the search through
+//! [`Checker`](crate::Checker).
 
 use tpa_tso::{Directive, Machine, MemoryModel, ProcId, System};
 
@@ -82,122 +83,21 @@ pub fn enabled_all(machine: &Machine) -> Vec<Directive> {
 /// Explores every schedule of `system` up to `config.max_steps` steps,
 /// returning the first invariant violation found (if any) and the search
 /// counters.
+#[deprecated(note = "use `Checker::new(system).exhaustive()`, which also parallelises the search")]
 pub fn explore(
     system: &dyn System,
     model: MemoryModel,
     invariants: &[Box<dyn Invariant>],
     config: &ExploreConfig,
 ) -> (Option<FoundViolation>, ExploreStats) {
-    let mut ctx = Ctx {
-        invariants,
-        config,
-        cache: HashMap::new(),
-        stats: ExploreStats {
-            complete: true,
-            ..ExploreStats::default()
-        },
-    };
-    let root = Machine::with_model(system, model);
-    // The initial state itself may violate (e.g. an empty program that is
-    // terminal but not quiescent).
-    for inv in invariants {
-        if let Some(v) = inv.check(&root) {
-            ctx.stats.unique_states = 1;
-            return (
-                Some(FoundViolation {
-                    violation: v,
-                    schedule: Vec::new(),
-                }),
-                ctx.stats,
-            );
-        }
-    }
-    let found = dfs(&root, &[], 0, &mut ctx);
-    ctx.stats.unique_states = ctx.cache.len();
-    (found, ctx.stats)
-}
-
-struct Ctx<'a> {
-    invariants: &'a [Box<dyn Invariant>],
-    config: &'a ExploreConfig,
-    /// state hash → sleep sets this state was already explored with.
-    cache: HashMap<u64, Vec<Vec<Directive>>>,
-    stats: ExploreStats,
-}
-
-fn is_subset(small: &[Directive], big: &[Directive]) -> bool {
-    small.iter().all(|d| big.contains(d))
-}
-
-fn dfs(
-    machine: &Machine,
-    sleep: &[Directive],
-    depth: usize,
-    ctx: &mut Ctx<'_>,
-) -> Option<FoundViolation> {
-    if !ctx.stats.complete {
-        return None;
-    }
-
-    let entry = ctx.cache.entry(machine.state_hash()).or_default();
-    if entry.iter().any(|stored| is_subset(stored, sleep)) {
-        // An earlier visit had at least as many directives awake: every
-        // schedule we would generate from here was already generated.
-        ctx.stats.cache_skips += 1;
-        return None;
-    }
-    entry.retain(|stored| !is_subset(sleep, stored));
-    entry.push(sleep.to_vec());
-
-    if depth >= ctx.config.max_steps {
-        ctx.stats.truncated_paths += 1;
-        return None;
-    }
-
-    let mut done: Vec<Directive> = Vec::new();
-    for d in enabled_all(machine) {
-        if sleep.contains(&d) {
-            ctx.stats.pruned_sleep += 1;
-            continue;
-        }
-        if ctx.stats.transitions >= ctx.config.max_transitions {
-            ctx.stats.complete = false;
-            return None;
-        }
-        let mut child = machine.fork();
-        child
-            .step(d)
-            .unwrap_or_else(|e| panic!("explorer: enabled directive {d:?} failed: {e:?}"));
-        ctx.stats.transitions += 1;
-        for inv in ctx.invariants {
-            if let Some(v) = inv.check(&child) {
-                return Some(FoundViolation {
-                    violation: v,
-                    schedule: child.schedule().to_vec(),
-                });
-            }
-        }
-        // `d`'s siblings-already-done and inherited sleepers stay asleep
-        // in the child exactly if they commute with `d` (independence
-        // evaluated in the *parent* state, as usual for sleep sets).
-        let child_sleep: Vec<Directive> = sleep
-            .iter()
-            .chain(done.iter())
-            .copied()
-            .filter(|&other| machine.independent(d, other))
-            .collect();
-        if let Some(found) = dfs(&child, &child_sleep, depth + 1, ctx) {
-            return Some(found);
-        }
-        done.push(d);
-    }
-    None
+    crate::parallel::run_exhaustive(system, model, invariants, config, 1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::invariant::{standard_invariants, Invariant, Violation};
+    use crate::parallel::run_exhaustive;
     use tpa_tso::scripted::{Instr, ScriptSystem};
     use tpa_tso::{Value, VarId};
 
@@ -242,7 +142,8 @@ mod tests {
     fn exhaustive_search_finds_the_tso_reordering() {
         let sys = store_buffer();
         let invs: Vec<Box<dyn Invariant>> = vec![Box::new(BothReadZero)];
-        let (found, stats) = explore(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default());
+        let (found, stats) =
+            run_exhaustive(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default(), 1);
         let found = found.expect("TSO must exhibit r0 = r1 = 0");
         assert!(stats.transitions > 0);
         // Both reads executed before either commit: at least 4 steps.
@@ -253,7 +154,8 @@ mod tests {
     fn scripted_writers_satisfy_the_standard_battery() {
         let sys = store_buffer();
         let invs = standard_invariants();
-        let (found, stats) = explore(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default());
+        let (found, stats) =
+            run_exhaustive(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default(), 1);
         assert!(found.is_none(), "unexpected violation: {found:?}");
         assert!(stats.complete);
         assert!(stats.unique_states > 0);
@@ -274,7 +176,8 @@ mod tests {
             ]
         });
         let invs = standard_invariants();
-        let (found, stats) = explore(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default());
+        let (found, stats) =
+            run_exhaustive(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default(), 1);
         assert!(found.is_none());
         assert!(stats.complete);
         assert!(
@@ -315,7 +218,21 @@ mod tests {
             }
         }
         let invs: Vec<Box<dyn Invariant>> = vec![Box::new(CasWon)];
-        let (found, _) = explore(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default());
+        let (found, _) =
+            run_exhaustive(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default(), 1);
         assert!(found.is_some());
+    }
+
+    #[test]
+    fn deprecated_entry_point_still_works() {
+        #[allow(deprecated)]
+        let (found, stats) = explore(
+            &store_buffer(),
+            MemoryModel::Tso,
+            &standard_invariants(),
+            &ExploreConfig::default(),
+        );
+        assert!(found.is_none());
+        assert!(stats.complete);
     }
 }

@@ -28,7 +28,12 @@ impl std::fmt::Display for Violation {
 }
 
 /// A state predicate checked by the explorer after every step.
-pub trait Invariant {
+///
+/// `Send + Sync` is a supertrait so one invariant battery can be shared
+/// by reference across the parallel explorer's worker threads;
+/// invariants are stateless predicates, so this costs implementations
+/// nothing.
+pub trait Invariant: Send + Sync {
     /// Stable identifier, e.g. `"mutual-exclusion"`.
     fn name(&self) -> &'static str;
 

@@ -1,21 +1,41 @@
 //! tpa-check: systematic schedule exploration for the TSO simulator.
 //!
 //! The rest of the workspace *measures* executions (RMRs, fences,
-//! critical events); this crate *searches* them. Three layers:
+//! critical events); this crate *searches* them. The front door is
+//! [`Checker`], a builder that configures one check and returns a
+//! [`Report`]:
 //!
-//! * [`explore`](mod@explore) — bounded-exhaustive enumeration of every
-//!   [`tpa_tso::Directive`] interleaving up to a step bound, with
-//!   sleep-set pruning of commuting directive pairs (built on
-//!   [`tpa_tso::Machine::independent`]) and a visited-state cache keyed
-//!   by [`tpa_tso::Machine::state_hash`];
+//! ```
+//! # use tpa_check::Checker;
+//! # use tpa_tso::scripted::{Instr, ScriptSystem};
+//! # use tpa_tso::MemoryModel;
+//! # let system = ScriptSystem::new(2, 1, |_| vec![Instr::Fence, Instr::Halt]);
+//! Checker::new(&system)
+//!     .model(MemoryModel::Pso)
+//!     .max_steps(24)
+//!     .threads(4)
+//!     .exhaustive()
+//!     .assert_pass();
+//! ```
+//!
+//! Underneath sit three layers:
+//!
+//! * [`parallel`](mod@parallel) — the work-distributing exploration
+//!   engine: bounded-exhaustive enumeration of every
+//!   [`tpa_tso::Directive`] interleaving up to a step bound, fanned out
+//!   across worker threads with a sharded visited-state cache, sleep-set
+//!   pruning of commuting directive pairs (built on
+//!   [`tpa_tso::Machine::independent`]), and a deterministic
+//!   first-violation guarantee — any thread count reports the same
+//!   witness;
 //! * [`swarm`](mod@swarm) — seeded biased random schedules
 //!   (commit-starving, fence-stalling, single-process bursts) for
 //!   instances too large to exhaust;
-//! * [`verdict`] — runs a mode over the [`invariant`] battery (mutual
-//!   exclusion, bounded deadlock-freedom, store-buffer/fence laws), and
-//!   on a violation shrinks the witness schedule with
-//!   [`tpa_tso::shrink::shrink_schedule`] and renders it with
-//!   [`tpa_tso::trace`].
+//! * [`verdict`] — packages a search outcome over the [`invariant`]
+//!   battery (mutual exclusion, bounded deadlock-freedom,
+//!   store-buffer/fence laws), and on a violation shrinks the witness
+//!   schedule with [`tpa_tso::shrink::shrink_schedule`] and renders it
+//!   with [`tpa_tso::trace`].
 //!
 //! The intended workflow is the one in `tests/lock_correctness.rs`:
 //! exhaustively verify each lock at small `n`, swarm the larger
@@ -25,12 +45,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
+pub mod checker;
 pub mod explore;
 pub mod invariant;
+pub mod parallel;
+mod sleep;
 pub mod swarm;
 pub mod verdict;
 
-pub use explore::{explore, ExploreConfig, ExploreStats, FoundViolation};
+pub use checker::Checker;
+#[allow(deprecated)]
+pub use explore::explore;
+pub use explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation};
 pub use invariant::{standard_invariants, Invariant, Violation};
-pub use swarm::{swarm, Bias, SwarmConfig, SwarmStats};
-pub use verdict::{check_exhaustive, check_swarm, CheckReport, EffortStats, Verdict};
+pub use parallel::default_threads;
+#[allow(deprecated)]
+pub use swarm::swarm;
+pub use swarm::{Bias, SwarmConfig, SwarmStats};
+#[allow(deprecated)]
+pub use verdict::{check_exhaustive, check_swarm, CheckReport};
+pub use verdict::{EffortStats, Report, Verdict};

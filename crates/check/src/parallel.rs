@@ -1,0 +1,363 @@
+//! The work-distributing exploration engine.
+//!
+//! One engine serves both sequential and parallel search: an explicit
+//! frontier of [`Node`]s (machine fork + sleep set + position), expanded
+//! depth-first by each worker over a private stack, with a shared queue
+//! for distributing subtrees across `std::thread` workers. The pieces
+//! that make this *deterministic* — parallel and sequential runs report
+//! the identical witness schedule — are:
+//!
+//! * every node carries its **rank** (the path of sibling indices from
+//!   the root); ranks order nodes exactly as a sequential DFS would
+//!   visit them;
+//! * the [`StateCache`](crate::cache) only lets a recorded visit
+//!   suppress revisits at greater-or-equal ranks, so the
+//!   lexicographically least path to any reachable state is explored no
+//!   matter how workers interleave;
+//! * violations are not returned at first sight: each is **offered** to
+//!   a shared best-candidate slot keyed by rank, and exploration
+//!   continues — but any subtree whose rank is already ≥ the best
+//!   candidate is pruned, which is the cooperative-cancellation
+//!   mechanism. When the frontier drains, the best candidate is the
+//!   lexicographically least violating schedule, the same one a
+//!   sequential first-violation DFS reports.
+//!
+//! Workers donate the bottom half of their private stack (their
+//! lexicographically *latest* work) to the shared queue whenever it runs
+//! empty, so load balance never depends on the initial subtree split.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use tpa_tso::{Directive, Machine, MemoryModel, System};
+
+use crate::cache::{Rank, StateCache};
+use crate::explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation};
+use crate::invariant::Invariant;
+use crate::sleep::SleepSet;
+
+/// The number of worker threads used when a caller does not choose:
+/// whatever parallelism the host advertises.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A frontier node: a state plus everything needed to expand it.
+struct Node {
+    machine: Machine,
+    sleep: SleepSet,
+    depth: u32,
+    rank: Rank,
+    /// The schedule from the root (the witness prefix).
+    path: Vec<Directive>,
+}
+
+/// A violation candidate, ordered by the rank of the node that exhibited
+/// it.
+struct Candidate {
+    rank: Rank,
+    found: FoundViolation,
+}
+
+struct WorkQueue {
+    queue: VecDeque<Node>,
+    /// Workers currently holding work. When a worker finds the queue
+    /// empty *and* nobody is active, the search is over.
+    active: usize,
+}
+
+struct Engine<'a> {
+    invariants: &'a [Box<dyn Invariant>],
+    config: &'a ExploreConfig,
+    threads: usize,
+    cache: StateCache,
+    transitions: AtomicU64,
+    pruned_sleep: AtomicU64,
+    cache_skips: AtomicU64,
+    truncated_paths: AtomicU64,
+    /// Transition budget exhausted: stop everything, report incomplete.
+    aborted: AtomicBool,
+    /// Fast path for the best-candidate check (avoids the mutex while no
+    /// violation has been found, i.e. almost always).
+    found_any: AtomicBool,
+    best: Mutex<Option<Candidate>>,
+    work: Mutex<WorkQueue>,
+    available: Condvar,
+}
+
+/// Explores every schedule of `system` up to `config.max_steps` steps
+/// across `threads` workers, returning the lexicographically least
+/// violation found (if any) and the search counters.
+///
+/// `threads == 1` runs entirely on the calling thread. Any thread count
+/// yields the same verdict, the same witness schedule, and (on complete
+/// passing runs) the same `unique_states`; `transitions` and the pruning
+/// counters may differ, since workers race to states that then need no
+/// re-expansion.
+pub(crate) fn run_exhaustive(
+    system: &dyn System,
+    model: MemoryModel,
+    invariants: &[Box<dyn Invariant>],
+    config: &ExploreConfig,
+    threads: usize,
+) -> (Option<FoundViolation>, ExploreStats) {
+    let threads = threads.max(1);
+    let root = Machine::with_model(system, model);
+    // The initial state itself may violate (e.g. an empty program that is
+    // terminal but not quiescent).
+    for inv in invariants {
+        if let Some(v) = inv.check(&root) {
+            return (
+                Some(FoundViolation {
+                    violation: v,
+                    schedule: Vec::new(),
+                }),
+                ExploreStats {
+                    unique_states: 1,
+                    complete: true,
+                    ..ExploreStats::default()
+                },
+            );
+        }
+    }
+    if config.max_steps == 0 {
+        return (
+            None,
+            ExploreStats {
+                unique_states: 1,
+                truncated_paths: 1,
+                complete: true,
+                ..ExploreStats::default()
+            },
+        );
+    }
+
+    let engine = Engine {
+        invariants,
+        config,
+        threads,
+        cache: StateCache::new(if threads == 1 { 1 } else { threads * 8 }),
+        transitions: AtomicU64::new(0),
+        pruned_sleep: AtomicU64::new(0),
+        cache_skips: AtomicU64::new(0),
+        truncated_paths: AtomicU64::new(0),
+        aborted: AtomicBool::new(false),
+        found_any: AtomicBool::new(false),
+        best: Mutex::new(None),
+        work: Mutex::new(WorkQueue {
+            queue: VecDeque::new(),
+            active: threads,
+        }),
+        available: Condvar::new(),
+    };
+
+    let root_rank: Rank = Arc::from(&[] as &[u32]);
+    engine
+        .cache
+        .try_visit(root.state_key(), &SleepSet::empty(), 0, &root_rank);
+    engine
+        .work
+        .lock()
+        .expect("work queue poisoned")
+        .queue
+        .push_back(Node {
+            machine: root,
+            sleep: SleepSet::empty(),
+            depth: 0,
+            rank: root_rank,
+            path: Vec::new(),
+        });
+
+    if threads == 1 {
+        engine.worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| engine.worker());
+            }
+        });
+    }
+
+    let stats = ExploreStats {
+        transitions: engine.transitions.load(Ordering::Relaxed),
+        pruned_sleep: engine.pruned_sleep.load(Ordering::Relaxed),
+        cache_skips: engine.cache_skips.load(Ordering::Relaxed),
+        unique_states: engine.cache.unique_states(),
+        truncated_paths: engine.truncated_paths.load(Ordering::Relaxed),
+        complete: !engine.aborted.load(Ordering::Relaxed),
+    };
+    let found = engine
+        .best
+        .into_inner()
+        .expect("best-candidate slot poisoned")
+        .map(|c| c.found);
+    (found, stats)
+}
+
+impl Engine<'_> {
+    fn worker(&self) {
+        let mut local: Vec<Node> = Vec::new();
+        loop {
+            if self.aborted.load(Ordering::Relaxed) {
+                local.clear();
+            }
+            let node = match local.pop() {
+                Some(n) => n,
+                None => match self.take() {
+                    Some(n) => n,
+                    None => return,
+                },
+            };
+            self.expand(node, &mut local);
+            self.donate(&mut local);
+        }
+    }
+
+    /// Blocks until shared work arrives or the search is over.
+    fn take(&self) -> Option<Node> {
+        let mut st = self.work.lock().expect("work queue poisoned");
+        st.active -= 1;
+        loop {
+            if self.aborted.load(Ordering::Relaxed) {
+                self.available.notify_all();
+                return None;
+            }
+            if let Some(n) = st.queue.pop_front() {
+                st.active += 1;
+                return Some(n);
+            }
+            if st.active == 0 {
+                self.available.notify_all();
+                return None;
+            }
+            st = self
+                .available
+                .wait(st)
+                .expect("work queue poisoned while waiting");
+        }
+    }
+
+    /// Moves the bottom half of the private stack — the subtrees this
+    /// worker would reach last — onto the shared queue if it ran dry.
+    fn donate(&self, local: &mut Vec<Node>) {
+        if self.threads == 1 || local.len() < 2 {
+            return;
+        }
+        let mut st = self.work.lock().expect("work queue poisoned");
+        if st.queue.is_empty() {
+            let give = local.len() / 2;
+            st.queue.extend(local.drain(..give));
+            drop(st);
+            self.available.notify_all();
+        }
+    }
+
+    /// Whether `rank` can still beat the best violation found so far.
+    /// Subtrees that cannot are abandoned — this is how a found violation
+    /// cooperatively cancels the rest of the search without giving up
+    /// witness determinism.
+    fn still_viable(&self, rank: &Rank) -> bool {
+        if !self.found_any.load(Ordering::Acquire) {
+            return true;
+        }
+        match &*self.best.lock().expect("best-candidate slot poisoned") {
+            Some(c) => rank.as_ref() < c.rank.as_ref(),
+            None => true,
+        }
+    }
+
+    fn offer(&self, cand: Candidate) {
+        let mut best = self.best.lock().expect("best-candidate slot poisoned");
+        match &*best {
+            Some(c) if c.rank.as_ref() <= cand.rank.as_ref() => {}
+            _ => *best = Some(cand),
+        }
+        self.found_any.store(true, Ordering::Release);
+    }
+
+    fn expand(&self, node: Node, local: &mut Vec<Node>) {
+        if !self.still_viable(&node.rank) {
+            return;
+        }
+        let mut done = SleepSet::empty();
+        let mut children: Vec<Node> = Vec::new();
+        for (i, d) in enabled_all(&node.machine).into_iter().enumerate() {
+            if node.sleep.contains(d) {
+                self.pruned_sleep.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if self.transitions.fetch_add(1, Ordering::Relaxed) >= self.config.max_transitions {
+                self.aborted.store(true, Ordering::Relaxed);
+                self.available.notify_all();
+                return;
+            }
+            let mut child = node.machine.fork_for_search();
+            child
+                .step(d)
+                .unwrap_or_else(|e| panic!("explorer: enabled directive {d:?} failed: {e:?}"));
+
+            let child_rank: Rank = {
+                let mut r = Vec::with_capacity(node.rank.len() + 1);
+                r.extend_from_slice(&node.rank);
+                r.push(i as u32);
+                Arc::from(r)
+            };
+            if let Some(v) = self.invariants.iter().find_map(|inv| inv.check(&child)) {
+                let mut schedule = node.path.clone();
+                schedule.push(d);
+                self.offer(Candidate {
+                    rank: child_rank,
+                    found: FoundViolation {
+                        violation: v,
+                        schedule,
+                    },
+                });
+                // Later siblings and their subtrees all have greater
+                // ranks — none can improve on this candidate.
+                break;
+            }
+
+            // `d`'s siblings-already-done and inherited sleepers stay
+            // asleep in the child exactly if they commute with `d`
+            // (independence evaluated in the *parent* state, as usual for
+            // sleep sets).
+            let mut child_sleep = SleepSet::empty();
+            for other in node.sleep.iter().chain(done.iter()) {
+                if node.machine.independent(d, other) {
+                    child_sleep.insert(other);
+                }
+            }
+            done.insert(d);
+
+            let child_depth = node.depth + 1;
+            if !self
+                .cache
+                .try_visit(child.state_key(), &child_sleep, child_depth, &child_rank)
+            {
+                self.cache_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if child_depth as usize >= self.config.max_steps {
+                self.truncated_paths.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let mut path = Vec::with_capacity(node.path.len() + 1);
+            path.extend_from_slice(&node.path);
+            path.push(d);
+            children.push(Node {
+                machine: child,
+                sleep: child_sleep,
+                depth: child_depth,
+                rank: child_rank,
+                path,
+            });
+        }
+        // Push in reverse so the lexicographically least child is popped
+        // (and thus expanded) first — workers chase the same frontier
+        // order a sequential DFS would.
+        local.extend(children.into_iter().rev());
+    }
+}

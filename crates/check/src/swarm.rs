@@ -32,7 +32,7 @@ impl Default for SwarmConfig {
         SwarmConfig {
             schedules: 96,
             max_steps: 4096,
-            seed: 0x7061_7065_72,
+            seed: 0x0070_6170_6572,
         }
     }
 }
@@ -66,7 +66,18 @@ const BIASES: [Bias; 3] = [Bias::CommitStarved, Bias::FenceStalled, Bias::Bursty
 
 /// Runs biased random schedules until a violation is found or the budget
 /// is exhausted.
+#[deprecated(note = "use `Checker::new(system).swarm(schedules)`")]
 pub fn swarm(
+    system: &dyn System,
+    model: MemoryModel,
+    invariants: &[Box<dyn Invariant>],
+    config: &SwarmConfig,
+) -> (Option<FoundViolation>, SwarmStats) {
+    run_swarm(system, model, invariants, config)
+}
+
+/// The swarm search proper (the engine behind [`crate::Checker::swarm`]).
+pub(crate) fn run_swarm(
     system: &dyn System,
     model: MemoryModel,
     invariants: &[Box<dyn Invariant>],
@@ -215,7 +226,7 @@ mod tests {
             max_steps: 512,
             seed: 1,
         };
-        let (found, stats) = swarm(&sys, MemoryModel::Tso, &invs, &cfg);
+        let (found, stats) = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg);
         assert!(found.is_none(), "{found:?}");
         assert_eq!(stats.schedules_run, 9);
         assert!(stats.transitions > 0);
@@ -230,8 +241,8 @@ mod tests {
             max_steps: 256,
             seed: 42,
         };
-        let (_, a) = swarm(&sys, MemoryModel::Tso, &invs, &cfg);
-        let (_, b) = swarm(&sys, MemoryModel::Tso, &invs, &cfg);
+        let (_, a) = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg);
+        let (_, b) = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg);
         assert_eq!(a.transitions, b.transitions);
     }
 }

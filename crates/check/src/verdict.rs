@@ -1,20 +1,20 @@
 //! The verdict pipeline: search → shrink → render.
 //!
-//! [`check_exhaustive`] and [`check_swarm`] run a search mode from
-//! [`crate::explore`] / [`crate::swarm`] over the standard invariant
-//! battery and package the outcome as a [`CheckReport`]. A raw violating
-//! schedule is noise — tens of directives, most irrelevant — so a found
-//! violation is first minimised with
-//! [`tpa_tso::shrink::shrink_schedule`] (ddmin against the *same* state
-//! predicate that fired) and then rendered with [`tpa_tso::trace`] into
-//! the per-process timeline a human actually reads.
+//! [`crate::Checker`] runs a search mode over an invariant battery and
+//! packages the outcome as a [`Report`]. A raw violating schedule is
+//! noise — tens of directives, most irrelevant — so a found violation is
+//! first minimised with [`tpa_tso::shrink::shrink_schedule`] (ddmin
+//! against the *same* state predicate that fired) and then rendered with
+//! [`tpa_tso::trace`] into the per-process timeline a human actually
+//! reads. The deprecated [`check_exhaustive`]/[`check_swarm`] free
+//! functions forward to the builder.
 
 use tpa_tso::shrink::shrink_schedule;
 use tpa_tso::{trace, Directive, Machine, MemoryModel, System};
 
-use crate::explore::{explore, ExploreConfig, ExploreStats, FoundViolation};
-use crate::invariant::{standard_invariants, Invariant};
-use crate::swarm::{swarm, SwarmConfig, SwarmStats};
+use crate::explore::{ExploreConfig, ExploreStats, FoundViolation};
+use crate::invariant::Invariant;
+use crate::swarm::{SwarmConfig, SwarmStats};
 
 /// Outcome of checking one system.
 #[derive(Clone, Debug)]
@@ -27,7 +27,12 @@ pub enum Verdict {
         invariant: &'static str,
         /// Diagnosis from the violating state.
         detail: String,
-        /// Length of the schedule as found.
+        /// The witness schedule exactly as the search found it. For
+        /// exhaustive search this is deterministic — the
+        /// lexicographically least violating schedule — regardless of
+        /// thread count.
+        found: Vec<Directive>,
+        /// Length of the schedule as found (`found.len()`).
         found_len: usize,
         /// The minimised witness schedule.
         shrunk: Vec<Directive>,
@@ -86,18 +91,37 @@ impl From<SwarmStats> for EffortStats {
 
 /// The full result of checking one system in one mode.
 #[derive(Clone, Debug)]
-pub struct CheckReport {
+pub struct Report {
     /// The checked system's name.
     pub algo: String,
+    /// The store-ordering model the check ran under.
+    pub model: MemoryModel,
     /// `"exhaustive"` or `"swarm"`.
     pub mode: &'static str,
+    /// Worker threads the search ran on (always 1 for swarm).
+    pub threads: usize,
+    /// Wall-clock time of the search (excluding shrinking/rendering).
+    pub wall: std::time::Duration,
     /// Pass, or a shrunk and rendered violation.
     pub verdict: Verdict,
     /// How hard the search worked.
     pub stats: EffortStats,
 }
 
-impl CheckReport {
+/// The pre-facade name of [`Report`].
+#[deprecated(note = "renamed to `Report`")]
+pub type CheckReport = Report;
+
+impl Report {
+    /// Distinct states visited per wall-clock second (exhaustive mode).
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.stats.unique_states as f64 / secs
+    }
+
     /// Panics with the rendered counterexample if the check failed — the
     /// one-liner test assertion.
     pub fn assert_pass(&self) {
@@ -123,35 +147,28 @@ impl CheckReport {
 }
 
 /// Exhaustively checks `system` against the standard invariant battery.
-pub fn check_exhaustive(
-    system: &dyn System,
-    model: MemoryModel,
-    config: &ExploreConfig,
-) -> CheckReport {
-    let invariants = standard_invariants();
-    let (found, stats) = explore(system, model, &invariants, config);
-    CheckReport {
-        algo: system.name().to_string(),
-        mode: "exhaustive",
-        verdict: condemn(system, model, &invariants, found),
-        stats: stats.into(),
-    }
+#[deprecated(note = "use `Checker::new(system).model(model).exhaustive()`")]
+pub fn check_exhaustive(system: &dyn System, model: MemoryModel, config: &ExploreConfig) -> Report {
+    crate::Checker::new(system)
+        .model(model)
+        .max_steps(config.max_steps)
+        .max_transitions(config.max_transitions)
+        .threads(1)
+        .exhaustive()
 }
 
 /// Swarm-checks `system` against the standard invariant battery.
-pub fn check_swarm(system: &dyn System, model: MemoryModel, config: &SwarmConfig) -> CheckReport {
-    let invariants = standard_invariants();
-    let (found, stats) = swarm(system, model, &invariants, config);
-    CheckReport {
-        algo: system.name().to_string(),
-        mode: "swarm",
-        verdict: condemn(system, model, &invariants, found),
-        stats: stats.into(),
-    }
+#[deprecated(note = "use `Checker::new(system).model(model).swarm(schedules)`")]
+pub fn check_swarm(system: &dyn System, model: MemoryModel, config: &SwarmConfig) -> Report {
+    crate::Checker::new(system)
+        .model(model)
+        .max_steps(config.max_steps)
+        .seed(config.seed)
+        .swarm(config.schedules)
 }
 
 /// Shrinks and renders a found violation (or passes).
-fn condemn(
+pub(crate) fn condemn(
     system: &dyn System,
     model: MemoryModel,
     invariants: &[Box<dyn Invariant>],
@@ -171,6 +188,7 @@ fn condemn(
         invariant: found.violation.invariant,
         detail: found.violation.detail,
         found_len: found.schedule.len(),
+        found: found.schedule,
         shrunk,
         rendered,
     }
@@ -194,6 +212,7 @@ fn render(system: &dyn System, model: MemoryModel, schedule: &[Directive]) -> St
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Checker;
     use tpa_tso::scripted::{Instr, ScriptSystem};
 
     fn disjoint_writers() -> ScriptSystem {
@@ -212,21 +231,35 @@ mod tests {
     #[test]
     fn clean_system_passes_both_modes() {
         let sys = disjoint_writers();
-        let ex = check_exhaustive(&sys, MemoryModel::Tso, &ExploreConfig::default());
+        let ex = Checker::new(&sys).exhaustive();
         assert!(ex.verdict.passed());
         assert!(ex.stats.complete);
+        assert_eq!(ex.mode, "exhaustive");
         ex.assert_pass();
 
+        let sw = Checker::new(&sys).max_steps(128).seed(3).swarm(6);
+        assert!(sw.verdict.passed());
+        assert_eq!(sw.mode, "swarm");
+        assert_eq!(sw.stats.schedules_run, 6);
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_work() {
+        let sys = disjoint_writers();
+        #[allow(deprecated)]
+        let ex = check_exhaustive(&sys, MemoryModel::Tso, &ExploreConfig::default());
+        ex.assert_pass();
+        #[allow(deprecated)]
         let sw = check_swarm(
             &sys,
             MemoryModel::Tso,
             &SwarmConfig {
-                schedules: 6,
-                max_steps: 128,
-                seed: 3,
+                schedules: 4,
+                max_steps: 64,
+                seed: 9,
             },
         );
-        assert!(sw.verdict.passed());
-        assert_eq!(sw.stats.schedules_run, 6);
+        sw.assert_pass();
+        assert_eq!(sw.stats.schedules_run, 4);
     }
 }

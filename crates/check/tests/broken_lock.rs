@@ -3,17 +3,16 @@
 //! checker is decorative.
 
 use tpa_algos::sim::bakery::BakeryLock;
-use tpa_check::{check_exhaustive, check_swarm, ExploreConfig, SwarmConfig, Verdict};
+use tpa_check::{Checker, Verdict};
 use tpa_tso::MemoryModel;
 
 #[test]
 fn exhaustive_catches_the_fenceless_bakery() {
     let broken = BakeryLock::without_doorway_fence(2, 1);
-    let config = ExploreConfig {
-        max_steps: 60,
-        max_transitions: 4_000_000,
-    };
-    let report = check_exhaustive(&broken, MemoryModel::Tso, &config);
+    let report = Checker::new(&broken)
+        .max_steps(60)
+        .max_transitions(4_000_000)
+        .exhaustive();
     let Verdict::Violation {
         invariant,
         shrunk,
@@ -33,11 +32,11 @@ fn exhaustive_catches_the_unhardened_bakery_under_pso() {
     // the doorway reordering (`choosing := 0` overtaking `number`) is in
     // its search space.
     let bakery = BakeryLock::new(2, 1);
-    let config = ExploreConfig {
-        max_steps: 60,
-        max_transitions: 8_000_000,
-    };
-    let report = check_exhaustive(&bakery, MemoryModel::Pso, &config);
+    let report = Checker::new(&bakery)
+        .model(MemoryModel::Pso)
+        .max_steps(60)
+        .max_transitions(8_000_000)
+        .exhaustive();
     let Verdict::Violation { invariant, .. } = &report.verdict else {
         panic!("explorer missed the PSO doorway reordering");
     };
@@ -47,11 +46,11 @@ fn exhaustive_catches_the_unhardened_bakery_under_pso() {
 #[test]
 fn exhaustive_passes_the_pso_hardened_bakery_under_pso() {
     let hardened = BakeryLock::pso_hardened(2, 1);
-    let config = ExploreConfig {
-        max_steps: 60,
-        max_transitions: 8_000_000,
-    };
-    let report = check_exhaustive(&hardened, MemoryModel::Pso, &config);
+    let report = Checker::new(&hardened)
+        .model(MemoryModel::Pso)
+        .max_steps(60)
+        .max_transitions(8_000_000)
+        .exhaustive();
     assert!(
         report.stats.complete,
         "PSO state space not exhausted: {:?}",
@@ -63,12 +62,11 @@ fn exhaustive_passes_the_pso_hardened_bakery_under_pso() {
 #[test]
 fn swarm_catches_the_unhardened_bakery_under_pso() {
     let bakery = BakeryLock::new(2, 1);
-    let config = SwarmConfig {
-        schedules: 2048,
-        max_steps: 512,
-        seed: 1,
-    };
-    let report = check_swarm(&bakery, MemoryModel::Pso, &config);
+    let report = Checker::new(&bakery)
+        .model(MemoryModel::Pso)
+        .max_steps(512)
+        .seed(1)
+        .swarm(2048);
     let Verdict::Violation { invariant, .. } = &report.verdict else {
         panic!(
             "swarm missed the PSO doorway reordering after {} schedules",

@@ -1,0 +1,108 @@
+//! Differential tests: the parallel engine must be *observationally
+//! identical* to the sequential one.
+//!
+//! The engine promises that thread count changes wall-clock time and
+//! nothing else: the verdict, the witness schedule (lexicographically
+//! least violating schedule), and — on complete passing runs — the
+//! number of distinct states visited are all deterministic. Effort
+//! counters (`transitions`, pruning counts) are *not* compared: workers
+//! legitimately race to states that then need no re-expansion, so the
+//! amount of redundant work depends on scheduling.
+
+use tpa_algos::sim::bakery::BakeryLock;
+use tpa_check::{Checker, Report, Verdict};
+use tpa_tso::{MemoryModel, System};
+
+const PAR_THREADS: usize = 4;
+
+fn run(system: &dyn System, model: MemoryModel, threads: usize) -> Report {
+    Checker::new(system)
+        .model(model)
+        .max_steps(40)
+        .max_transitions(4_000_000)
+        .threads(threads)
+        .exhaustive()
+}
+
+fn assert_identical(seq: &Report, par: &Report, label: &str) {
+    match (&seq.verdict, &par.verdict) {
+        (Verdict::Pass, Verdict::Pass) => {
+            assert!(seq.stats.complete, "{label}: sequential run hit the budget");
+            assert!(par.stats.complete, "{label}: parallel run hit the budget");
+            assert_eq!(
+                seq.stats.unique_states, par.stats.unique_states,
+                "{label}: parallel search visited a different state set"
+            );
+        }
+        (Verdict::Violation { found: a, .. }, Verdict::Violation { found: b, .. }) => {
+            assert_eq!(a, b, "{label}: parallel witness differs from sequential");
+        }
+        (s, p) => panic!(
+            "{label}: verdicts disagree (sequential {}, parallel {})",
+            if s.passed() { "pass" } else { "violation" },
+            if p.passed() { "pass" } else { "violation" },
+        ),
+    }
+}
+
+/// The full lock portfolio at n = 2 under both memory models: identical
+/// verdict and unique-state count at 1 and 4 threads.
+#[test]
+fn portfolio_n2_parallel_agrees_with_sequential() {
+    for model in [MemoryModel::Tso, MemoryModel::Pso] {
+        for lock in tpa_algos::all_locks(2, 1) {
+            let seq = run(lock.as_ref(), model, 1);
+            let par = run(lock.as_ref(), model, PAR_THREADS);
+            assert_identical(&seq, &par, &format!("{} under {model:?}", seq.algo));
+        }
+    }
+}
+
+/// Negative control: the doorway-fence-stripped bakery is still caught
+/// under parallel exploration, with the same (deterministic) witness the
+/// sequential explorer reports.
+#[test]
+fn parallel_exploration_still_catches_the_fenceless_bakery() {
+    let broken = BakeryLock::without_doorway_fence(2, 1);
+    let seq = Checker::new(&broken)
+        .max_steps(60)
+        .max_transitions(4_000_000)
+        .threads(1)
+        .exhaustive();
+    let par = Checker::new(&broken)
+        .max_steps(60)
+        .max_transitions(4_000_000)
+        .threads(PAR_THREADS)
+        .exhaustive();
+    let Verdict::Violation {
+        invariant, found, ..
+    } = &par.verdict
+    else {
+        panic!("parallel explorer missed the fenceless bakery");
+    };
+    assert_eq!(*invariant, "mutual-exclusion");
+    assert!(!found.is_empty());
+    assert_identical(&seq, &par, "bakery-nofence");
+}
+
+/// The witness stays put across *many* thread counts, not just 1-vs-4.
+#[test]
+fn witness_is_stable_across_thread_counts() {
+    let broken = BakeryLock::without_doorway_fence(2, 1);
+    let mut witnesses = Vec::new();
+    for threads in [1, 2, 3, 8] {
+        let report = Checker::new(&broken)
+            .max_steps(60)
+            .max_transitions(4_000_000)
+            .threads(threads)
+            .exhaustive();
+        let Verdict::Violation { found, .. } = report.verdict else {
+            panic!("missed at {threads} threads");
+        };
+        witnesses.push(found);
+    }
+    assert!(
+        witnesses.windows(2).all(|w| w[0] == w[1]),
+        "witness varies with thread count: {witnesses:?}"
+    );
+}

@@ -20,15 +20,9 @@ const DEFAULT_SAMPLES: usize = 10;
 const ITERS_PER_SAMPLE: u64 = 3;
 
 /// Top-level driver, mirroring `criterion::Criterion`.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
@@ -228,7 +222,7 @@ mod tests {
             iters: 5,
             elapsed: Duration::ZERO,
         };
-        b.iter_custom(|iters| Duration::from_micros(iters));
+        b.iter_custom(Duration::from_micros);
         assert_eq!(b.elapsed, Duration::from_micros(5));
     }
 }

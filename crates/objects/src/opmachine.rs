@@ -31,7 +31,11 @@ pub enum SubStep {
 /// The peek/apply protocol mirrors [`tpa_tso::Program`], but `apply`
 /// reports completion with the operation's result instead of the fragment
 /// deciding what comes next.
-pub trait OpMachine {
+///
+/// `Send` mirrors the [`tpa_tso::Program: Send`](tpa_tso::Program)
+/// supertrait: fragments live inside programs that cross the parallel
+/// explorer's worker threads.
+pub trait OpMachine: Send {
     /// The next shared-memory operation (never a transition, `Invoke`,
     /// `Return` or `Halt`).
     fn peek(&self) -> Op;
@@ -51,7 +55,10 @@ pub trait OpMachine {
 }
 
 /// An implemented shared object: variable layout plus operation factory.
-pub trait SharedObject {
+///
+/// `Send + Sync` mirrors [`tpa_tso::System`]: systems built over an object
+/// share it (via `Arc`) across the parallel explorer's workers.
+pub trait SharedObject: Send + Sync {
     /// Declares the object's shared variables into a larger layout. The
     /// object must remember the `VarId`s it is assigned (objects are
     /// constructed, then asked to declare, then used).

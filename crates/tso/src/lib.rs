@@ -70,6 +70,7 @@ pub mod buffer;
 pub mod cache;
 pub mod erase;
 pub mod event;
+pub mod fxhash;
 pub mod ids;
 pub mod machine;
 pub mod metrics;
@@ -86,8 +87,9 @@ pub use awareness::AwSet;
 pub use buffer::WriteBuffer;
 pub use erase::{erase, EraseOutcome};
 pub use event::{Event, EventKind, ReadSource, SpecialKind};
+pub use fxhash::{fx_hash_one, FxBuildHasher, FxHasher};
 pub use ids::{ProcId, Value, VarId};
-pub use machine::{Directive, Machine, MemoryModel, Mode, Section, StepError};
+pub use machine::{Directive, Machine, MemoryModel, Mode, Section, StateKey, StepError};
 pub use metrics::{Metrics, PassageStats, ProcMetrics};
 pub use op::{Op, Outcome};
 pub use program::{Program, System};

@@ -14,11 +14,13 @@
 //! `writer(v, E)` and `Accessed(v, E)`, and per-passage statistics.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::awareness::AwSet;
 use crate::buffer::WriteBuffer;
 use crate::cache::CacheDir;
 use crate::event::{Event, EventKind, ReadSource, SpecialKind};
+use crate::fxhash::FxHasher;
 use crate::ids::{ProcId, Value, VarId};
 use crate::metrics::{Metrics, SpanKind};
 use crate::op::{Op, Outcome};
@@ -45,7 +47,11 @@ pub enum MemoryModel {
 }
 
 /// One scheduling decision of the adversary.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// The `Ord` impl is an arbitrary but stable total order (variant, then
+/// process, then variable) used by the explorer's sorted sleep sets; it
+/// carries no scheduling meaning.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Directive {
     /// Let the process execute its next event. If the process is executing
     /// a fence, this commits the oldest buffered write (or executes
@@ -222,13 +228,49 @@ struct ProcEntry {
     section: Section,
     aw: AwSet,
     /// Variables this process has remotely read (for critical-read
-    /// detection).
-    remote_reads: HashSet<VarId>,
+    /// detection). Kept sorted: membership is a binary search, the state
+    /// hash consumes it without re-sorting, and forks clone a flat vector
+    /// instead of rebuilding a hash table.
+    remote_reads: Vec<VarId>,
     passages_completed: usize,
     /// Tombstone set by [`Machine::erase_in_place`]: the process' events
     /// were removed from the execution and it may not be scheduled again.
     erased: bool,
 }
+
+impl ProcEntry {
+    fn fork(&self) -> ProcEntry {
+        ProcEntry {
+            program: self.program.fork(),
+            buffer: self.buffer.clone(),
+            in_fence: self.in_fence,
+            section: self.section,
+            aw: self.aw.clone(),
+            remote_reads: self.remote_reads.clone(),
+            passages_completed: self.passages_completed,
+            erased: self.erased,
+        }
+    }
+}
+
+fn remote_reads_contains(reads: &[VarId], v: VarId) -> bool {
+    reads.binary_search(&v).is_ok()
+}
+
+fn remote_reads_insert(reads: &mut Vec<VarId>, v: VarId) {
+    if let Err(i) = reads.binary_search(&v) {
+        reads.insert(i, v);
+    }
+}
+
+/// The 64-bit behavioural-state fingerprint of a [`Machine`], as
+/// maintained incrementally by [`Machine::step`] (see
+/// [`Machine::state_hash`] for exactly what it covers). A dedicated type
+/// rather than a bare `u64` so cache keys cannot be confused with other
+/// integers; hash it with [`crate::fxhash::FxBuildHasher`] to avoid
+/// re-SipHashing an already-uniform key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StateKey(pub u64);
 
 /// The TSO machine: system state plus the recorded execution.
 ///
@@ -237,7 +279,7 @@ struct ProcEntry {
 /// objects.
 pub struct Machine {
     model: MemoryModel,
-    spec: VarSpec,
+    spec: Arc<VarSpec>,
     vars: VarTable,
     cache: CacheDir,
     procs: Vec<ProcEntry>,
@@ -245,6 +287,16 @@ pub struct Machine {
     log: Vec<Event>,
     schedule: Vec<Directive>,
     metrics: Metrics,
+    /// Per-variable and per-process components of the rolling state hash;
+    /// `hash` is the xor of all components plus a model constant. `step`
+    /// refreshes exactly the components it touches — see
+    /// [`Machine::state_hash`] for the maintenance contract.
+    var_hash: Vec<u64>,
+    proc_hash: Vec<u64>,
+    hash: u64,
+    /// Set by [`Machine::fork_for_search`]: commit history was dropped, so
+    /// in-place erasure (which rewinds through it) is unavailable.
+    search_fork: bool,
 }
 
 impl std::fmt::Debug for Machine {
@@ -281,16 +333,16 @@ impl Machine {
                     in_fence: false,
                     section: Section::Ncs,
                     aw: AwSet::singleton(pid),
-                    remote_reads: HashSet::new(),
+                    remote_reads: Vec::new(),
                     passages_completed: 0,
                     erased: false,
                 }
             })
             .collect();
         let accessed = vec![HashSet::new(); spec.count()];
-        Machine {
+        let mut machine = Machine {
             model,
-            spec,
+            spec: Arc::new(spec),
             vars,
             cache,
             procs,
@@ -298,7 +350,13 @@ impl Machine {
             log: Vec::new(),
             schedule: Vec::new(),
             metrics: Metrics::new(n),
-        }
+            var_hash: Vec::new(),
+            proc_hash: Vec::new(),
+            hash: 0,
+            search_fork: false,
+        };
+        machine.rebuild_state_hash();
+        machine
     }
 
     /// Number of processes.
@@ -420,7 +478,7 @@ impl Machine {
 
     /// Whether `p` has already performed a remote read of `v`.
     pub fn has_remote_read(&self, p: ProcId, v: VarId) -> bool {
-        self.procs[p.index()].remote_reads.contains(&v)
+        remote_reads_contains(&self.procs[p.index()].remote_reads, v)
     }
 
     /// Describes the event `Issue(p)` would execute, without executing it.
@@ -448,7 +506,8 @@ impl Machine {
                         critical: false,
                     }
                 } else {
-                    let critical = self.is_remote(p, v) && !entry.remote_reads.contains(&v);
+                    let critical =
+                        self.is_remote(p, v) && !remote_reads_contains(&entry.remote_reads, v);
                     NextEvent::Read {
                         var: v,
                         from_buffer: false,
@@ -485,7 +544,7 @@ impl Machine {
 
     fn cas_would_be_critical(&self, p: ProcId, v: VarId) -> bool {
         self.is_remote(p, v)
-            && (!self.procs[p.index()].remote_reads.contains(&v)
+            && (!remote_reads_contains(&self.procs[p.index()].remote_reads, v)
                 || self.vars.get(v).writer != Some(p))
     }
 
@@ -508,6 +567,11 @@ impl Machine {
         };
         self.schedule.push(d);
         self.log.push(event);
+        // Every mutation a directive makes to hashed per-process state
+        // (program counter, buffer, fence flag, section, passage count,
+        // remote reads) belongs to the scheduled process; committed
+        // variables were refreshed inside `apply_commit`/`do_cas`.
+        self.refresh_proc_hash(d.pid());
         Ok(event)
     }
 
@@ -541,6 +605,7 @@ impl Machine {
     ) -> Result<Event, StepError> {
         let critical = self.commit_would_be_critical(p, w.var);
         self.vars.commit(w.var, w.value, p, w.aw_snapshot);
+        self.refresh_var_hash(w.var);
         let cc = self.cache.write(p, w.var);
         self.accessed[w.var.index()].insert(p);
 
@@ -656,9 +721,9 @@ impl Machine {
 
         let remote = self.is_remote(p, v);
         let entry = &mut self.procs[p.index()];
-        let critical = remote && !entry.remote_reads.contains(&v);
+        let critical = remote && !remote_reads_contains(&entry.remote_reads, v);
         if remote {
-            entry.remote_reads.insert(v);
+            remote_reads_insert(&mut entry.remote_reads, v);
         }
         entry.program.apply(Outcome::ReadValue(value));
 
@@ -701,12 +766,13 @@ impl Machine {
         {
             let entry = &mut self.procs[p.index()];
             if remote {
-                entry.remote_reads.insert(var);
+                remote_reads_insert(&mut entry.remote_reads, var);
             }
         }
         if success {
             let snapshot = self.procs[p.index()].aw.snapshot();
             self.vars.commit(var, new, p, snapshot);
+            self.refresh_var_hash(var);
         }
         // For coherence, a CAS (even a failed one) behaves as a write: the
         // LOCK prefix acquires the line exclusively.
@@ -809,13 +875,20 @@ impl Machine {
     /// # Errors
     ///
     /// [`StepError::InvalidErasure`] if a survivor is aware of an erased
-    /// process or an erased process already finished a passage.
+    /// process, an erased process already finished a passage, or this
+    /// machine is a [`Machine::fork_for_search`] copy (whose dropped
+    /// commit history the rewind would need).
     pub fn erase_in_place(
         &mut self,
         erased: &std::collections::BTreeSet<ProcId>,
     ) -> Result<(), StepError> {
         if erased.is_empty() {
             return Ok(());
+        }
+        if self.search_fork {
+            return Err(StepError::InvalidErasure(
+                "search forks drop the commit history erasure rewinds through".into(),
+            ));
         }
         // Preconditions.
         for i in 0..self.n() {
@@ -870,6 +943,9 @@ impl Machine {
             entry.remote_reads.clear();
             self.metrics.reset_proc(p);
         }
+        // Erasure rewrites variables and processes wholesale; recompute the
+        // rolling hash from scratch rather than tracking each rewind.
+        self.rebuild_state_hash();
         Ok(())
     }
 
@@ -957,28 +1033,45 @@ impl Machine {
             spec: self.spec.clone(),
             vars: self.vars.clone(),
             cache: self.cache.clone(),
-            procs: self
-                .procs
-                .iter()
-                .map(|e| ProcEntry {
-                    program: e.program.fork(),
-                    buffer: e.buffer.clone(),
-                    in_fence: e.in_fence,
-                    section: e.section,
-                    aw: e.aw.clone(),
-                    remote_reads: e.remote_reads.clone(),
-                    passages_completed: e.passages_completed,
-                    erased: e.erased,
-                })
-                .collect(),
+            procs: self.procs.iter().map(ProcEntry::fork).collect(),
             accessed: self.accessed.clone(),
             log: self.log.clone(),
             schedule: self.schedule.clone(),
             metrics: self.metrics.clone(),
+            var_hash: self.var_hash.clone(),
+            proc_hash: self.proc_hash.clone(),
+            hash: self.hash,
+            search_fork: self.search_fork,
         }
     }
 
-    /// Hashes the machine's *behavioural* state: everything that can
+    /// A fork specialised for the schedule explorer: behaviourally
+    /// identical (same [`Machine::state_hash`], same enabled directives,
+    /// same invariant verdicts), but without the history the explorer
+    /// never reads back — the event log keeps only its last entry (the
+    /// store-buffer laws inspect it), the recorded schedule is dropped
+    /// (the explorer tracks its own path), and variable commit histories
+    /// are dropped (so [`Machine::erase_in_place`] errors on the copy).
+    /// This turns forking from O(executed events) into O(state size).
+    pub fn fork_for_search(&self) -> Machine {
+        Machine {
+            model: self.model,
+            spec: self.spec.clone(),
+            vars: self.vars.clone_for_search(),
+            cache: self.cache.clone(),
+            procs: self.procs.iter().map(ProcEntry::fork).collect(),
+            accessed: self.accessed.clone(),
+            log: self.log.last().map(|e| vec![*e]).unwrap_or_default(),
+            schedule: Vec::new(),
+            metrics: self.metrics.clone(),
+            var_hash: self.var_hash.clone(),
+            proc_hash: self.proc_hash.clone(),
+            hash: self.hash,
+            search_fork: true,
+        }
+    }
+
+    /// The machine's *behavioural*-state fingerprint: everything that can
     /// influence future events or invariant verdicts, and nothing that
     /// cannot.
     ///
@@ -989,31 +1082,104 @@ impl Machine {
     /// log, awareness sets, RMR metrics and cache occupancy — two states
     /// agreeing on everything hashed here generate identical future event
     /// sequences for every schedule, so the explorer may treat them as one.
+    ///
+    /// The value is maintained *incrementally* as the xor of independently
+    /// seeded per-variable and per-process [`FxHasher`] components, so this
+    /// call is O(1). The maintenance contract, for anyone extending
+    /// [`Machine::step`]: every mutation of hashed per-process state
+    /// belongs to the scheduled process `d.pid()` (whose component `step`
+    /// refreshes after the event), every committed-variable mutation goes
+    /// through `apply_commit`/`do_cas` (which refresh that variable's
+    /// component), errors mutate nothing, and bulk rewrites
+    /// ([`Machine::erase_in_place`]) rebuild from scratch. Any new hashed
+    /// state must keep one of those hooks in sync or extend
+    /// `recompute_state_hash`'s differential test coverage.
     pub fn state_hash(&self) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        (self.model == MemoryModel::Pso).hash(&mut h);
-        for v in 0..self.vars.count() {
-            let state = self.vars.get(VarId(v as u32));
-            state.value.hash(&mut h);
-            state.writer.hash(&mut h);
+        self.hash
+    }
+
+    /// [`Machine::state_hash`] wrapped in the explorer's cache-key type.
+    pub fn state_key(&self) -> StateKey {
+        StateKey(self.hash)
+    }
+
+    /// Recomputes the behavioural-state fingerprint from scratch, ignoring
+    /// the incrementally maintained value. Always equals
+    /// [`Machine::state_hash`]; exposed so tests can assert exactly that
+    /// after arbitrary schedules.
+    pub fn recompute_state_hash(&self) -> u64 {
+        let mut hash = Self::model_component(self.model);
+        for (i, _) in self.var_hash.iter().enumerate() {
+            hash ^= self.var_component(i);
         }
-        for entry in &self.procs {
-            entry.erased.hash(&mut h);
-            entry.in_fence.hash(&mut h);
-            (entry.section as u8).hash(&mut h);
-            entry.passages_completed.hash(&mut h);
-            entry.buffer.len().hash(&mut h);
-            for w in entry.buffer.iter() {
-                w.var.hash(&mut h);
-                w.value.hash(&mut h);
-            }
-            let mut reads: Vec<VarId> = entry.remote_reads.iter().copied().collect();
-            reads.sort_unstable();
-            reads.hash(&mut h);
-            entry.program.state_hash(&mut h);
+        for (i, _) in self.proc_hash.iter().enumerate() {
+            hash ^= self.proc_component(i);
         }
+        hash
+    }
+
+    /// Seed tags keeping variable and process component streams disjoint.
+    const VAR_TAG: u64 = 0x5641_5200; // "VAR\0"
+    const PROC_TAG: u64 = 0x5052_4f43; // "PROC"
+
+    fn model_component(model: MemoryModel) -> u64 {
+        use std::hash::Hasher;
+        let mut h = FxHasher::with_seed(0x4d4f_4445_4c00); // "MODEL\0"
+        h.write_u8((model == MemoryModel::Pso) as u8);
         h.finish()
+    }
+
+    fn var_component(&self, i: usize) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::with_seed(Self::VAR_TAG ^ ((i as u64) << 16));
+        let state = self.vars.get(VarId(i as u32));
+        state.value.hash(&mut h);
+        state.writer.hash(&mut h);
+        h.finish()
+    }
+
+    fn proc_component(&self, i: usize) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::with_seed(Self::PROC_TAG ^ ((i as u64) << 16));
+        let entry = &self.procs[i];
+        entry.erased.hash(&mut h);
+        entry.in_fence.hash(&mut h);
+        (entry.section as u8).hash(&mut h);
+        entry.passages_completed.hash(&mut h);
+        entry.buffer.len().hash(&mut h);
+        for w in entry.buffer.iter() {
+            w.var.hash(&mut h);
+            w.value.hash(&mut h);
+        }
+        entry.remote_reads.hash(&mut h);
+        entry.program.state_hash(&mut h);
+        h.finish()
+    }
+
+    fn rebuild_state_hash(&mut self) {
+        self.var_hash = vec![0; self.vars.count()];
+        self.proc_hash = vec![0; self.procs.len()];
+        for i in 0..self.var_hash.len() {
+            self.var_hash[i] = self.var_component(i);
+        }
+        for i in 0..self.proc_hash.len() {
+            self.proc_hash[i] = self.proc_component(i);
+        }
+        self.hash = Self::model_component(self.model)
+            ^ self.var_hash.iter().fold(0, |a, h| a ^ h)
+            ^ self.proc_hash.iter().fold(0, |a, h| a ^ h);
+    }
+
+    fn refresh_var_hash(&mut self, v: VarId) {
+        let new = self.var_component(v.index());
+        self.hash ^= self.var_hash[v.index()] ^ new;
+        self.var_hash[v.index()] = new;
+    }
+
+    fn refresh_proc_hash(&mut self, p: ProcId) {
+        let new = self.proc_component(p.index());
+        self.hash ^= self.proc_hash[p.index()] ^ new;
+        self.proc_hash[p.index()] = new;
     }
 
     /// The scheduling moves with pairwise-distinct effects available to

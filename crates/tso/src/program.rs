@@ -23,7 +23,12 @@ use crate::vars::VarSpec;
 /// `peek` must be pure: calling it repeatedly without an intervening
 /// `apply` must return the same operation. A program whose `peek` returns
 /// [`Op::Halt`] is finished and is never scheduled again.
-pub trait Program {
+///
+/// `Send` is a supertrait so a whole [`crate::Machine`] (which owns
+/// `Box<dyn Program>`s) can move between the parallel explorer's worker
+/// threads; programs are plain data, so this costs implementations
+/// nothing.
+pub trait Program: Send {
     /// The next operation this process wants to perform.
     fn peek(&self) -> Op;
 
@@ -61,7 +66,11 @@ pub trait Program {
 
 /// An `n`-process algorithm instance: variable layout plus a program
 /// factory.
-pub trait System {
+///
+/// `Send + Sync` is a supertrait so the parallel explorer's workers can
+/// share one system by reference; implementations are immutable
+/// configuration, so this costs them nothing.
+pub trait System: Send + Sync {
     /// Number of processes.
     fn n(&self) -> usize;
 

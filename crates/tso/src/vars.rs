@@ -180,6 +180,25 @@ impl VarTable {
     pub fn count(&self) -> usize {
         self.states.len()
     }
+
+    /// A history-free copy for [`Machine::fork_for_search`]: the commit
+    /// history exists only to serve in-place erasure, which search forks
+    /// forbid, so dropping it makes forking O(vars) instead of O(commits).
+    pub fn clone_for_search(&self) -> Self {
+        VarTable {
+            states: self
+                .states
+                .iter()
+                .map(|s| VarState {
+                    value: s.value,
+                    writer: s.writer,
+                    writer_aw: s.writer_aw.clone(),
+                    initial: s.initial,
+                    history: Vec::new(),
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,24 +5,29 @@
 #
 # Runs, in order:
 #   1. tier-1: release build + full test suite (offline, as CI does)
-#   2. the aggregated experiment harness in --quick mode
-#   3. the exhaustive-explorer smoke sweep (n = 2, incl. the
-#      bakery-nofence negative control — nonzero exit if it slips by)
-#   4. formatting check
+#   2. clippy across the whole workspace, warnings promoted to errors
+#   3. the aggregated experiment harness in --quick mode
+#   4. the exhaustive-explorer smoke sweep, timed, on 4 worker threads
+#      (n = 2, incl. the bakery-nofence negative control — nonzero exit
+#      if it slips by)
+#   5. formatting check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/4] tier-1: build + tests =="
+echo "== [1/5] tier-1: build + tests =="
 cargo build --offline --release --workspace
 cargo test --offline -q --workspace
 
-echo "== [2/4] experiment harness (quick) =="
+echo "== [2/5] clippy (-D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== [3/5] experiment harness (quick) =="
 cargo run --offline --release -p tpa-bench --bin report_all -- --quick
 
-echo "== [3/4] explorer smoke (quick) =="
-cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick
+echo "== [4/5] parallel explorer smoke (quick, 4 threads, timed) =="
+time cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick --threads 4
 
-echo "== [4/4] cargo fmt --check =="
+echo "== [5/5] cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "smoke: all green"

@@ -42,7 +42,9 @@ pub use tpa_tso as tso;
 pub mod prelude {
     pub use tpa_adversary::{Adaptivity, Config, Construction, StopReason};
     pub use tpa_algos::{all_locks, lock_by_name};
-    pub use tpa_check::{check_exhaustive, check_swarm, ExploreConfig, SwarmConfig, Verdict};
+    #[allow(deprecated)]
+    pub use tpa_check::{check_exhaustive, check_swarm};
+    pub use tpa_check::{Checker, ExploreConfig, Report, SwarmConfig, Verdict};
     pub use tpa_objects::{ArrayQueue, CasCounter, OneTimeMutex, TreiberStack};
     pub use tpa_tso::sched::{run_random, run_round_robin, CommitPolicy};
     pub use tpa_tso::{

@@ -63,11 +63,11 @@ fn weak_obstruction_freedom_from_arbitrary_members() {
 #[test]
 fn exhaustive_exclusion_every_lock_n2() {
     for lock in tpa::algos::all_locks(2, 1) {
-        let config = ExploreConfig {
-            max_steps: 60,
-            max_transitions: 4_000_000,
-        };
-        let report = check_exhaustive(lock.as_ref(), MemoryModel::Tso, &config);
+        let report = Checker::new(lock.as_ref())
+            .max_steps(60)
+            .max_transitions(4_000_000)
+            .threads(2)
+            .exhaustive();
         assert!(
             report.stats.complete,
             "{}: exhausted the transition budget",
@@ -83,11 +83,11 @@ fn exhaustive_exclusion_every_lock_n2() {
 fn exhaustive_exclusion_small_locks_n3() {
     for name in ["tas", "ttas", "splitter", "ticketq", "onebit"] {
         let lock = lock_by_name(name, 3, 1).unwrap();
-        let config = ExploreConfig {
-            max_steps: 40,
-            max_transitions: 4_000_000,
-        };
-        let report = check_exhaustive(lock.as_ref(), MemoryModel::Tso, &config);
+        let report = Checker::new(lock.as_ref())
+            .max_steps(40)
+            .max_transitions(4_000_000)
+            .threads(tpa::check::default_threads())
+            .exhaustive();
         assert!(
             report.stats.complete,
             "{name}: exhausted the transition budget"
@@ -101,12 +101,11 @@ fn exhaustive_exclusion_small_locks_n3() {
 #[test]
 fn swarm_exclusion_every_lock_n5() {
     for lock in tpa::algos::all_locks(5, 2) {
-        let config = SwarmConfig {
-            schedules: 48,
-            max_steps: 3000,
-            seed: 0xC0DE,
-        };
-        check_swarm(lock.as_ref(), MemoryModel::Tso, &config).assert_pass();
+        Checker::new(lock.as_ref())
+            .max_steps(3000)
+            .seed(0xC0DE)
+            .swarm(48)
+            .assert_pass();
     }
 }
 
@@ -119,11 +118,11 @@ fn explorer_catches_fenceless_bakery_and_shrinks_the_witness() {
     use tpa::check::Invariant;
 
     let broken = tpa::algos::sim::bakery::BakeryLock::without_doorway_fence(2, 1);
-    let config = ExploreConfig {
-        max_steps: 60,
-        max_transitions: 4_000_000,
-    };
-    let report = check_exhaustive(&broken, MemoryModel::Tso, &config);
+    let report = Checker::new(&broken)
+        .max_steps(60)
+        .max_transitions(4_000_000)
+        .threads(2)
+        .exhaustive();
     let Verdict::Violation {
         invariant,
         found_len,
@@ -160,12 +159,11 @@ fn explorer_catches_fenceless_bakery_and_shrinks_the_witness() {
 #[test]
 fn swarm_catches_the_unhardened_bakery_under_pso() {
     let bakery = tpa::algos::sim::bakery::BakeryLock::new(2, 1);
-    let config = SwarmConfig {
-        schedules: 2048,
-        max_steps: 512,
-        seed: 1,
-    };
-    let report = check_swarm(&bakery, MemoryModel::Pso, &config);
+    let report = Checker::new(&bakery)
+        .model(MemoryModel::Pso)
+        .max_steps(512)
+        .seed(1)
+        .swarm(2048);
     let Verdict::Violation {
         invariant, shrunk, ..
     } = &report.verdict
@@ -177,7 +175,12 @@ fn swarm_catches_the_unhardened_bakery_under_pso() {
 
     // The hardened variant survives the same budget.
     let hardened = tpa::algos::sim::bakery::BakeryLock::pso_hardened(2, 1);
-    check_swarm(&hardened, MemoryModel::Pso, &config).assert_pass();
+    Checker::new(&hardened)
+        .model(MemoryModel::Pso)
+        .max_steps(512)
+        .seed(1)
+        .swarm(2048)
+        .assert_pass();
 }
 
 /// The correct bakery, same bounds, same invariants: the explorer's pass
@@ -186,11 +189,10 @@ fn swarm_catches_the_unhardened_bakery_under_pso() {
 #[test]
 fn explorer_passes_the_fenced_bakery_under_identical_bounds() {
     let sound = tpa::algos::sim::bakery::BakeryLock::new(2, 1);
-    let config = ExploreConfig {
-        max_steps: 60,
-        max_transitions: 4_000_000,
-    };
-    let report = check_exhaustive(&sound, MemoryModel::Tso, &config);
+    let report = Checker::new(&sound)
+        .max_steps(60)
+        .max_transitions(4_000_000)
+        .exhaustive();
     assert!(report.stats.complete);
     assert!(
         report.stats.pruned_sleep > 0,
