@@ -25,6 +25,32 @@ fn bench_machine_steps(c: &mut Criterion) {
     group.finish();
 }
 
+/// The telemetry fast path: `Machine::step` with no probe attached (one
+/// never-taken branch) vs a `NullProbe` (the branch plus a dynamic call
+/// into empty inlined methods). Both should be indistinguishable from
+/// the bare `machine_steps` number — the zero-cost claim in DESIGN.md.
+fn bench_probe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_overhead");
+    group.throughput(Throughput::Elements(1));
+    let sys = ScriptSystem::new(1, 1, |_| {
+        vec![
+            Instr::Write { var: 0, value: 1 },
+            Instr::Read { var: 0, reg: 0 },
+            Instr::Jump { target: 0 },
+        ]
+    });
+    group.bench_function("no_probe", |b| {
+        let mut m = Machine::new(&sys);
+        b.iter(|| m.step(Directive::Issue(ProcId(0))).unwrap());
+    });
+    group.bench_function("null_probe", |b| {
+        let mut m = Machine::new(&sys);
+        m.attach_probe(std::sync::Arc::new(tpa_obs::NullProbe));
+        b.iter(|| m.step(Directive::Issue(ProcId(0))).unwrap());
+    });
+    group.finish();
+}
+
 fn bench_lock_passages(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_lock_passages");
     group.sample_size(10);
@@ -43,5 +69,10 @@ fn bench_lock_passages(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_machine_steps, bench_lock_passages);
+criterion_group!(
+    benches,
+    bench_machine_steps,
+    bench_probe_overhead,
+    bench_lock_passages
+);
 criterion_main!(benches);

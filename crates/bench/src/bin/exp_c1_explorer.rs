@@ -17,10 +17,15 @@
 //! `--quick` restricts to n = 2 and a smaller step bound; `--threads`
 //! defaults to everything the machine has.
 
-use tpa_bench::{c1, report};
+use std::sync::Arc;
+
+use tpa_bench::{c1, obs, report};
 use tpa_check::{default_threads, Verdict};
+use tpa_obs::Probe;
 
 fn main() {
+    let recorder = obs::probe_from_env();
+    let probe: Option<Arc<dyn Probe>> = recorder.clone().map(|r| r as Arc<dyn Probe>);
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let threads = args
@@ -36,7 +41,7 @@ fn main() {
         &[(2, 60), (3, 40)]
     };
 
-    let rows = c1::portfolio_rows(sizes, threads);
+    let rows = c1::portfolio_rows(sizes, threads, probe.as_ref());
     c1::print_table(
         "C1: bounded-exhaustive explorer effort (TSO, 1 passage)",
         &rows,
@@ -44,13 +49,13 @@ fn main() {
     report::maybe_write_json("c1_explorer", rows.as_slice());
 
     let (speedup_n, speedup_steps) = if quick { (2, 40) } else { (3, 40) };
-    let speedup = c1::measure_speedup("tas", speedup_n, speedup_steps);
+    let speedup = c1::measure_speedup("tas", speedup_n, speedup_steps, probe.as_ref());
     c1::write_bench_json(threads, &rows, &speedup);
 
     // The negative control: a lock with a dropped fence must be caught
     // and the counterexample must shrink to a short schedule.
     let broken = tpa_algos::sim::bakery::BakeryLock::without_doorway_fence(2, 1);
-    let report = c1::check(&broken, 60, threads);
+    let report = c1::check(&broken, 60, threads, probe.as_ref());
     match &report.verdict {
         Verdict::Violation {
             invariant,
@@ -66,7 +71,9 @@ fn main() {
         }
         Verdict::Pass => {
             println!("\nnegative control FAILED: bakery-nofence was not caught");
+            obs::finish(&recorder);
             std::process::exit(1);
         }
     }
+    obs::finish(&recorder);
 }

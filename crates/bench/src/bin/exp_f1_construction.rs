@@ -7,7 +7,10 @@
 //! Usage: `exp_f1_construction [algo] [n] [rounds]`
 //! (defaults: tournament 256 8).
 
-use tpa_bench::report;
+use std::sync::Arc;
+
+use tpa_bench::{obs, report};
+use tpa_obs::Probe;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -15,10 +18,13 @@ fn main() {
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
     let rounds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
 
-    let out = match tpa_bench::construction_outcome(&algo, n, rounds, true) {
+    let recorder = obs::probe_from_env();
+    let probe: Option<Arc<dyn Probe>> = recorder.clone().map(|r| r as Arc<dyn Probe>);
+    let out = match tpa_bench::construction_outcome_probed(&algo, n, rounds, true, probe) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("error: {e}");
+            obs::finish(&recorder);
             std::process::exit(1);
         }
     };
@@ -85,4 +91,5 @@ fn main() {
         &round_rows,
     );
     report::maybe_write_json("F1", &out.rounds);
+    obs::finish(&recorder);
 }

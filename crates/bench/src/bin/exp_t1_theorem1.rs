@@ -7,13 +7,19 @@
 //!
 //! Usage: `exp_t1_theorem1 [rounds]` (default 10).
 
+use tpa_bench::obs;
 use tpa_bench::report::{self, fmt_f64};
+use tpa_obs::Probe;
 
 fn main() {
     let rounds: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(14);
+    let recorder = obs::probe_from_env();
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t1: portfolio sweep, max_rounds={rounds}"));
+    }
 
     // Scan-based locks make the construction O(n²): cap their sizes.
     let fast: &[&str] = &["tournament", "splitter", "ticketq", "mcs", "ttas"];
@@ -78,4 +84,8 @@ fn main() {
         &summary,
     );
     report::maybe_write_json("T1", &rows);
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t1: {} rows", rows.len()));
+    }
+    obs::finish(&recorder);
 }

@@ -9,13 +9,19 @@
 //!
 //! Usage: `exp_t2_corollary2 [c]` (default 1).
 
+use std::sync::Arc;
+
+use tpa_bench::obs;
 use tpa_bench::report::{self, fmt_f64};
+use tpa_obs::Probe;
 
 fn main() {
     let c: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
+    let recorder = obs::probe_from_env();
+    let probe: Option<Arc<dyn Probe>> = recorder.clone().map(|r| r as Arc<dyn Probe>);
 
     let log2_ns: Vec<f64> = (3..=20).map(|j| (1u64 << j) as f64).collect();
     let rows = tpa_bench::t2_rows(c, &log2_ns);
@@ -48,7 +54,12 @@ fn main() {
     // read/write lock lives in the same regime as the analytic frontier.
     let mut check = Vec::new();
     for n in [16usize, 64, 256, 1024] {
-        if let Ok(out) = tpa_bench::construction_outcome("splitter", n, 12, false) {
+        if let Some(p) = &probe {
+            p.mark(&format!("exp_t2: cross-check splitter n={n}"));
+        }
+        if let Ok(out) =
+            tpa_bench::construction_outcome_probed("splitter", n, 12, false, probe.clone())
+        {
             let ln_n = (n as f64).ln();
             let analytic = tpa_adversary::bounds::max_feasible_i(
                 ln_n,
@@ -68,4 +79,5 @@ fn main() {
         &check,
     );
     report::maybe_write_json("T2", &rows);
+    obs::finish(&recorder);
 }

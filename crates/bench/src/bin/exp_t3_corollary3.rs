@@ -6,13 +6,19 @@
 //!
 //! Usage: `exp_t3_corollary3 [c]` (default 1).
 
+use tpa_bench::obs;
 use tpa_bench::report::{self, fmt_f64};
+use tpa_obs::Probe;
 
 fn main() {
     let c: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
+    let recorder = obs::probe_from_env();
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t3: analytic sweep, c={c}"));
+    }
 
     // log2 N = 2^j: each step of j adds one to log log N, so the triple
     // log crawls — exactly the separation from T2.
@@ -36,4 +42,8 @@ fn main() {
         &table,
     );
     report::maybe_write_json("T3", &rows);
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t3: {} rows", rows.len()));
+    }
+    obs::finish(&recorder);
 }

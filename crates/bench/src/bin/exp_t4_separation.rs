@@ -12,13 +12,19 @@
 //!
 //! Usage: `exp_t4_separation [n]` (default 64).
 
+use tpa_bench::obs;
 use tpa_bench::report::{self, fmt_f64};
+use tpa_obs::Probe;
 
 fn main() {
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(64);
+    let recorder = obs::probe_from_env();
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t4: contention sweep, n={n}"));
+    }
 
     let algos: &[&str] = &[
         "tas",
@@ -67,4 +73,8 @@ fn main() {
         &table,
     );
     report::maybe_write_json("T4", &rows);
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t4: {} rows", rows.len()));
+    }
+    obs::finish(&recorder);
 }

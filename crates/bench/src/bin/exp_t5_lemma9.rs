@@ -8,9 +8,14 @@
 //!
 //! Usage: `exp_t5_lemma9`.
 
-use tpa_bench::report;
+use tpa_bench::{obs, report};
+use tpa_obs::Probe;
 
 fn main() {
+    let recorder = obs::probe_from_env();
+    if let Some(r) = &recorder {
+        r.mark("exp_t5: lemma 9 reduction sweep");
+    }
     let rows = tpa_bench::t5_rows(&[1, 2, 4, 8, 16, 32]);
 
     let table: Vec<Vec<String>> = rows
@@ -43,4 +48,8 @@ fn main() {
         &table,
     );
     report::maybe_write_json("T5", &rows);
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t5: {} rows", rows.len()));
+    }
+    obs::finish(&recorder);
 }

@@ -8,9 +8,14 @@
 //!
 //! Usage: `exp_t6_frontier`.
 
-use tpa_bench::report;
+use tpa_bench::{obs, report};
+use tpa_obs::Probe;
 
 fn main() {
+    let recorder = obs::probe_from_env();
+    if let Some(r) = &recorder {
+        r.mark("exp_t6: feasibility frontier");
+    }
     let log2_ns: Vec<f64> = [
         8.0,
         16.0,
@@ -49,4 +54,8 @@ fn main() {
         &table,
     );
     report::maybe_write_json("T6", &rows);
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t6: {} rows", rows.len()));
+    }
+    obs::finish(&recorder);
 }

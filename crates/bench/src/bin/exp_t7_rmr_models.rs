@@ -10,13 +10,18 @@
 //!
 //! Usage: `exp_t7_rmr_models [n]` (default 32).
 
-use tpa_bench::report;
+use tpa_bench::{obs, report};
+use tpa_obs::Probe;
 
 fn main() {
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(32);
+    let recorder = obs::probe_from_env();
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t7: RMR accounting sweep, n={n}"));
+    }
     let algos: &[&str] = &[
         "tas",
         "ttas",
@@ -49,4 +54,8 @@ fn main() {
         &table,
     );
     report::maybe_write_json("T7", &rows);
+    if let Some(r) = &recorder {
+        r.mark(&format!("exp_t7: {} rows", rows.len()));
+    }
+    obs::finish(&recorder);
 }

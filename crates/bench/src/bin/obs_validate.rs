@@ -1,0 +1,67 @@
+//! Validates telemetry artifacts produced under `TPA_OBS_*`.
+//!
+//! Checks a JSONL run log against the schema in `tpa_obs::schema`
+//! (per-line shape, `t` monotonicity, per-worker counter monotonicity)
+//! and, optionally, a Chrome trace-event/Perfetto export. Exits non-zero
+//! on the first violation — the smoke script uses this as its telemetry
+//! gate.
+//!
+//! Usage: `obs_validate <run.jsonl> [trace.json]`
+
+use std::process::ExitCode;
+
+use tpa_obs::schema;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(jsonl_path) = args.next() else {
+        eprintln!("usage: obs_validate <run.jsonl> [trace.json]");
+        return ExitCode::FAILURE;
+    };
+    let trace_path = args.next();
+
+    let raw = match std::fs::read_to_string(&jsonl_path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("obs_validate: cannot read {jsonl_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lines: Vec<&str> = raw.lines().collect();
+    match schema::validate_lines(&lines) {
+        Ok(summary) => {
+            let kinds = summary
+                .by_kind
+                .iter()
+                .map(|(k, n)| format!("{k}={n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            println!(
+                "{jsonl_path}: OK — {} lines over {} us, {} workers ({kinds})",
+                summary.lines, summary.span_us, summary.workers
+            );
+        }
+        Err(e) => {
+            eprintln!("obs_validate: {jsonl_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(trace_path) = trace_path {
+        let doc = match std::fs::read_to_string(&trace_path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("obs_validate: cannot read {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match schema::validate_trace(&doc) {
+            Ok(events) => println!("{trace_path}: OK — {events} trace events"),
+            Err(e) => {
+                eprintln!("obs_validate: {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

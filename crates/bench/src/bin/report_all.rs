@@ -5,10 +5,15 @@
 //! Usage: `report_all [--quick]`
 //! `--quick` shrinks the sweeps for CI-style smoke runs.
 
+use std::sync::Arc;
+
 use tpa_bench::report::{self, fmt_f64};
+use tpa_obs::Probe;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let recorder = tpa_bench::obs::probe_from_env();
+    let probe: Option<Arc<dyn Probe>> = recorder.clone().map(|r| r as Arc<dyn Probe>);
 
     // F1.
     let (f1_algo, f1_n) = if quick {
@@ -16,7 +21,11 @@ fn main() {
     } else {
         ("tournament", 256)
     };
-    let out = tpa_bench::construction_outcome(f1_algo, f1_n, 10, true).unwrap();
+    if let Some(p) = &probe {
+        p.mark(&format!("report_all: F1 {f1_algo} n={f1_n}"));
+    }
+    let out =
+        tpa_bench::construction_outcome_probed(f1_algo, f1_n, 10, true, probe.clone()).unwrap();
     let rows: Vec<Vec<String>> = out
         .rounds
         .iter()
@@ -243,11 +252,12 @@ fn main() {
     } else {
         &[(2, 60), (3, 40)]
     };
-    let c1 = tpa_bench::c1::portfolio_rows(sizes, threads);
+    let c1 = tpa_bench::c1::portfolio_rows(sizes, threads, probe.as_ref());
     tpa_bench::c1::print_table(&format!("C1: explorer effort ({threads} threads)"), &c1);
     let (sp_n, sp_steps) = if quick { (2, 40) } else { (3, 40) };
-    let speedup = tpa_bench::c1::measure_speedup("tas", sp_n, sp_steps);
+    let speedup = tpa_bench::c1::measure_speedup("tas", sp_n, sp_steps, probe.as_ref());
     tpa_bench::c1::write_bench_json(threads, &c1, &speedup);
 
+    tpa_bench::obs::finish(&recorder);
     println!("\nall simulator experiments complete; run `cargo bench -p tpa-bench` for H1.");
 }

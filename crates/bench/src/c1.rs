@@ -8,7 +8,10 @@
 //! at 4 for the parallel-engine record; [`write_bench_json`] lands both
 //! in `BENCH_check.json` (path overridable via `TPA_BENCH_JSON`).
 
-use tpa_check::{default_threads, Checker, Report};
+use std::sync::Arc;
+
+use tpa_check::{default_threads, Checker, Report, WorkerStats};
+use tpa_obs::Probe;
 use tpa_tso::{MemoryModel, System};
 
 use crate::report::{self, fmt_f64, ToJson};
@@ -39,6 +42,8 @@ pub struct CheckRow {
     pub complete: bool,
     /// `"pass"` or `"VIOLATION"`.
     pub verdict: &'static str,
+    /// Per-worker search counters (one entry per worker thread).
+    pub workers: Vec<WorkerStats>,
 }
 
 impl CheckRow {
@@ -61,6 +66,7 @@ impl CheckRow {
             } else {
                 "VIOLATION"
             },
+            workers: report.workers.clone(),
         }
     }
 }
@@ -80,6 +86,7 @@ impl ToJson for CheckRow {
             ("states_per_sec", self.states_per_sec.to_json()),
             ("complete", self.complete.to_json()),
             ("verdict", self.verdict.to_json()),
+            ("workers", self.workers.to_json()),
         ])
     }
 }
@@ -116,22 +123,36 @@ impl ToJson for SpeedupRecord {
     }
 }
 
-/// One exhaustive TSO check with the C1 budget (4M transitions).
-pub fn check(system: &dyn System, max_steps: usize, threads: usize) -> Report {
-    Checker::new(system)
+/// One exhaustive TSO check with the C1 budget (4M transitions). A
+/// probe, if supplied, receives the run lifecycle and per-worker
+/// snapshots (see `tpa_obs`).
+pub fn check(
+    system: &dyn System,
+    max_steps: usize,
+    threads: usize,
+    probe: Option<&Arc<dyn Probe>>,
+) -> Report {
+    let mut checker = Checker::new(system)
         .model(MemoryModel::Tso)
         .max_steps(max_steps)
         .max_transitions(4_000_000)
-        .threads(threads)
-        .exhaustive()
+        .threads(threads);
+    if let Some(probe) = probe {
+        checker = checker.probe(probe.clone());
+    }
+    checker.exhaustive()
 }
 
 /// Runs the whole lock portfolio at each `(n, max_steps)` size.
-pub fn portfolio_rows(sizes: &[(usize, usize)], threads: usize) -> Vec<CheckRow> {
+pub fn portfolio_rows(
+    sizes: &[(usize, usize)],
+    threads: usize,
+    probe: Option<&Arc<dyn Probe>>,
+) -> Vec<CheckRow> {
     let mut rows = Vec::new();
     for &(n, max_steps) in sizes {
         for lock in tpa_algos::all_locks(n, 1) {
-            let report = check(lock.as_ref(), max_steps, threads);
+            let report = check(lock.as_ref(), max_steps, threads, probe);
             rows.push(CheckRow::from_report(&report, n, max_steps));
         }
     }
@@ -142,11 +163,16 @@ pub fn portfolio_rows(sizes: &[(usize, usize)], threads: usize) -> Vec<CheckRow>
 /// multi-core box the 4-thread run should be markedly faster; a 1-core
 /// container honestly reports ~1x (the differential tests, not this
 /// number, carry the determinism claim).
-pub fn measure_speedup(algo: &str, n: usize, max_steps: usize) -> SpeedupRecord {
+pub fn measure_speedup(
+    algo: &str,
+    n: usize,
+    max_steps: usize,
+    probe: Option<&Arc<dyn Probe>>,
+) -> SpeedupRecord {
     let subject = tpa_algos::lock_by_name(algo, n, 1)
         .unwrap_or_else(|| panic!("unknown lock {algo:?} for the speedup rerun"));
-    let seq = check(subject.as_ref(), max_steps, 1);
-    let par = check(subject.as_ref(), max_steps, 4);
+    let seq = check(subject.as_ref(), max_steps, 1, probe);
+    let par = check(subject.as_ref(), max_steps, 4, probe);
     SpeedupRecord {
         algo: seq.algo.clone(),
         n,
@@ -213,11 +239,63 @@ pub fn write_bench_json(threads: usize, rows: &[CheckRow], speedup: &SpeedupReco
         speedup.hardware_threads,
     );
     let path = std::env::var("TPA_BENCH_JSON").unwrap_or_else(|_| "BENCH_check.json".to_owned());
-    let payload = report::json_object(&[
+    let payload = bench_json_payload(threads, rows, speedup);
+    report::write_json_file("c1_explorer", &path, &payload);
+}
+
+/// Renders the `BENCH_check.json` document (split out so tests can
+/// round-trip it without touching the filesystem).
+pub fn bench_json_payload(threads: usize, rows: &[CheckRow], speedup: &SpeedupRecord) -> String {
+    report::json_object(&[
         ("experiment", "c1_explorer".to_json()),
         ("threads", threads.to_json()),
         ("rows", rows.to_json()),
         ("speedup", speedup.to_json()),
-    ]);
-    report::write_json_file("c1_explorer", &path, &payload);
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpa_obs::json::{parse, Json};
+
+    /// The bench record must survive a real JSON parser — including the
+    /// degenerate zero-wall case, where `states_per_sec` must serialise
+    /// as a finite number (not `inf`/`NaN`, which JSON cannot express).
+    #[test]
+    fn bench_json_round_trips_through_the_parser() {
+        let lock = tpa_algos::lock_by_name("tas", 2, 1).unwrap();
+        let mut report = check(lock.as_ref(), 30, 1, None);
+        report.wall = std::time::Duration::ZERO;
+        let row = CheckRow::from_report(&report, 2, 30);
+        let speedup = SpeedupRecord {
+            algo: row.algo.clone(),
+            n: 2,
+            max_steps: 30,
+            speedup: 1.0,
+            base: CheckRow::from_report(&report, 2, 30),
+            parallel: CheckRow::from_report(&report, 2, 30),
+            hardware_threads: default_threads(),
+        };
+        let payload = bench_json_payload(1, &[row], &speedup);
+
+        let v = parse(&payload).expect("bench JSON must parse");
+        assert_eq!(
+            v.get("experiment").and_then(Json::as_str),
+            Some("c1_explorer")
+        );
+        let rows = v.get("rows").and_then(Json::as_arr).expect("rows array");
+        let r = &rows[0];
+        assert_eq!(r.get("algo").and_then(Json::as_str), Some("tas"));
+        assert_eq!(r.get("states_per_sec").and_then(Json::as_num), Some(0.0));
+        assert_eq!(r.get("wall_ms").and_then(Json::as_num), Some(0.0));
+        // The per-worker breakdown survives with its counters intact.
+        let workers = r.get("workers").and_then(Json::as_arr).expect("workers");
+        assert_eq!(workers.len(), 1);
+        assert_eq!(
+            workers[0].get("transitions").and_then(Json::as_u64),
+            Some(report.stats.transitions)
+        );
+        assert!(v.get("speedup").and_then(|s| s.get("parallel")).is_some());
+    }
 }

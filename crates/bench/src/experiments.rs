@@ -1,8 +1,11 @@
 //! Experiment implementations (shared by binaries, tests and benches).
 
+use std::sync::Arc;
+
 use tpa_adversary::{bounds, Adaptivity, Config, Construction, Outcome};
 use tpa_algos::lock_by_name;
 use tpa_objects::lemma9::{self, TicketObject};
+use tpa_obs::Probe;
 use tpa_tso::machine::NextEvent;
 use tpa_tso::{Directive, Machine, ProcId, System};
 
@@ -19,6 +22,24 @@ pub fn construction_outcome(
     max_rounds: usize,
     check_invariants: bool,
 ) -> Result<Outcome, String> {
+    construction_outcome_probed(algo, n, max_rounds, check_invariants, None)
+}
+
+/// As [`construction_outcome`], with an optional telemetry probe attached
+/// to the construction: round/phase/erasure events, the end-of-run
+/// passage histograms, and the stop-reason mark (per-step simulator
+/// events stay off — a construction executes millions of them).
+///
+/// # Errors
+///
+/// Returns a description for unknown locks or initialisation failures.
+pub fn construction_outcome_probed(
+    algo: &str,
+    n: usize,
+    max_rounds: usize,
+    check_invariants: bool,
+    probe: Option<Arc<dyn Probe>>,
+) -> Result<Outcome, String> {
     let lock = lock_by_name(algo, n, 1).ok_or_else(|| format!("unknown lock `{algo}`"))?;
     // With invariant checking we also use the slow replay-validated
     // erasure (maximum fidelity); sweeps use the differentially-tested
@@ -29,9 +50,11 @@ pub fn construction_outcome(
         fast_erasure: !check_invariants,
         ..Config::default()
     };
-    Ok(Construction::new(&lock, cfg)
-        .map_err(|e| e.to_string())?
-        .run())
+    let mut construction = Construction::new(&lock, cfg).map_err(|e| e.to_string())?;
+    if let Some(probe) = probe {
+        construction.attach_probe(probe, false);
+    }
+    Ok(construction.run())
 }
 
 /// One row of the T1 table: a construction round against Theorem 3.

@@ -24,6 +24,7 @@
 
 pub mod c1;
 pub mod experiments;
+pub mod obs;
 pub mod report;
 
 pub use experiments::*;

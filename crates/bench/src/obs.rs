@@ -1,0 +1,86 @@
+//! Environment-driven telemetry for the experiment binaries.
+//!
+//! Every `exp_*` binary calls [`probe_from_env`] at startup: when any of
+//! the `TPA_OBS_*` variables are set it returns a live
+//! [`tpa_obs::Recorder`] the binary threads into the checker and the
+//! construction; otherwise telemetry stays off and costs nothing.
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `TPA_OBS_JSONL` | append the JSONL run log to this path |
+//! | `TPA_OBS_TRACE` | write a Chrome trace-event/Perfetto JSON here |
+//! | `TPA_OBS_HEARTBEAT_MS` | stderr progress heartbeat every N ms |
+//!
+//! The JSONL schema is documented in EXPERIMENTS.md and machine-checked
+//! by `tpa_obs::schema::validate_lines` (the `obs_validate` binary and
+//! the smoke script run it).
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tpa_obs::Recorder;
+
+/// Builds a [`Recorder`] from the `TPA_OBS_*` environment, or `None`
+/// when none of the variables are set. I/O errors disable telemetry with
+/// a stderr note rather than failing the experiment — the tables on
+/// stdout are the primary artifact.
+pub fn probe_from_env() -> Option<Arc<Recorder>> {
+    let jsonl = std::env::var("TPA_OBS_JSONL").ok();
+    let trace = std::env::var("TPA_OBS_TRACE").ok();
+    let heartbeat = std::env::var("TPA_OBS_HEARTBEAT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+    if jsonl.is_none() && trace.is_none() && heartbeat.is_none() {
+        return None;
+    }
+    match Recorder::to_files(
+        jsonl.as_deref().map(Path::new),
+        trace.as_deref().map(Path::new),
+        heartbeat,
+    ) {
+        Ok(recorder) => Some(Arc::new(recorder)),
+        Err(e) => {
+            eprintln!("[obs] telemetry disabled: {e}");
+            None
+        }
+    }
+}
+
+/// Flushes and closes an env-built recorder (writes the Perfetto file).
+/// Safe to call with `None` or more than once.
+pub fn finish(probe: &Option<Arc<Recorder>>) {
+    if let Some(recorder) = probe {
+        recorder.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var manipulation is process-global, so the three scenarios run
+    // in one test to avoid cross-test races.
+    #[test]
+    fn probe_from_env_respects_the_environment() {
+        // No variables: no probe. (Guard against ambient TPA_OBS_* from
+        // the invoking shell.)
+        for k in ["TPA_OBS_JSONL", "TPA_OBS_TRACE", "TPA_OBS_HEARTBEAT_MS"] {
+            std::env::remove_var(k);
+        }
+        assert!(probe_from_env().is_none());
+
+        // A JSONL path: live probe, and finish() lands the file.
+        let dir = std::env::temp_dir().join("tpa-obs-env-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        std::env::set_var("TPA_OBS_JSONL", &path);
+        let probe = probe_from_env();
+        assert!(probe.is_some());
+        finish(&probe);
+        assert!(path.exists());
+        std::env::remove_var("TPA_OBS_JSONL");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

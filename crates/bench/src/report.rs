@@ -153,6 +153,21 @@ impl ToJson for tpa_tso::ProcId {
     }
 }
 
+impl ToJson for tpa_check::WorkerStats {
+    fn to_json(&self) -> String {
+        json_object(&[
+            ("worker", self.worker.to_json()),
+            ("nodes_expanded", self.nodes_expanded.to_json()),
+            ("transitions", self.transitions.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+            ("sleep_prunes", self.sleep_prunes.to_json()),
+            ("donated", self.donated.to_json()),
+            ("max_frontier", self.max_frontier.to_json()),
+        ])
+    }
+}
+
 impl ToJson for tpa_adversary::RoundTrace {
     fn to_json(&self) -> String {
         json_object(&[

@@ -24,8 +24,10 @@
 //! Checker::new(&sys).swarm(32).assert_pass();
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use tpa_obs::{Probe, RunInfo, RunSummary};
 use tpa_tso::{MemoryModel, System};
 
 use crate::explore::ExploreConfig;
@@ -33,6 +35,13 @@ use crate::invariant::{standard_invariants, Invariant};
 use crate::parallel::run_exhaustive;
 use crate::swarm::{run_swarm, SwarmConfig};
 use crate::verdict::{condemn, Report};
+
+fn model_tag(model: MemoryModel) -> &'static str {
+    match model {
+        MemoryModel::Tso => "tso",
+        MemoryModel::Pso => "pso",
+    }
+}
 
 /// Configures and runs one check of one system; see the
 /// [module docs](crate::checker) for an example.
@@ -48,6 +57,7 @@ pub struct Checker<'a> {
     max_transitions: u64,
     threads: usize,
     seed: u64,
+    probe: Option<Arc<dyn Probe>>,
 }
 
 impl<'a> Checker<'a> {
@@ -61,7 +71,19 @@ impl<'a> Checker<'a> {
             max_transitions: ExploreConfig::default().max_transitions,
             threads: 1,
             seed: SwarmConfig::default().seed,
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe. The check emits a
+    /// [`tpa_obs::RunInfo`] when it starts, periodic per-worker
+    /// [`tpa_obs::WorkerSnapshot`]s while it runs (exhaustive mode), and
+    /// a [`tpa_obs::RunSummary`] when it finishes. Probes never influence
+    /// the search: verdict, witness and state counts are identical with
+    /// or without one (pinned by the differential suite).
+    pub fn probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.probe = Some(probe);
+        self
     }
 
     /// The store-ordering model to check under.
@@ -116,15 +138,37 @@ impl<'a> Checker<'a> {
             max_steps: self.max_steps.unwrap_or(ExploreConfig::default().max_steps),
             max_transitions: self.max_transitions,
         };
+        if let Some(probe) = &self.probe {
+            probe.run_start(&RunInfo {
+                algo: self.system.name().to_string(),
+                model: model_tag(self.model).to_string(),
+                mode: "exhaustive",
+                threads: self.threads as u32,
+                max_steps: config.max_steps as u64,
+                max_transitions: config.max_transitions,
+            });
+        }
         let start = Instant::now();
-        let (found, stats) = run_exhaustive(
+        let (found, stats, workers) = run_exhaustive(
             self.system,
             self.model,
             &self.invariants,
             &config,
             self.threads,
+            self.probe.as_deref(),
         );
         let wall = start.elapsed();
+        if let Some(probe) = &self.probe {
+            probe.run_finish(&RunSummary {
+                algo: self.system.name().to_string(),
+                mode: "exhaustive",
+                passed: found.is_none(),
+                complete: stats.complete,
+                transitions: stats.transitions,
+                unique_states: stats.unique_states as u64,
+                wall_us: wall.as_micros() as u64,
+            });
+        }
         Report {
             algo: self.system.name().to_string(),
             model: self.model,
@@ -133,6 +177,7 @@ impl<'a> Checker<'a> {
             wall,
             verdict: condemn(self.system, self.model, &self.invariants, found),
             stats: stats.into(),
+            workers,
         }
     }
 
@@ -143,9 +188,30 @@ impl<'a> Checker<'a> {
             max_steps: self.max_steps.unwrap_or(SwarmConfig::default().max_steps),
             seed: self.seed,
         };
+        if let Some(probe) = &self.probe {
+            probe.run_start(&RunInfo {
+                algo: self.system.name().to_string(),
+                model: model_tag(self.model).to_string(),
+                mode: "swarm",
+                threads: 1,
+                max_steps: config.max_steps as u64,
+                max_transitions: 0,
+            });
+        }
         let start = Instant::now();
         let (found, stats) = run_swarm(self.system, self.model, &self.invariants, &config);
         let wall = start.elapsed();
+        if let Some(probe) = &self.probe {
+            probe.run_finish(&RunSummary {
+                algo: self.system.name().to_string(),
+                mode: "swarm",
+                passed: found.is_none(),
+                complete: false,
+                transitions: stats.transitions,
+                unique_states: 0,
+                wall_us: wall.as_micros() as u64,
+            });
+        }
         Report {
             algo: self.system.name().to_string(),
             model: self.model,
@@ -154,6 +220,7 @@ impl<'a> Checker<'a> {
             wall,
             verdict: condemn(self.system, self.model, &self.invariants, found),
             stats: stats.into(),
+            workers: Vec::new(),
         }
     }
 }

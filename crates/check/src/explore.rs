@@ -90,7 +90,9 @@ pub fn explore(
     invariants: &[Box<dyn Invariant>],
     config: &ExploreConfig,
 ) -> (Option<FoundViolation>, ExploreStats) {
-    crate::parallel::run_exhaustive(system, model, invariants, config, 1)
+    let (found, stats, _workers) =
+        crate::parallel::run_exhaustive(system, model, invariants, config, 1, None);
+    (found, stats)
 }
 
 #[cfg(test)]
@@ -142,8 +144,14 @@ mod tests {
     fn exhaustive_search_finds_the_tso_reordering() {
         let sys = store_buffer();
         let invs: Vec<Box<dyn Invariant>> = vec![Box::new(BothReadZero)];
-        let (found, stats) =
-            run_exhaustive(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default(), 1);
+        let (found, stats, _) = run_exhaustive(
+            &sys,
+            MemoryModel::Tso,
+            &invs,
+            &ExploreConfig::default(),
+            1,
+            None,
+        );
         let found = found.expect("TSO must exhibit r0 = r1 = 0");
         assert!(stats.transitions > 0);
         // Both reads executed before either commit: at least 4 steps.
@@ -154,9 +162,17 @@ mod tests {
     fn scripted_writers_satisfy_the_standard_battery() {
         let sys = store_buffer();
         let invs = standard_invariants();
-        let (found, stats) =
-            run_exhaustive(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default(), 1);
+        let (found, stats, workers) = run_exhaustive(
+            &sys,
+            MemoryModel::Tso,
+            &invs,
+            &ExploreConfig::default(),
+            1,
+            None,
+        );
         assert!(found.is_none(), "unexpected violation: {found:?}");
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].transitions, stats.transitions);
         assert!(stats.complete);
         assert!(stats.unique_states > 0);
     }
@@ -176,8 +192,14 @@ mod tests {
             ]
         });
         let invs = standard_invariants();
-        let (found, stats) =
-            run_exhaustive(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default(), 1);
+        let (found, stats, _) = run_exhaustive(
+            &sys,
+            MemoryModel::Tso,
+            &invs,
+            &ExploreConfig::default(),
+            1,
+            None,
+        );
         assert!(found.is_none());
         assert!(stats.complete);
         assert!(
@@ -218,8 +240,14 @@ mod tests {
             }
         }
         let invs: Vec<Box<dyn Invariant>> = vec![Box::new(CasWon)];
-        let (found, _) =
-            run_exhaustive(&sys, MemoryModel::Tso, &invs, &ExploreConfig::default(), 1);
+        let (found, _, _) = run_exhaustive(
+            &sys,
+            MemoryModel::Tso,
+            &invs,
+            &ExploreConfig::default(),
+            1,
+            None,
+        );
         assert!(found.is_some());
     }
 

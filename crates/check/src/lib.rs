@@ -59,7 +59,7 @@ pub use checker::Checker;
 pub use explore::explore;
 pub use explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation};
 pub use invariant::{standard_invariants, Invariant, Violation};
-pub use parallel::default_threads;
+pub use parallel::{default_threads, WorkerStats};
 #[allow(deprecated)]
 pub use swarm::swarm;
 pub use swarm::{Bias, SwarmConfig, SwarmStats};

@@ -27,15 +27,21 @@
 //! empty, so load balance never depends on the initial subtree split.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use tpa_obs::{Probe, WorkerSnapshot};
 use tpa_tso::{Directive, Machine, MemoryModel, System};
 
 use crate::cache::{Rank, StateCache};
 use crate::explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation};
 use crate::invariant::Invariant;
 use crate::sleep::SleepSet;
+
+/// How many node expansions a worker performs between probe snapshots.
+/// Chosen so telemetry stays far off the hot path (a snapshot is one
+/// virtual call and, for a recording probe, one formatted line).
+const SNAPSHOT_EVERY: u64 = 512;
 
 /// The number of worker threads used when a caller does not choose:
 /// whatever parallelism the host advertises.
@@ -69,6 +75,51 @@ struct WorkQueue {
     active: usize,
 }
 
+/// Per-worker search counters, cumulative over the worker's lifetime.
+///
+/// The global [`ExploreStats`] aggregate these (plus the root bookkeeping
+/// the engine does before workers start); the per-worker split is what
+/// the telemetry layer and [`crate::Report::workers`] expose — it shows
+/// load balance, cache contention and pruning behaviour that a single sum
+/// hides.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct WorkerStats {
+    /// Worker index (0-based, dense; assignment order is nondeterministic
+    /// but the set of indices is always `0..threads`).
+    pub worker: u32,
+    /// Frontier nodes this worker expanded.
+    pub nodes_expanded: u64,
+    /// Machine transitions this worker executed.
+    pub transitions: u64,
+    /// Child visits suppressed by the state cache.
+    pub cache_hits: u64,
+    /// Child states this worker inserted into the cache first.
+    pub cache_misses: u64,
+    /// Directives skipped because they slept.
+    pub sleep_prunes: u64,
+    /// Nodes donated to the shared queue for load balancing.
+    pub donated: u64,
+    /// High-water mark of the private frontier stack.
+    pub max_frontier: u32,
+}
+
+impl WorkerStats {
+    fn snapshot(&self, frontier_depth: u32, done: bool) -> WorkerSnapshot {
+        WorkerSnapshot {
+            worker: self.worker,
+            done,
+            transitions: self.transitions,
+            nodes_expanded: self.nodes_expanded,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            sleep_prunes: self.sleep_prunes,
+            donated: self.donated,
+            frontier_depth,
+            max_frontier: self.max_frontier,
+        }
+    }
+}
+
 struct Engine<'a> {
     invariants: &'a [Box<dyn Invariant>],
     config: &'a ExploreConfig,
@@ -86,6 +137,12 @@ struct Engine<'a> {
     best: Mutex<Option<Candidate>>,
     work: Mutex<WorkQueue>,
     available: Condvar,
+    /// Dense worker-index allocator (workers self-assign on start).
+    next_worker: AtomicUsize,
+    /// Final per-worker counters, collected as workers retire.
+    worker_stats: Mutex<Vec<WorkerStats>>,
+    /// Telemetry sink: periodic and final [`WorkerSnapshot`]s.
+    probe: Option<&'a dyn Probe>,
 }
 
 /// Explores every schedule of `system` up to `config.max_steps` steps
@@ -97,13 +154,19 @@ struct Engine<'a> {
 /// passing runs) the same `unique_states`; `transitions` and the pruning
 /// counters may differ, since workers race to states that then need no
 /// re-expansion.
+///
+/// `probe` (if any) receives periodic and final [`WorkerSnapshot`]s; it
+/// never influences the search — the differential suite pins probe-on and
+/// probe-off runs to identical witnesses and state counts. The returned
+/// [`WorkerStats`] are each worker's final counters, in worker order.
 pub(crate) fn run_exhaustive(
     system: &dyn System,
     model: MemoryModel,
     invariants: &[Box<dyn Invariant>],
     config: &ExploreConfig,
     threads: usize,
-) -> (Option<FoundViolation>, ExploreStats) {
+    probe: Option<&dyn Probe>,
+) -> (Option<FoundViolation>, ExploreStats, Vec<WorkerStats>) {
     let threads = threads.max(1);
     let root = Machine::with_model(system, model);
     // The initial state itself may violate (e.g. an empty program that is
@@ -120,6 +183,7 @@ pub(crate) fn run_exhaustive(
                     complete: true,
                     ..ExploreStats::default()
                 },
+                Vec::new(),
             );
         }
     }
@@ -132,6 +196,7 @@ pub(crate) fn run_exhaustive(
                 complete: true,
                 ..ExploreStats::default()
             },
+            Vec::new(),
         );
     }
 
@@ -152,6 +217,9 @@ pub(crate) fn run_exhaustive(
             active: threads,
         }),
         available: Condvar::new(),
+        next_worker: AtomicUsize::new(0),
+        worker_stats: Mutex::new(Vec::with_capacity(threads)),
+        probe,
     };
 
     let root_rank: Rank = Arc::from(&[] as &[u32]);
@@ -189,16 +257,25 @@ pub(crate) fn run_exhaustive(
         truncated_paths: engine.truncated_paths.load(Ordering::Relaxed),
         complete: !engine.aborted.load(Ordering::Relaxed),
     };
+    let mut workers = engine
+        .worker_stats
+        .into_inner()
+        .expect("worker-stats slot poisoned");
+    workers.sort_by_key(|w| w.worker);
     let found = engine
         .best
         .into_inner()
         .expect("best-candidate slot poisoned")
         .map(|c| c.found);
-    (found, stats)
+    (found, stats, workers)
 }
 
 impl Engine<'_> {
     fn worker(&self) {
+        let mut ws = WorkerStats {
+            worker: self.next_worker.fetch_add(1, Ordering::Relaxed) as u32,
+            ..WorkerStats::default()
+        };
         let mut local: Vec<Node> = Vec::new();
         loop {
             if self.aborted.load(Ordering::Relaxed) {
@@ -208,12 +285,25 @@ impl Engine<'_> {
                 Some(n) => n,
                 None => match self.take() {
                     Some(n) => n,
-                    None => return,
+                    None => break,
                 },
             };
-            self.expand(node, &mut local);
-            self.donate(&mut local);
+            self.expand(node, &mut local, &mut ws);
+            ws.max_frontier = ws.max_frontier.max(local.len() as u32);
+            if ws.nodes_expanded.is_multiple_of(SNAPSHOT_EVERY) {
+                if let Some(probe) = self.probe {
+                    probe.worker(&ws.snapshot(local.len() as u32, false));
+                }
+            }
+            self.donate(&mut local, &mut ws);
         }
+        if let Some(probe) = self.probe {
+            probe.worker(&ws.snapshot(0, true));
+        }
+        self.worker_stats
+            .lock()
+            .expect("worker-stats slot poisoned")
+            .push(ws);
     }
 
     /// Blocks until shared work arrives or the search is over.
@@ -242,7 +332,7 @@ impl Engine<'_> {
 
     /// Moves the bottom half of the private stack — the subtrees this
     /// worker would reach last — onto the shared queue if it ran dry.
-    fn donate(&self, local: &mut Vec<Node>) {
+    fn donate(&self, local: &mut Vec<Node>, ws: &mut WorkerStats) {
         if self.threads == 1 || local.len() < 2 {
             return;
         }
@@ -251,6 +341,7 @@ impl Engine<'_> {
             let give = local.len() / 2;
             st.queue.extend(local.drain(..give));
             drop(st);
+            ws.donated += give as u64;
             self.available.notify_all();
         }
     }
@@ -278,15 +369,17 @@ impl Engine<'_> {
         self.found_any.store(true, Ordering::Release);
     }
 
-    fn expand(&self, node: Node, local: &mut Vec<Node>) {
+    fn expand(&self, node: Node, local: &mut Vec<Node>, ws: &mut WorkerStats) {
         if !self.still_viable(&node.rank) {
             return;
         }
+        ws.nodes_expanded += 1;
         let mut done = SleepSet::empty();
         let mut children: Vec<Node> = Vec::new();
         for (i, d) in enabled_all(&node.machine).into_iter().enumerate() {
             if node.sleep.contains(d) {
                 self.pruned_sleep.fetch_add(1, Ordering::Relaxed);
+                ws.sleep_prunes += 1;
                 continue;
             }
             if self.transitions.fetch_add(1, Ordering::Relaxed) >= self.config.max_transitions {
@@ -294,6 +387,7 @@ impl Engine<'_> {
                 self.available.notify_all();
                 return;
             }
+            ws.transitions += 1;
             let mut child = node.machine.fork_for_search();
             child
                 .step(d)
@@ -338,8 +432,10 @@ impl Engine<'_> {
                 .try_visit(child.state_key(), &child_sleep, child_depth, &child_rank)
             {
                 self.cache_skips.fetch_add(1, Ordering::Relaxed);
+                ws.cache_hits += 1;
                 continue;
             }
+            ws.cache_misses += 1;
             if child_depth as usize >= self.config.max_steps {
                 self.truncated_paths.fetch_add(1, Ordering::Relaxed);
                 continue;

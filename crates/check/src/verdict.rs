@@ -106,6 +106,9 @@ pub struct Report {
     pub verdict: Verdict,
     /// How hard the search worked.
     pub stats: EffortStats,
+    /// Per-worker breakdown of the effort (exhaustive mode; empty for
+    /// swarm). One entry per worker thread, in worker order.
+    pub workers: Vec<crate::parallel::WorkerStats>,
 }
 
 /// The pre-facade name of [`Report`].
@@ -114,12 +117,22 @@ pub type CheckReport = Report;
 
 impl Report {
     /// Distinct states visited per wall-clock second (exhaustive mode).
+    ///
+    /// Always finite: a zero (or otherwise degenerate) wall clock yields
+    /// `0.0` rather than `inf`/`NaN` — this value flows straight into
+    /// BENCH_check.json, and JSON has no representation for non-finite
+    /// numbers.
     pub fn states_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
-        if secs <= 0.0 {
+        if !secs.is_finite() || secs <= 0.0 {
             return 0.0;
         }
-        self.stats.unique_states as f64 / secs
+        let rate = self.stats.unique_states as f64 / secs;
+        if rate.is_finite() {
+            rate
+        } else {
+            0.0
+        }
     }
 
     /// Panics with the rendered counterexample if the check failed — the
@@ -241,6 +254,18 @@ mod tests {
         assert!(sw.verdict.passed());
         assert_eq!(sw.mode, "swarm");
         assert_eq!(sw.stats.schedules_run, 6);
+    }
+
+    #[test]
+    fn states_per_sec_is_finite_for_degenerate_walls() {
+        let mut report = Checker::new(&disjoint_writers()).exhaustive();
+        report.stats.unique_states = 1_000_000;
+        report.wall = std::time::Duration::ZERO;
+        let rate = report.states_per_sec();
+        assert!(rate.is_finite(), "zero wall must not produce inf/NaN");
+        assert_eq!(rate, 0.0);
+        report.wall = std::time::Duration::from_secs(2);
+        assert_eq!(report.states_per_sec(), 500_000.0);
     }
 
     #[test]

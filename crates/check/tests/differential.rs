@@ -9,9 +9,12 @@
 //! legitimately race to states that then need no re-expansion, so the
 //! amount of redundant work depends on scheduling.
 
+use std::sync::Arc;
+
 use tpa_algos::sim::bakery::BakeryLock;
 use tpa_check::{Checker, Report, Verdict};
-use tpa_tso::{MemoryModel, System};
+use tpa_obs::{CollectProbe, NullProbe, Probe, Recorder};
+use tpa_tso::{Directive, Machine, MemoryModel, ProcId, System};
 
 const PAR_THREADS: usize = 4;
 
@@ -83,6 +86,108 @@ fn parallel_exploration_still_catches_the_fenceless_bakery() {
     assert_eq!(*invariant, "mutual-exclusion");
     assert!(!found.is_empty());
     assert_identical(&seq, &par, "bakery-nofence");
+}
+
+/// Telemetry must be write-only: a recording probe attached to a machine
+/// must not perturb its behavioural state, and a probe attached to a
+/// checker must not change the verdict, the witness, or the state count.
+#[test]
+fn probes_do_not_perturb_machine_state() {
+    let lock = tpa_algos::lock_by_name("tournament", 4, 1).unwrap();
+    let schedule: Vec<Directive> = (0..4)
+        .flat_map(|i| vec![Directive::Issue(ProcId(i)); 3])
+        .collect();
+
+    let run = |probe: Option<Arc<dyn Probe>>| {
+        let mut m = Machine::new(lock.as_ref());
+        if let Some(p) = probe {
+            m.attach_probe(p);
+        }
+        for d in &schedule {
+            let _ = m.step(*d);
+        }
+        m
+    };
+
+    let bare = run(None);
+    let nulled = run(Some(Arc::new(NullProbe)));
+    let collector = Arc::new(CollectProbe::new());
+    let collected = run(Some(collector.clone()));
+    let recorder = Arc::new(Recorder::in_memory());
+    let recorded = run(Some(recorder.clone()));
+
+    for (label, m) in [
+        ("NullProbe", &nulled),
+        ("CollectProbe", &collected),
+        ("Recorder", &recorded),
+    ] {
+        assert_eq!(
+            bare.state_key(),
+            m.state_key(),
+            "{label}: probe perturbed the state hash"
+        );
+        assert_eq!(
+            bare.log(),
+            m.log(),
+            "{label}: probe perturbed the event log"
+        );
+    }
+    // And the probes actually observed the execution (one SimStep per
+    // executed event).
+    assert_eq!(collector.snapshot().sim.len(), bare.log().len());
+    assert!(recorder
+        .lines()
+        .iter()
+        .any(|l| l.contains("\"kind\":\"sim\"")));
+}
+
+/// Checker-level determinism guard: probe-off, NullProbe, and a recording
+/// Recorder all report the identical witness and unique-state count, at
+/// 1 and 4 threads.
+#[test]
+fn recording_probe_does_not_perturb_the_search() {
+    let broken = BakeryLock::without_doorway_fence(2, 1);
+    let check = |threads: usize, probe: Option<Arc<dyn Probe>>| {
+        let mut c = Checker::new(&broken)
+            .max_steps(60)
+            .max_transitions(4_000_000)
+            .threads(threads);
+        if let Some(p) = probe {
+            c = c.probe(p);
+        }
+        c.exhaustive()
+    };
+    for threads in [1, PAR_THREADS] {
+        let bare = check(threads, None);
+        let nulled = check(threads, Some(Arc::new(NullProbe)));
+        let recorder = Arc::new(Recorder::in_memory());
+        let recorded = check(threads, Some(recorder.clone()));
+        assert_identical(&bare, &nulled, &format!("NullProbe @{threads}"));
+        assert_identical(&bare, &recorded, &format!("Recorder @{threads}"));
+        // The recording run did emit telemetry...
+        let lines = recorder.lines();
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"run_start\"")));
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"worker\"")));
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"run_finish\"")));
+        // ...and the per-worker breakdown covers every worker.
+        assert_eq!(recorded.workers.len(), threads);
+    }
+
+    // Passing searches must agree on unique_states too, probe or not.
+    let lock = tpa_algos::lock_by_name("tas", 2, 1).unwrap();
+    let clean = |probe: Option<Arc<dyn Probe>>| {
+        let mut c = Checker::new(lock.as_ref())
+            .max_steps(40)
+            .max_transitions(4_000_000)
+            .threads(PAR_THREADS);
+        if let Some(p) = probe {
+            c = c.probe(p);
+        }
+        c.exhaustive()
+    };
+    let bare = clean(None);
+    let recorded = clean(Some(Arc::new(Recorder::in_memory())));
+    assert_identical(&bare, &recorded, "clean tas with recorder");
 }
 
 /// The witness stays put across *many* thread counts, not just 1-vs-4.

@@ -27,7 +27,9 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
+use tpa_obs::{AdvEvent, Probe};
 use tpa_tso::machine::NextEvent;
 use tpa_tso::{erase, Directive, Machine, ProcId, StepError, System};
 
@@ -208,6 +210,10 @@ pub struct Construction<'a> {
     pub(crate) round: usize,
     completed_rounds: Vec<RoundTrace>,
     blocked_erased: usize,
+    /// Telemetry sink ([`Construction::attach_probe`]). Receives
+    /// [`AdvEvent`]s mirroring the phase/round traces, plus per-passage
+    /// histograms when the run finishes.
+    probe: Option<Arc<dyn Probe>>,
 }
 
 impl<'a> Construction<'a> {
@@ -238,7 +244,27 @@ impl<'a> Construction<'a> {
             round: 0,
             completed_rounds: Vec::new(),
             blocked_erased: 0,
+            probe: None,
         })
+    }
+
+    /// Attaches a telemetry probe. The construction emits an [`AdvEvent`]
+    /// per round start/end, phase step, erasure and blocked-set erasure,
+    /// plus per-passage RMR/fence/critical histograms at the end of the
+    /// run. With `sim_steps` the underlying [`Machine`] also emits one
+    /// [`tpa_obs::SimStep`] per executed event — orders of magnitude more
+    /// volume, so it is a separate opt-in.
+    pub fn attach_probe(&mut self, probe: Arc<dyn Probe>, sim_steps: bool) {
+        if sim_steps {
+            self.machine.attach_probe(probe.clone());
+        }
+        self.probe = Some(probe);
+    }
+
+    fn emit(&self, event: AdvEvent) {
+        if let Some(probe) = &self.probe {
+            probe.adversary(&event);
+        }
     }
 
     /// Runs the full construction and returns the outcome.
@@ -269,6 +295,10 @@ impl<'a> Construction<'a> {
                 return StopReason::ActiveExhausted;
             }
             let act_start = self.active.len();
+            self.emit(AdvEvent::RoundStart {
+                round: round as u32,
+                active: act_start as u32,
+            });
             let read_iters = match self.read_phase() {
                 Ok(k) => k,
                 Err(Failure::Stop(s)) => {
@@ -340,6 +370,15 @@ impl<'a> Construction<'a> {
                 criticals_per_active,
                 finisher,
             });
+            self.emit(AdvEvent::RoundEnd {
+                round: round as u32,
+                finisher: finisher.0,
+                active: self.active.len() as u32,
+                criticals_per_active,
+                read_iters: read_iters as u32,
+                write_iters: write_iters as u32,
+                reg_criticals: reg_criticals as u32,
+            });
             if let Err(Failure::Stop(s)) = self.check("round end", false) {
                 self.rounds_out(rounds);
                 return s;
@@ -354,6 +393,29 @@ impl<'a> Construction<'a> {
     }
 
     fn finish(self, stop: StopReason) -> (Outcome, Machine) {
+        if let Some(probe) = &self.probe {
+            // Per-passage complexity distributions over everything the
+            // construction made complete a passage.
+            let metrics = self.machine.metrics();
+            let emit_hist = |label: &str, h: tpa_tso::Histogram| {
+                if h.count() > 0 {
+                    probe.histogram(&h.to_record(label));
+                }
+            };
+            emit_hist(
+                "passage_rmr_dsm",
+                metrics.histogram_of(|p| p.counters.rmr_dsm),
+            );
+            emit_hist(
+                "passage_fences",
+                metrics.histogram_of(|p| p.counters.fences),
+            );
+            emit_hist(
+                "passage_critical",
+                metrics.histogram_of(|p| p.counters.critical),
+            );
+            probe.mark(&format!("construction-stop: {stop}"));
+        }
         let survivor = self.active.iter().copied().next_back();
         let survivor_fences = survivor
             .map(|p| self.machine.fences_completed(p))
@@ -376,6 +438,13 @@ impl<'a> Construction<'a> {
 
     /// Records a phase-trace line.
     pub(crate) fn trace(&mut self, label: String, case_taken: String, act_before: usize) {
+        self.emit(AdvEvent::Phase {
+            round: self.round as u32,
+            label: label.clone(),
+            case: case_taken.clone(),
+            act_before: act_before as u32,
+            act_after: self.active.len() as u32,
+        });
         self.phases.push(PhaseTrace {
             round: self.round,
             label,
@@ -399,6 +468,12 @@ impl<'a> Construction<'a> {
             for p in set {
                 self.active.remove(p);
             }
+            self.emit(AdvEvent::Erasure {
+                round: self.round as u32,
+                erased: set.len() as u32,
+                mode: "in-place",
+                active_after: self.active.len() as u32,
+            });
             return Ok(());
         }
         // Invisibility precondition: no remaining process may be aware of
@@ -428,10 +503,22 @@ impl<'a> Construction<'a> {
                 "criticality changed under erasure (IN3)".to_owned(),
             )));
         }
+        // The replayed machine is a fresh instance: carry the step-level
+        // probe attachment (if any) across the swap.
+        let machine_probe = self.machine.detach_probe();
         self.machine = out.machine;
+        if let Some(probe) = machine_probe {
+            self.machine.attach_probe(probe);
+        }
         for p in set {
             self.active.remove(p);
         }
+        self.emit(AdvEvent::Erasure {
+            round: self.round as u32,
+            erased: set.len() as u32,
+            mode: "replay",
+            active_after: self.active.len() as u32,
+        });
         Ok(())
     }
 
@@ -458,6 +545,10 @@ impl<'a> Construction<'a> {
         }
         if !blocked.is_empty() {
             self.blocked_erased += blocked.len();
+            self.emit(AdvEvent::Blocked {
+                round: self.round as u32,
+                count: blocked.len() as u32,
+            });
             self.erase_set(&blocked)?;
             nexts.retain(|(p, _)| !blocked.contains(p));
         }

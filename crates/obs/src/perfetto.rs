@@ -1,0 +1,250 @@
+//! Chrome trace-event ("Perfetto") export.
+//!
+//! The [`TraceBuilder`] accumulates events in the [trace-event JSON
+//! format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! and renders the `{"traceEvents": [...]}` envelope understood by
+//! `ui.perfetto.dev` and `chrome://tracing`. Three phases are used:
+//!
+//! * `"X"` — complete slices with a duration (runs, adversary phases,
+//!   worker lifetimes);
+//! * `"i"` — instants (erasures, marks);
+//! * `"C"` — counter tracks (per-worker transition/cache/prune counters);
+//! * `"M"` — metadata naming the synthetic processes/threads.
+//!
+//! Timestamps are microseconds relative to the recorder's start; the
+//! synthetic layout puts the run/adversary timeline on pid 1 and each
+//! checker worker on its own tid of pid 2.
+
+use crate::json::escape;
+
+/// Synthetic pid for the run/adversary/mark timeline.
+pub const PID_RUN: u32 = 1;
+/// Synthetic pid whose tids are checker workers.
+pub const PID_WORKERS: u32 = 2;
+
+/// One trace event, pre-rendered except for the envelope.
+#[derive(Clone, Debug)]
+struct TraceEvent {
+    name: String,
+    cat: &'static str,
+    ph: char,
+    ts: u64,
+    dur: Option<u64>,
+    pid: u32,
+    tid: u32,
+    args: Vec<(String, String)>,
+}
+
+/// Accumulates trace events and renders the Perfetto JSON envelope.
+#[derive(Default, Debug)]
+pub struct TraceBuilder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Number of events accumulated.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A complete slice (`ph: "X"`) from `ts_us` lasting `dur_us`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn slice(
+        &mut self,
+        name: &str,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        ts_us: u64,
+        dur_us: u64,
+        args: Vec<(String, String)>,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.to_owned(),
+            cat,
+            ph: 'X',
+            ts: ts_us,
+            dur: Some(dur_us.max(1)),
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// An instant event (`ph: "i"`).
+    pub fn instant(&mut self, name: &str, cat: &'static str, pid: u32, tid: u32, ts_us: u64) {
+        self.events.push(TraceEvent {
+            name: name.to_owned(),
+            cat,
+            ph: 'i',
+            ts: ts_us,
+            dur: None,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// A counter sample (`ph: "C"`): each arg becomes one series on the
+    /// counter track `name`.
+    pub fn counter(
+        &mut self,
+        name: &str,
+        pid: u32,
+        tid: u32,
+        ts_us: u64,
+        args: Vec<(String, String)>,
+    ) {
+        self.events.push(TraceEvent {
+            name: name.to_owned(),
+            cat: "counter",
+            ph: 'C',
+            ts: ts_us,
+            dur: None,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Names a synthetic thread (`ph: "M"`, `thread_name`).
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(TraceEvent {
+            name: "thread_name".to_owned(),
+            cat: "__metadata",
+            ph: 'M',
+            ts: 0,
+            dur: None,
+            pid,
+            tid,
+            args: vec![("name".to_owned(), escape(name))],
+        });
+    }
+
+    /// Names a synthetic process (`ph: "M"`, `process_name`).
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.events.push(TraceEvent {
+            name: "process_name".to_owned(),
+            cat: "__metadata",
+            ph: 'M',
+            ts: 0,
+            dur: None,
+            pid,
+            tid: 0,
+            args: vec![("name".to_owned(), escape(name))],
+        });
+    }
+
+    /// Renders the complete `{"traceEvents": [...]}` document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&render_event(e));
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+fn render_event(e: &TraceEvent) -> String {
+    let mut out = format!(
+        "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        escape(&e.name),
+        e.cat,
+        e.ph,
+        e.ts,
+        e.pid,
+        e.tid
+    );
+    if let Some(dur) = e.dur {
+        out.push_str(&format!(",\"dur\":{dur}"));
+    }
+    if e.ph == 'i' {
+        // Instant scope: thread.
+        out.push_str(",\"s\":\"t\"");
+    }
+    if !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", escape(k), v));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    #[test]
+    fn rendered_trace_is_valid_json_with_the_envelope() {
+        let mut b = TraceBuilder::new();
+        b.name_process(PID_RUN, "tpa run");
+        b.name_thread(PID_WORKERS, 3, "worker-3");
+        b.slice(
+            "exhaustive: tas",
+            "run",
+            PID_RUN,
+            0,
+            10,
+            500,
+            vec![("threads".into(), "4".into())],
+        );
+        b.instant("erasure", "adversary", PID_RUN, 1, 42);
+        b.counter(
+            "worker-0",
+            PID_WORKERS,
+            0,
+            100,
+            vec![("transitions".into(), "123".into())],
+        );
+        let doc = parse(&b.render()).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 5);
+        for e in events {
+            assert!(e.get("ph").is_some());
+            assert!(e.get("ts").and_then(Json::as_num).is_some());
+            assert!(e.get("pid").is_some());
+        }
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(slice.get("dur").and_then(Json::as_u64), Some(500));
+        assert_eq!(
+            slice
+                .get("args")
+                .and_then(|a| a.get("threads"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn zero_duration_slices_are_clamped_visible() {
+        let mut b = TraceBuilder::new();
+        b.slice("blip", "run", PID_RUN, 0, 7, 0, Vec::new());
+        let doc = parse(&b.render()).unwrap();
+        let ev = &doc.get("traceEvents").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(ev.get("dur").and_then(Json::as_u64), Some(1));
+    }
+}

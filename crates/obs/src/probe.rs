@@ -1,0 +1,473 @@
+//! The [`Probe`] trait and the structured events the engines emit.
+//!
+//! Every event type here is a plain-old-data struct over primitive ids
+//! (`u32` processes, `u32` variables, `u64` values) so this crate sits
+//! *below* the simulator in the dependency graph: `tpa-tso`, the
+//! adversary construction and the checker all depend on `tpa-obs`, never
+//! the other way around.
+//!
+//! The contract that makes the layer zero-cost: every `Probe` method has
+//! an empty `#[inline]` default body, and emitters hold the probe as an
+//! `Option<Arc<dyn Probe>>`. With no probe attached the hot path pays one
+//! predictable branch on the `Option`; with [`NullProbe`] attached it
+//! pays one devirtualisable call to an empty body. Neither allocates.
+
+use std::sync::Mutex;
+
+/// What one simulator step did, as seen by a probe.
+///
+/// This is the probe-facing mirror of `tpa_tso::EventKind`, flattened to
+/// primitive ids.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimKind {
+    /// A read of `var` returning `value`.
+    Read {
+        /// Variable read.
+        var: u32,
+        /// Value obtained.
+        value: u64,
+        /// Whether the value came from the issuer's own write buffer.
+        from_buffer: bool,
+    },
+    /// A write issued into the write buffer (not yet visible).
+    IssueWrite {
+        /// Variable written.
+        var: u32,
+        /// Buffered value.
+        value: u64,
+    },
+    /// A buffered write committed to shared memory.
+    CommitWrite {
+        /// Variable written.
+        var: u32,
+        /// Committed value.
+        value: u64,
+    },
+    /// Start of a fence (write mode until the buffer drains).
+    BeginFence,
+    /// End of a fence (buffer empty).
+    EndFence,
+    /// An atomic compare-and-swap on memory.
+    Cas {
+        /// Variable operated on.
+        var: u32,
+        /// Expected value.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+        /// Whether the swap succeeded.
+        success: bool,
+        /// Value observed pre-swap.
+        observed: u64,
+    },
+    /// `Enter`: ncs → entry.
+    Enter,
+    /// `CS`: the critical section.
+    Cs,
+    /// `Exit`: exit → ncs.
+    Exit,
+    /// Start of an object operation.
+    Invoke {
+        /// Operation code.
+        op: u32,
+        /// Operation argument.
+        arg: u64,
+    },
+    /// Completion of an object operation.
+    Return {
+        /// The operation's result.
+        value: u64,
+    },
+}
+
+impl SimKind {
+    /// A short stable tag for log lines (`"read"`, `"commit"`, …).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SimKind::Read { .. } => "read",
+            SimKind::IssueWrite { .. } => "issue",
+            SimKind::CommitWrite { .. } => "commit",
+            SimKind::BeginFence => "begin_fence",
+            SimKind::EndFence => "end_fence",
+            SimKind::Cas { .. } => "cas",
+            SimKind::Enter => "enter",
+            SimKind::Cs => "cs",
+            SimKind::Exit => "exit",
+            SimKind::Invoke { .. } => "invoke",
+            SimKind::Return { .. } => "return",
+        }
+    }
+}
+
+/// One executed simulator step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimStep {
+    /// Position in the execution (0-based).
+    pub seq: u64,
+    /// The process that stepped.
+    pub pid: u32,
+    /// Whether the event was critical (Definition 2) when executed.
+    pub critical: bool,
+    /// Pending writes in the process' buffer *after* the step.
+    pub buffer_depth: u32,
+    /// What happened.
+    pub kind: SimKind,
+}
+
+/// Progress of the adversarial inductive construction.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AdvEvent {
+    /// An induction round began.
+    RoundStart {
+        /// Round number (1-based).
+        round: u32,
+        /// `|Act|` entering the round.
+        active: u32,
+    },
+    /// One phase step (one line of the Figure 1 trace).
+    Phase {
+        /// Round number.
+        round: u32,
+        /// `read[k]`, `write[k]`, `regularize[k]`.
+        label: String,
+        /// Which case of the phase applied.
+        case: String,
+        /// `|Act|` before the step.
+        act_before: u32,
+        /// `|Act|` after the step.
+        act_after: u32,
+    },
+    /// A set of processes was erased from the execution.
+    Erasure {
+        /// Round number.
+        round: u32,
+        /// How many processes were erased.
+        erased: u32,
+        /// `"in-place"` or `"replay"`.
+        mode: &'static str,
+        /// `|Act|` after the erasure.
+        active_after: u32,
+    },
+    /// Processes erased because they could not reach another special
+    /// event invisibly.
+    Blocked {
+        /// Round number.
+        round: u32,
+        /// How many were blocked.
+        count: u32,
+    },
+    /// An induction round completed: `H_round` is built.
+    RoundEnd {
+        /// Round number.
+        round: u32,
+        /// The process that completed its passage this round.
+        finisher: u32,
+        /// `|Act|` at the end of the round.
+        active: u32,
+        /// The paper's `ℓ_i`.
+        criticals_per_active: u64,
+        /// Read-phase iterations (`s`).
+        read_iters: u32,
+        /// Write-phase iterations (`t`).
+        write_iters: u32,
+        /// Regularization criticals (`m`).
+        reg_criticals: u32,
+    },
+}
+
+impl AdvEvent {
+    /// The round this event belongs to.
+    pub fn round(&self) -> u32 {
+        match self {
+            AdvEvent::RoundStart { round, .. }
+            | AdvEvent::Phase { round, .. }
+            | AdvEvent::Erasure { round, .. }
+            | AdvEvent::Blocked { round, .. }
+            | AdvEvent::RoundEnd { round, .. } => *round,
+        }
+    }
+
+    /// A short stable tag for log lines.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AdvEvent::RoundStart { .. } => "round_start",
+            AdvEvent::Phase { .. } => "phase",
+            AdvEvent::Erasure { .. } => "erasure",
+            AdvEvent::Blocked { .. } => "blocked",
+            AdvEvent::RoundEnd { .. } => "round_end",
+        }
+    }
+}
+
+/// A periodic (or final) snapshot of one checker worker's counters.
+///
+/// Counters are cumulative over the worker's lifetime, so consecutive
+/// snapshots of the same worker are monotone — the JSONL schema validator
+/// checks exactly that.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct WorkerSnapshot {
+    /// Worker index (0-based, dense).
+    pub worker: u32,
+    /// Whether this is the worker's final snapshot.
+    pub done: bool,
+    /// Machine transitions this worker executed.
+    pub transitions: u64,
+    /// Frontier nodes this worker expanded.
+    pub nodes_expanded: u64,
+    /// Visits suppressed by the state cache (already covered).
+    pub cache_hits: u64,
+    /// States this worker inserted into the cache first.
+    pub cache_misses: u64,
+    /// Directives skipped because they slept.
+    pub sleep_prunes: u64,
+    /// Nodes donated to the shared queue for load balancing.
+    pub donated: u64,
+    /// Private frontier depth at snapshot time.
+    pub frontier_depth: u32,
+    /// High-water mark of the private frontier.
+    pub max_frontier: u32,
+}
+
+/// Metadata announced when a check/search starts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunInfo {
+    /// The checked system's name.
+    pub algo: String,
+    /// `"tso"` or `"pso"`.
+    pub model: String,
+    /// `"exhaustive"` or `"swarm"`.
+    pub mode: &'static str,
+    /// Worker threads.
+    pub threads: u32,
+    /// Schedule-length bound.
+    pub max_steps: u64,
+    /// Transition budget.
+    pub max_transitions: u64,
+}
+
+/// Outcome announced when a check/search finishes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunSummary {
+    /// The checked system's name.
+    pub algo: String,
+    /// `"exhaustive"` or `"swarm"`.
+    pub mode: &'static str,
+    /// Whether every invariant held.
+    pub passed: bool,
+    /// Whether the bounded space was fully covered.
+    pub complete: bool,
+    /// Total machine transitions.
+    pub transitions: u64,
+    /// Distinct states visited.
+    pub unique_states: u64,
+    /// Wall-clock time in microseconds.
+    pub wall_us: u64,
+}
+
+/// A named histogram (e.g. per-passage RMR counts), bucketed by powers
+/// of two. Only non-empty buckets are carried.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistogramRecord {
+    /// What was measured (`"passage_rmr_dsm"`, …).
+    pub label: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// `(bucket label, count)` for each non-empty bucket, in order.
+    pub buckets: Vec<(String, u64)>,
+}
+
+/// A telemetry sink. All methods default to empty `#[inline]` bodies, so
+/// implementors override only what they consume and the disabled path
+/// optimises away.
+///
+/// Implementations must be `Send + Sync`: the simulator machines and
+/// checker workers that hold a probe migrate freely across threads, and
+/// parallel workers emit concurrently.
+pub trait Probe: Send + Sync {
+    /// One simulator step ([`SimStep`]). Emitted from `Machine::step`,
+    /// the hottest path in the workspace — implementations should be
+    /// cheap or sample.
+    #[inline]
+    fn sim_step(&self, _step: &SimStep) {}
+
+    /// Adversary construction progress.
+    #[inline]
+    fn adversary(&self, _event: &AdvEvent) {}
+
+    /// A checker worker counter snapshot.
+    #[inline]
+    fn worker(&self, _snapshot: &WorkerSnapshot) {}
+
+    /// A check/search started.
+    #[inline]
+    fn run_start(&self, _info: &RunInfo) {}
+
+    /// A check/search finished.
+    #[inline]
+    fn run_finish(&self, _summary: &RunSummary) {}
+
+    /// A completed histogram.
+    #[inline]
+    fn histogram(&self, _hist: &HistogramRecord) {}
+
+    /// A free-form point annotation.
+    #[inline]
+    fn mark(&self, _label: &str) {}
+}
+
+/// The no-op probe: every method is the inherited empty default.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// Everything a [`CollectProbe`] gathered, by event family.
+#[derive(Clone, Default, Debug)]
+pub struct Collected {
+    /// Simulator steps, in emission order.
+    pub sim: Vec<SimStep>,
+    /// Adversary events, in emission order.
+    pub adv: Vec<AdvEvent>,
+    /// Worker snapshots, in emission order.
+    pub workers: Vec<WorkerSnapshot>,
+    /// Run starts.
+    pub runs: Vec<RunInfo>,
+    /// Run summaries.
+    pub summaries: Vec<RunSummary>,
+    /// Histograms.
+    pub histograms: Vec<HistogramRecord>,
+    /// Marks.
+    pub marks: Vec<String>,
+}
+
+/// A probe that buffers every event in memory — the workhorse for tests
+/// and for consumers (like the `adversary_trace` example) that want the
+/// structured events rather than a serialised log.
+#[derive(Default, Debug)]
+pub struct CollectProbe {
+    inner: Mutex<Collected>,
+}
+
+impl CollectProbe {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes everything collected so far, leaving the collector empty.
+    pub fn take(&self) -> Collected {
+        std::mem::take(&mut *self.inner.lock().expect("collect probe poisoned"))
+    }
+
+    /// A copy of everything collected so far.
+    pub fn snapshot(&self) -> Collected {
+        self.inner.lock().expect("collect probe poisoned").clone()
+    }
+}
+
+impl Probe for CollectProbe {
+    fn sim_step(&self, step: &SimStep) {
+        self.inner
+            .lock()
+            .expect("collect probe poisoned")
+            .sim
+            .push(*step);
+    }
+
+    fn adversary(&self, event: &AdvEvent) {
+        self.inner
+            .lock()
+            .expect("collect probe poisoned")
+            .adv
+            .push(event.clone());
+    }
+
+    fn worker(&self, snapshot: &WorkerSnapshot) {
+        self.inner
+            .lock()
+            .expect("collect probe poisoned")
+            .workers
+            .push(*snapshot);
+    }
+
+    fn run_start(&self, info: &RunInfo) {
+        self.inner
+            .lock()
+            .expect("collect probe poisoned")
+            .runs
+            .push(info.clone());
+    }
+
+    fn run_finish(&self, summary: &RunSummary) {
+        self.inner
+            .lock()
+            .expect("collect probe poisoned")
+            .summaries
+            .push(summary.clone());
+    }
+
+    fn histogram(&self, hist: &HistogramRecord) {
+        self.inner
+            .lock()
+            .expect("collect probe poisoned")
+            .histograms
+            .push(hist.clone());
+    }
+
+    fn mark(&self, label: &str) {
+        self.inner
+            .lock()
+            .expect("collect probe poisoned")
+            .marks
+            .push(label.to_owned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_probe_accepts_everything() {
+        let p = NullProbe;
+        p.sim_step(&SimStep {
+            seq: 0,
+            pid: 0,
+            critical: false,
+            buffer_depth: 0,
+            kind: SimKind::Enter,
+        });
+        p.mark("nothing happens");
+    }
+
+    #[test]
+    fn collect_probe_buffers_in_order() {
+        let p = CollectProbe::new();
+        p.mark("a");
+        p.adversary(&AdvEvent::RoundStart {
+            round: 1,
+            active: 4,
+        });
+        p.worker(&WorkerSnapshot {
+            worker: 2,
+            transitions: 10,
+            ..WorkerSnapshot::default()
+        });
+        let got = p.take();
+        assert_eq!(got.marks, vec!["a"]);
+        assert_eq!(got.adv.len(), 1);
+        assert_eq!(got.adv[0].round(), 1);
+        assert_eq!(got.workers[0].worker, 2);
+        assert!(p.take().marks.is_empty(), "take drains");
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(SimKind::BeginFence.tag(), "begin_fence");
+        assert_eq!(AdvEvent::Blocked { round: 3, count: 1 }.tag(), "blocked");
+    }
+}

@@ -1,0 +1,275 @@
+//! JSONL run-log schema validation.
+//!
+//! The schema (also documented in EXPERIMENTS.md): every line is one
+//! JSON object with
+//!
+//! * `t` — microseconds since the recorder started, monotone
+//!   non-decreasing across the file;
+//! * `kind` — one of `run_start`, `run_finish`, `sim`, `adv`, `worker`,
+//!   `hist`, `mark`;
+//! * kind-specific required keys (see [`required_keys`]).
+//!
+//! Two cross-line invariants are checked on top of per-line shape:
+//! `t` monotonicity, and per-worker counter monotonicity (`transitions`,
+//! `nodes_expanded`, `cache_hits`, `cache_misses`, `sleep_prunes` never
+//! decrease between consecutive snapshots of the same worker within a
+//! run; `run_start` resets the baseline because each run spawns fresh
+//! workers).
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Json};
+
+/// The required keys of each line kind (beyond `t` and `kind`).
+pub fn required_keys(kind: &str) -> Option<&'static [&'static str]> {
+    Some(match kind {
+        "run_start" => &[
+            "algo",
+            "model",
+            "mode",
+            "threads",
+            "max_steps",
+            "max_transitions",
+        ],
+        "run_finish" => &[
+            "algo",
+            "mode",
+            "passed",
+            "complete",
+            "transitions",
+            "unique_states",
+            "wall_us",
+        ],
+        "sim" => &["seq", "pid", "event", "critical", "buffer_depth"],
+        "adv" => &["event", "round"],
+        "worker" => &[
+            "worker",
+            "done",
+            "transitions",
+            "nodes_expanded",
+            "cache_hits",
+            "cache_misses",
+            "sleep_prunes",
+            "donated",
+            "frontier_depth",
+            "max_frontier",
+        ],
+        "hist" => &["label", "count", "sum", "max", "buckets"],
+        "mark" => &["label"],
+        _ => return None,
+    })
+}
+
+/// What a successful validation saw.
+#[derive(Clone, Default, Debug)]
+pub struct LogSummary {
+    /// Total lines validated.
+    pub lines: usize,
+    /// Lines per `kind`.
+    pub by_kind: BTreeMap<String, usize>,
+    /// Distinct workers that emitted snapshots.
+    pub workers: usize,
+    /// Largest `t` seen (the log's time span in microseconds).
+    pub span_us: u64,
+}
+
+const WORKER_COUNTERS: [&str; 5] = [
+    "transitions",
+    "nodes_expanded",
+    "cache_hits",
+    "cache_misses",
+    "sleep_prunes",
+];
+
+/// Validates a JSONL run log, line by line plus the cross-line
+/// invariants described in the module docs.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line (1-based) and what
+/// was wrong with it.
+pub fn validate_lines<S: AsRef<str>>(lines: &[S]) -> Result<LogSummary, String> {
+    let mut summary = LogSummary::default();
+    let mut last_t = 0u64;
+    let mut worker_last: BTreeMap<u64, BTreeMap<&'static str, u64>> = BTreeMap::new();
+    let mut all_workers: BTreeMap<u64, ()> = BTreeMap::new();
+
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let line = line.as_ref();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {lineno}: not valid JSON: {e}"))?;
+        if v.as_obj().is_none() {
+            return Err(format!("line {lineno}: not a JSON object"));
+        }
+        let t = v
+            .get("t")
+            .and_then(Json::as_u64)
+            .ok_or(format!("line {lineno}: missing numeric `t`"))?;
+        if t < last_t {
+            return Err(format!(
+                "line {lineno}: `t` went backwards ({t} after {last_t})"
+            ));
+        }
+        last_t = t;
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {lineno}: missing string `kind`"))?;
+        let required =
+            required_keys(kind).ok_or_else(|| format!("line {lineno}: unknown kind `{kind}`"))?;
+        for key in required {
+            if v.get(key).is_none() {
+                return Err(format!("line {lineno}: kind `{kind}` missing key `{key}`"));
+            }
+        }
+        match kind {
+            "run_start" => {
+                // Fresh workers; counter baselines reset.
+                worker_last.clear();
+            }
+            "worker" => {
+                let id = v
+                    .get("worker")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("line {lineno}: `worker` is not a number"))?;
+                all_workers.insert(id, ());
+                let prev = worker_last.entry(id).or_default();
+                for key in WORKER_COUNTERS {
+                    let now = v
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("line {lineno}: `{key}` is not a number"))?;
+                    if let Some(&before) = prev.get(key) {
+                        if now < before {
+                            return Err(format!(
+                                "line {lineno}: worker {id} counter `{key}` decreased ({before} -> {now})"
+                            ));
+                        }
+                    }
+                    prev.insert(key, now);
+                }
+            }
+            _ => {}
+        }
+        summary.lines += 1;
+        *summary.by_kind.entry(kind.to_owned()).or_insert(0) += 1;
+    }
+    summary.workers = all_workers.len();
+    summary.span_us = last_t;
+    Ok(summary)
+}
+
+/// Validates a Perfetto trace document: parses, checks the
+/// `traceEvents` envelope and the per-event required fields, and
+/// returns the event count.
+///
+/// # Errors
+///
+/// Returns a message describing the first structural problem.
+pub fn validate_trace(doc: &str) -> Result<usize, String> {
+    let v = parse(doc).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+    for (i, e) in events.iter().enumerate() {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            if e.get(key).is_none() {
+                return Err(format!("traceEvents[{i}]: missing `{key}`"));
+            }
+        }
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        if !matches!(ph, "X" | "i" | "C" | "M") {
+            return Err(format!("traceEvents[{i}]: unexpected phase `{ph}`"));
+        }
+        if ph == "X" && e.get("dur").and_then(Json::as_u64).is_none() {
+            return Err(format!("traceEvents[{i}]: slice without `dur`"));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_log() {
+        let lines = [
+            r#"{"t":0,"kind":"run_start","algo":"tas","model":"tso","mode":"exhaustive","threads":1,"max_steps":40,"max_transitions":100}"#,
+            r#"{"t":5,"kind":"worker","worker":0,"done":false,"transitions":3,"nodes_expanded":1,"cache_hits":0,"cache_misses":1,"sleep_prunes":0,"donated":0,"frontier_depth":2,"max_frontier":2}"#,
+            r#"{"t":9,"kind":"worker","worker":0,"done":true,"transitions":7,"nodes_expanded":4,"cache_hits":2,"cache_misses":3,"sleep_prunes":1,"donated":0,"frontier_depth":0,"max_frontier":3}"#,
+            r#"{"t":12,"kind":"run_finish","algo":"tas","mode":"exhaustive","passed":true,"complete":true,"transitions":7,"unique_states":5,"wall_us":12}"#,
+        ];
+        let s = validate_lines(&lines).expect("valid");
+        assert_eq!(s.lines, 4);
+        assert_eq!(s.workers, 1);
+        assert_eq!(s.span_us, 12);
+    }
+
+    #[test]
+    fn rejects_backwards_time() {
+        let lines = [
+            r#"{"t":10,"kind":"mark","label":"a"}"#,
+            r#"{"t":4,"kind":"mark","label":"b"}"#,
+        ];
+        let err = validate_lines(&lines).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn rejects_decreasing_worker_counters() {
+        let lines = [
+            r#"{"t":1,"kind":"worker","worker":0,"done":false,"transitions":9,"nodes_expanded":1,"cache_hits":0,"cache_misses":0,"sleep_prunes":0,"donated":0,"frontier_depth":0,"max_frontier":0}"#,
+            r#"{"t":2,"kind":"worker","worker":0,"done":true,"transitions":5,"nodes_expanded":2,"cache_hits":0,"cache_misses":0,"sleep_prunes":0,"donated":0,"frontier_depth":0,"max_frontier":0}"#,
+        ];
+        let err = validate_lines(&lines).unwrap_err();
+        assert!(err.contains("decreased"), "{err}");
+    }
+
+    #[test]
+    fn run_start_resets_worker_baselines() {
+        let lines = [
+            r#"{"t":1,"kind":"worker","worker":0,"done":true,"transitions":9,"nodes_expanded":1,"cache_hits":0,"cache_misses":0,"sleep_prunes":0,"donated":0,"frontier_depth":0,"max_frontier":0}"#,
+            r#"{"t":2,"kind":"run_start","algo":"tas","model":"tso","mode":"exhaustive","threads":1,"max_steps":40,"max_transitions":100}"#,
+            r#"{"t":3,"kind":"worker","worker":0,"done":true,"transitions":2,"nodes_expanded":1,"cache_hits":0,"cache_misses":0,"sleep_prunes":0,"donated":0,"frontier_depth":0,"max_frontier":0}"#,
+        ];
+        validate_lines(&lines).expect("counters may reset across runs");
+    }
+
+    #[test]
+    fn rejects_missing_keys_and_unknown_kinds() {
+        let missing = [r#"{"t":1,"kind":"sim","seq":0,"pid":0}"#];
+        assert!(validate_lines(&missing)
+            .unwrap_err()
+            .contains("missing key"));
+        let unknown = [r#"{"t":1,"kind":"telepathy"}"#];
+        assert!(validate_lines(&unknown)
+            .unwrap_err()
+            .contains("unknown kind"));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let lines = ["", r#"{"t":1,"kind":"mark","label":"x"}"#, "  "];
+        assert_eq!(validate_lines(&lines).unwrap().lines, 1);
+    }
+
+    #[test]
+    fn trace_validation() {
+        assert!(validate_trace("{}").is_err());
+        assert!(validate_trace(r#"{"traceEvents":[]}"#).is_ok());
+        assert!(validate_trace(
+            r#"{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1,"tid":0,"dur":5}]}"#
+        )
+        .is_ok());
+        assert!(validate_trace(
+            r#"{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1,"tid":0}]}"#
+        )
+        .unwrap_err()
+        .contains("without `dur`"));
+    }
+}

@@ -175,6 +175,50 @@ impl Event {
         }
     }
 
+    /// Flattens the event into the probe-facing [`tpa_obs::SimStep`]
+    /// shape. `buffer_depth` is the issuer's pending-write count *after*
+    /// the event (the machine supplies it at emission time; renderers
+    /// that only format the event pass 0).
+    pub fn probe_step(&self, buffer_depth: u32) -> tpa_obs::SimStep {
+        use tpa_obs::SimKind;
+        let kind = match self.kind {
+            EventKind::Read { var, value, source } => SimKind::Read {
+                var: var.0,
+                value,
+                from_buffer: source == ReadSource::Buffer,
+            },
+            EventKind::IssueWrite { var, value } => SimKind::IssueWrite { var: var.0, value },
+            EventKind::CommitWrite { var, value } => SimKind::CommitWrite { var: var.0, value },
+            EventKind::BeginFence => SimKind::BeginFence,
+            EventKind::EndFence => SimKind::EndFence,
+            EventKind::Cas {
+                var,
+                expected,
+                new,
+                success,
+                observed,
+            } => SimKind::Cas {
+                var: var.0,
+                expected,
+                new,
+                success,
+                observed,
+            },
+            EventKind::Enter => SimKind::Enter,
+            EventKind::Cs => SimKind::Cs,
+            EventKind::Exit => SimKind::Exit,
+            EventKind::Invoke { op, arg } => SimKind::Invoke { op, arg },
+            EventKind::Return { value } => SimKind::Return { value },
+        };
+        tpa_obs::SimStep {
+            seq: self.seq as u64,
+            pid: self.pid.0,
+            critical: self.critical,
+            buffer_depth,
+            kind,
+        }
+    }
+
     /// Event congruence `e ~ f` (Section 2): same process and either the
     /// same transition/fence event, or both reads / both writes of the same
     /// variable (values may differ).
@@ -201,53 +245,12 @@ impl Event {
 }
 
 impl fmt::Display for Event {
+    /// Delegates to [`crate::trace::verbose`]: the structured
+    /// [`tpa_obs::SimStep`] is the single source of truth for event
+    /// formatting (the compact timeline cells come from the same value
+    /// via [`crate::trace::compact`]).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let crit = if self.critical { "!" } else { "" };
-        match self.kind {
-            EventKind::Read { var, value, source } => {
-                let src = match source {
-                    ReadSource::Buffer => "buf",
-                    ReadSource::Memory => "mem",
-                };
-                write!(
-                    f,
-                    "[{}] {} read{}({})={} <{}>",
-                    self.seq, self.pid, crit, var, value, src
-                )
-            }
-            EventKind::IssueWrite { var, value } => {
-                write!(f, "[{}] {} issue({}:={})", self.seq, self.pid, var, value)
-            }
-            EventKind::CommitWrite { var, value } => {
-                write!(
-                    f,
-                    "[{}] {} commit{}({}:={})",
-                    self.seq, self.pid, crit, var, value
-                )
-            }
-            EventKind::BeginFence => write!(f, "[{}] {} begin-fence", self.seq, self.pid),
-            EventKind::EndFence => write!(f, "[{}] {} end-fence", self.seq, self.pid),
-            EventKind::Cas {
-                var,
-                expected,
-                new,
-                success,
-                observed,
-            } => write!(
-                f,
-                "[{}] {} cas{}({}: {}->{}) = {} (saw {})",
-                self.seq, self.pid, crit, var, expected, new, success, observed
-            ),
-            EventKind::Enter => write!(f, "[{}] {} ENTER", self.seq, self.pid),
-            EventKind::Cs => write!(f, "[{}] {} CS", self.seq, self.pid),
-            EventKind::Exit => write!(f, "[{}] {} EXIT", self.seq, self.pid),
-            EventKind::Invoke { op, arg } => {
-                write!(f, "[{}] {} invoke(op{}, {})", self.seq, self.pid, op, arg)
-            }
-            EventKind::Return { value } => {
-                write!(f, "[{}] {} return({})", self.seq, self.pid, value)
-            }
-        }
+        f.write_str(&crate::trace::verbose(&self.probe_step(0)))
     }
 }
 

@@ -90,7 +90,7 @@ pub use event::{Event, EventKind, ReadSource, SpecialKind};
 pub use fxhash::{fx_hash_one, FxBuildHasher, FxHasher};
 pub use ids::{ProcId, Value, VarId};
 pub use machine::{Directive, Machine, MemoryModel, Mode, Section, StateKey, StepError};
-pub use metrics::{Metrics, PassageStats, ProcMetrics};
+pub use metrics::{Counters, Histogram, Metrics, PassageStats, ProcMetrics, SpanKind};
 pub use op::{Op, Outcome};
 pub use program::{Program, System};
 pub use vars::{VarSpec, VarSpecBuilder};

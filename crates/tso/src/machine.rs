@@ -297,6 +297,12 @@ pub struct Machine {
     /// Set by [`Machine::fork_for_search`]: commit history was dropped, so
     /// in-place erasure (which rewinds through it) is unavailable.
     search_fork: bool,
+    /// Telemetry sink ([`Machine::attach_probe`]). `None` — the default —
+    /// costs one branch per step. Deliberately *excluded* from
+    /// [`Machine::state_hash`] and from behavioural equality: a probe
+    /// observes the execution, it is not part of it (pinned by the
+    /// differential suite in `tpa-check`).
+    probe: Option<Arc<dyn tpa_obs::Probe>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -354,9 +360,29 @@ impl Machine {
             proc_hash: Vec::new(),
             hash: 0,
             search_fork: false,
+            probe: None,
         };
         machine.rebuild_state_hash();
         machine
+    }
+
+    /// Attaches a telemetry probe: every subsequent [`Machine::step`]
+    /// emits a [`tpa_obs::SimStep`] into it. [`Machine::fork`] keeps the
+    /// attachment (shared `Arc`); [`Machine::fork_for_search`] drops it —
+    /// search forks are throwaway exploration copies and the checker
+    /// reports aggregate worker counters instead of per-step events.
+    pub fn attach_probe(&mut self, probe: Arc<dyn tpa_obs::Probe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Detaches the telemetry probe, if any, returning it.
+    pub fn detach_probe(&mut self) -> Option<Arc<dyn tpa_obs::Probe>> {
+        self.probe.take()
+    }
+
+    /// The attached telemetry probe, if any.
+    pub fn probe(&self) -> Option<&Arc<dyn tpa_obs::Probe>> {
+        self.probe.as_ref()
     }
 
     /// Number of processes.
@@ -572,6 +598,10 @@ impl Machine {
         // remote reads) belongs to the scheduled process; committed
         // variables were refreshed inside `apply_commit`/`do_cas`.
         self.refresh_proc_hash(d.pid());
+        if let Some(probe) = &self.probe {
+            let depth = self.procs[d.pid().index()].buffer.len() as u32;
+            probe.sim_step(&event.probe_step(depth));
+        }
         Ok(event)
     }
 
@@ -1042,6 +1072,7 @@ impl Machine {
             proc_hash: self.proc_hash.clone(),
             hash: self.hash,
             search_fork: self.search_fork,
+            probe: self.probe.clone(),
         }
     }
 
@@ -1068,6 +1099,7 @@ impl Machine {
             proc_hash: self.proc_hash.clone(),
             hash: self.hash,
             search_fork: true,
+            probe: None,
         }
     }
 

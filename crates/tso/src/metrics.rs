@@ -168,6 +168,124 @@ impl Metrics {
             .map(f)
             .max()
     }
+
+    /// The distribution of a projected counter over all completed spans —
+    /// e.g. `metrics.histogram_of(|p| p.counters.rmr_dsm)` is the
+    /// per-passage DSM-RMR histogram the telemetry layer exports.
+    pub fn histogram_of(&self, f: impl Fn(&PassageStats) -> u64) -> Histogram {
+        let mut h = Histogram::new();
+        for m in &self.procs {
+            for p in &m.completed {
+                h.record(f(p));
+            }
+        }
+        h
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: one for zero, one per
+/// power-of-two magnitude up to `2^16`, and one overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 18;
+
+/// A power-of-two-bucketed distribution of per-passage counter values.
+///
+/// Bucket 0 holds exact zeros; bucket `i` (for `1 <= i <= 16`) holds
+/// values in `[2^(i-1), 2^i)`; bucket 17 holds everything `>= 2^16`.
+/// Passage counters in this codebase (RMRs, fences, critical events) are
+/// small — the paper's bounds are `O(log n / log log n)` per passage — so
+/// the fixed range is generous, and the overflow bucket keeps the type
+/// total. Converts to the probe-facing [`tpa_obs::HistogramRecord`] via
+/// [`Histogram::to_record`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            let bits = 64 - value.leading_zeros() as usize;
+            bits.min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// A human-readable label for bucket `i` (`"0"`, `"[1,2)"`,
+    /// `"[2,4)"`, …, `">=65536"`).
+    pub fn bucket_label(i: usize) -> String {
+        match i {
+            0 => "0".to_owned(),
+            x if x == HISTOGRAM_BUCKETS - 1 => format!(">={}", 1u64 << (HISTOGRAM_BUCKETS - 2)),
+            _ => format!("[{},{})", 1u64 << (i - 1), 1u64 << i),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Converts into the probe-facing record, labelling each non-empty
+    /// bucket (empty buckets are elided — the labels carry the ranges).
+    pub fn to_record(&self, label: &str) -> tpa_obs::HistogramRecord {
+        tpa_obs::HistogramRecord {
+            label: label.to_owned(),
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (Self::bucket_label(i), c))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,5 +344,123 @@ mod tests {
         }
         assert_eq!(m.sum_completed(|p| p.counters.fences), 3);
         assert_eq!(m.max_completed(|p| p.counters.fences), Some(2));
+    }
+
+    #[test]
+    fn counters_subtraction_covers_every_field() {
+        let a = Counters {
+            events: 100,
+            rmr_dsm: 90,
+            rmr_wt: 80,
+            rmr_wb: 70,
+            critical: 60,
+            fences: 50,
+        };
+        let d = a - a;
+        assert_eq!(d, Counters::default(), "x - x must be all-zero");
+        let z = a - Counters::default();
+        assert_eq!(z, a, "x - 0 must be x, field by field");
+    }
+
+    #[test]
+    fn operation_spans_tag_the_op_code() {
+        // Invoke(op) → Return spans are accounted like passages but keep
+        // the operation code; a Passage span must not equal them.
+        let mut m = Metrics::new(1);
+        m.open_span(ProcId(0), SpanKind::Operation(7));
+        m.proc_mut(ProcId(0)).events = 4;
+        m.close_span(ProcId(0));
+        let p = &m.proc(ProcId(0)).completed[0];
+        assert_eq!(p.kind, SpanKind::Operation(7));
+        assert_ne!(p.kind, SpanKind::Passage);
+        assert_ne!(p.kind, SpanKind::Operation(8));
+        assert_eq!(p.counters.events, 4);
+    }
+
+    #[test]
+    fn span_boundaries_are_exclusive_of_surrounding_work() {
+        // Work before Enter and after Exit must not leak into the span.
+        let mut m = Metrics::new(1);
+        m.proc_mut(ProcId(0)).critical = 5; // pre-span
+        m.open_span(ProcId(0), SpanKind::Passage);
+        m.proc_mut(ProcId(0)).critical = 8; // +3 inside
+        m.close_span(ProcId(0));
+        m.proc_mut(ProcId(0)).critical = 20; // post-span
+        let p = &m.proc(ProcId(0)).completed[0];
+        assert_eq!(p.counters.critical, 3);
+        // A second span starts from the *current* totals.
+        m.open_span(ProcId(0), SpanKind::Passage);
+        m.proc_mut(ProcId(0)).critical = 21;
+        m.close_span(ProcId(0));
+        assert_eq!(m.proc(ProcId(0)).completed[1].counters.critical, 1);
+        assert_eq!(m.proc(ProcId(0)).completed[1].index, 1);
+    }
+
+    #[test]
+    fn histogram_bucket_indexing() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        // Boundary of the top regular bucket [2^15, 2^16).
+        assert_eq!(Histogram::bucket_index(65535), 16);
+        // Overflow bucket.
+        assert_eq!(Histogram::bucket_index(65536), 17);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 17);
+    }
+
+    #[test]
+    fn histogram_labels_match_indexing() {
+        assert_eq!(Histogram::bucket_label(0), "0");
+        assert_eq!(Histogram::bucket_label(1), "[1,2)");
+        assert_eq!(Histogram::bucket_label(3), "[4,8)");
+        assert_eq!(Histogram::bucket_label(16), "[32768,65536)");
+        assert_eq!(Histogram::bucket_label(17), ">=65536");
+        // Every bucket's lower edge indexes back to that bucket.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(Histogram::bucket_index(1 << (i - 1)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_record_elides_empty_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 0, 1, 5, 70000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 70006);
+        assert_eq!(h.max(), 70000);
+        let r = h.to_record("rmr_dsm");
+        assert_eq!(r.label, "rmr_dsm");
+        assert_eq!(r.count, 5);
+        assert_eq!(
+            r.buckets,
+            vec![
+                ("0".to_owned(), 2),
+                ("[1,2)".to_owned(), 1),
+                ("[4,8)".to_owned(), 1),
+                (">=65536".to_owned(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_of_projects_completed_spans() {
+        let mut m = Metrics::new(2);
+        for (pid, rmrs) in [(ProcId(0), 2u64), (ProcId(1), 9)] {
+            m.open_span(pid, SpanKind::Passage);
+            m.proc_mut(pid).rmr_dsm = rmrs;
+            m.close_span(pid);
+        }
+        let h = m.histogram_of(|p| p.counters.rmr_dsm);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 11);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.buckets()[Histogram::bucket_index(2)], 1);
+        assert_eq!(h.buckets()[Histogram::bucket_index(9)], 1);
     }
 }

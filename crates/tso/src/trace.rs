@@ -4,43 +4,88 @@
 //! process, one row per event) or a compact annotated listing — the
 //! format used by the `adversary_trace` example and invaluable when
 //! debugging algorithms or the construction.
+//!
+//! Both renderers (and [`Event`]'s `Display`) consume the structured
+//! [`SimStep`] shape the telemetry layer emits, so there is exactly one
+//! formatting path whether an event arrives from the in-machine log or
+//! from a probe: [`compact`] for timeline cells, [`verbose`] for
+//! one-line listings.
 
 use std::fmt::Write as _;
 
-use crate::event::{Event, EventKind, ReadSource};
+use tpa_obs::{SimKind, SimStep};
+
+use crate::event::Event;
 use crate::ids::ProcId;
 
-fn short(kind: &EventKind, critical: bool) -> String {
-    let c = if critical { "!" } else { "" };
-    match kind {
-        EventKind::Read {
+/// The compact cell form of one step (`r!(v0)=0`, `C(v1:=2)`,
+/// `[fence`, …) — what [`timeline`] puts in a process column.
+pub fn compact(step: &SimStep) -> String {
+    let c = if step.critical { "!" } else { "" };
+    match step.kind {
+        SimKind::Read {
             var,
             value,
-            source: ReadSource::Memory,
-        } => {
-            format!("r{c}({var})={value}")
-        }
-        EventKind::Read {
+            from_buffer: false,
+        } => format!("r{c}(v{var})={value}"),
+        SimKind::Read {
             var,
             value,
-            source: ReadSource::Buffer,
-        } => {
-            format!("rb({var})={value}")
-        }
-        EventKind::IssueWrite { var, value } => format!("w({var}:={value})"),
-        EventKind::CommitWrite { var, value } => format!("C{c}({var}:={value})"),
-        EventKind::BeginFence => "[fence".to_owned(),
-        EventKind::EndFence => "fence]".to_owned(),
-        EventKind::Cas {
+            from_buffer: true,
+        } => format!("rb(v{var})={value}"),
+        SimKind::IssueWrite { var, value } => format!("w(v{var}:={value})"),
+        SimKind::CommitWrite { var, value } => format!("C{c}(v{var}:={value})"),
+        SimKind::BeginFence => "[fence".to_owned(),
+        SimKind::EndFence => "fence]".to_owned(),
+        SimKind::Cas {
             var, new, success, ..
         } => {
-            format!("cas{c}({var}:={new}){}", if *success { "+" } else { "-" })
+            format!("cas{c}(v{var}:={new}){}", if success { "+" } else { "-" })
         }
-        EventKind::Enter => "ENTER".to_owned(),
-        EventKind::Cs => "**CS**".to_owned(),
-        EventKind::Exit => "EXIT".to_owned(),
-        EventKind::Invoke { op, arg } => format!("inv({op},{arg})"),
-        EventKind::Return { value } => format!("ret({value})"),
+        SimKind::Enter => "ENTER".to_owned(),
+        SimKind::Cs => "**CS**".to_owned(),
+        SimKind::Exit => "EXIT".to_owned(),
+        SimKind::Invoke { op, arg } => format!("inv({op},{arg})"),
+        SimKind::Return { value } => format!("ret({value})"),
+    }
+}
+
+/// The full one-line form of one step, with sequence number and process
+/// (`[3] p1 read!(v0)=5 <mem>`) — what [`listing`] and `Display for
+/// Event` print.
+pub fn verbose(step: &SimStep) -> String {
+    let seq = step.seq;
+    let pid = step.pid;
+    let c = if step.critical { "!" } else { "" };
+    match step.kind {
+        SimKind::Read {
+            var,
+            value,
+            from_buffer,
+        } => {
+            let src = if from_buffer { "buf" } else { "mem" };
+            format!("[{seq}] p{pid} read{c}(v{var})={value} <{src}>")
+        }
+        SimKind::IssueWrite { var, value } => format!("[{seq}] p{pid} issue(v{var}:={value})"),
+        SimKind::CommitWrite { var, value } => {
+            format!("[{seq}] p{pid} commit{c}(v{var}:={value})")
+        }
+        SimKind::BeginFence => format!("[{seq}] p{pid} begin-fence"),
+        SimKind::EndFence => format!("[{seq}] p{pid} end-fence"),
+        SimKind::Cas {
+            var,
+            expected,
+            new,
+            success,
+            observed,
+        } => {
+            format!("[{seq}] p{pid} cas{c}(v{var}: {expected}->{new}) = {success} (saw {observed})")
+        }
+        SimKind::Enter => format!("[{seq}] p{pid} ENTER"),
+        SimKind::Cs => format!("[{seq}] p{pid} CS"),
+        SimKind::Exit => format!("[{seq}] p{pid} EXIT"),
+        SimKind::Invoke { op, arg } => format!("[{seq}] p{pid} invoke(op{op}, {arg})"),
+        SimKind::Return { value } => format!("[{seq}] p{pid} return({value})"),
     }
 }
 
@@ -64,7 +109,7 @@ pub fn timeline(log: &[Event], n: usize) -> String {
         let _ = write!(out, "{:>6} ", e.seq);
         for i in 0..n {
             if e.pid == ProcId(i as u32) {
-                let _ = write!(out, "{:^width$}", short(&e.kind, e.critical));
+                let _ = write!(out, "{:^width$}", compact(&e.probe_step(0)));
             } else {
                 let _ = write!(out, "{:^width$}", "");
             }
@@ -78,7 +123,7 @@ pub fn timeline(log: &[Event], n: usize) -> String {
 pub fn listing(log: &[Event]) -> String {
     let mut out = String::new();
     for e in log {
-        let _ = writeln!(out, "{e}");
+        let _ = writeln!(out, "{}", verbose(&e.probe_step(0)));
     }
     out
 }
@@ -124,6 +169,16 @@ mod tests {
         let m = sample_machine();
         let l = listing(m.log());
         assert_eq!(l.lines().count(), m.log().len());
+    }
+
+    #[test]
+    fn listing_and_display_agree() {
+        // One formatting path: `Display for Event` and the listing line
+        // must be the same string.
+        let m = sample_machine();
+        for e in m.log() {
+            assert_eq!(e.to_string(), verbose(&e.probe_step(0)));
+        }
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! read/write lock collapse after ~log log N rounds, or `bakery 32` to
 //! see the regularization phase burn the whole active set (the
 //! non-adaptive escape from the lower bound).
+//!
+//! The rendering consumes the construction's structured telemetry
+//! stream (`tpa_obs::AdvEvent`) through a `CollectProbe` — the same
+//! events a `Recorder` would land in a JSONL run log — rather than the
+//! post-hoc `Outcome` tables.
 
 use tpa::prelude::*;
 
@@ -31,40 +36,100 @@ fn main() {
         check_invariants: true,
         ..Config::default()
     };
+    let probe = std::sync::Arc::new(CollectProbe::new());
     let outcome = match Construction::new(lock.as_ref(), cfg) {
-        Ok(c) => c.run(),
+        Ok(mut c) => {
+            c.attach_probe(probe.clone(), false);
+            c.run()
+        }
         Err(e) => {
             eprintln!("initialisation failed: {e}");
             std::process::exit(1);
         }
     };
+    let collected = probe.take();
 
     println!("adversary vs {} (n = {n})\n", outcome.algorithm);
-    let mut round = 0;
-    for phase in &outcome.phases {
-        if phase.round != round {
-            round = phase.round;
-            println!("— round {round} (building H_{round}) —");
+    for event in &collected.adv {
+        match event {
+            AdvEvent::RoundStart { round, active } => {
+                println!("— round {round} (building H_{round}, |Act| = {active}) —");
+            }
+            AdvEvent::Phase {
+                label,
+                case,
+                act_before,
+                act_after,
+                ..
+            } => {
+                println!("  {label:16} {case:32} |Act| {act_before:>5} -> {act_after:<5}");
+            }
+            AdvEvent::Erasure {
+                erased,
+                mode,
+                active_after,
+                ..
+            } => {
+                println!(
+                    "  {:16} erased {erased} ({mode}), |Act| -> {active_after}",
+                    "erasure"
+                );
+            }
+            AdvEvent::Blocked { count, .. } => {
+                println!(
+                    "  {:16} {count} processes could not stay invisible",
+                    "blocked"
+                );
+            }
+            AdvEvent::RoundEnd {
+                round,
+                finisher,
+                active,
+                criticals_per_active,
+                ..
+            } => {
+                println!(
+                    "  H_{round} built: finisher p{finisher}, l_{round} = \
+                     {criticals_per_active}, |Act| = {active}"
+                );
+            }
         }
-        println!(
-            "  {:16} {:32} |Act| {:>5} -> {:<5}",
-            phase.label, phase.case_taken, phase.act_before, phase.act_after
-        );
     }
-    println!("\nper-round summary:");
+
+    println!("\nper-round summary (from the RoundEnd events):");
     println!("  i    s    t    m    l_i  |Act| end  finisher");
-    for r in &outcome.rounds {
+    for event in &collected.adv {
+        if let AdvEvent::RoundEnd {
+            round,
+            finisher,
+            active,
+            criticals_per_active,
+            read_iters,
+            write_iters,
+            reg_criticals,
+        } = event
+        {
+            println!(
+                "  {round:<4} {read_iters:<4} {write_iters:<4} {reg_criticals:<4} \
+                 {criticals_per_active:<4} {active:<10} {finisher}"
+            );
+        }
+    }
+
+    println!("\nper-passage cost histograms (completed passages):");
+    for h in &collected.histograms {
+        let cells = h
+            .buckets
+            .iter()
+            .map(|(label, count)| format!("{label}:{count}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         println!(
-            "  {:<4} {:<4} {:<4} {:<4} {:<4} {:<10} {}",
-            r.round,
-            r.read_iters,
-            r.write_iters,
-            r.reg_criticals,
-            r.criticals_per_active,
-            r.act_end,
-            r.finisher
+            "  {:20} count {:>4} max {:>6}  {cells}",
+            h.label, h.count, h.max
         );
     }
+
     println!(
         "\nstopped: {} | fences forced in one passage: {} | total contention: {} | blocked erased: {}",
         outcome.stop,

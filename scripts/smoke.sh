@@ -10,24 +10,44 @@
 #   4. the exhaustive-explorer smoke sweep, timed, on 4 worker threads
 #      (n = 2, incl. the bakery-nofence negative control — nonzero exit
 #      if it slips by)
-#   5. formatting check
+#   5. telemetry: rerun the explorer with TPA_OBS_* set and validate the
+#      JSONL run log and the Perfetto trace with obs_validate
+#   6. formatting check
+#
+# Stages 3-5 redirect BENCH_check.json to a scratch dir so a smoke run
+# never clobbers the committed benchmark record.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/5] tier-1: build + tests =="
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+echo "== [1/6] tier-1: build + tests =="
 cargo build --offline --release --workspace
 cargo test --offline -q --workspace
 
-echo "== [2/5] clippy (-D warnings) =="
+echo "== [2/6] clippy (-D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== [3/5] experiment harness (quick) =="
-cargo run --offline --release -p tpa-bench --bin report_all -- --quick
+echo "== [3/6] experiment harness (quick) =="
+TPA_BENCH_JSON="$SCRATCH/bench_report_all.json" \
+    cargo run --offline --release -p tpa-bench --bin report_all -- --quick
 
-echo "== [4/5] parallel explorer smoke (quick, 4 threads, timed) =="
-time cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick --threads 4
+echo "== [4/6] parallel explorer smoke (quick, 4 threads, timed) =="
+time TPA_BENCH_JSON="$SCRATCH/bench_c1.json" \
+    cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick --threads 4
 
-echo "== [5/5] cargo fmt --check =="
+echo "== [5/6] telemetry: JSONL + Perfetto export, schema-validated =="
+TPA_BENCH_JSON="$SCRATCH/bench_obs.json" \
+TPA_OBS_JSONL="$SCRATCH/run.jsonl" \
+TPA_OBS_TRACE="$SCRATCH/trace.json" \
+    cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick --threads 4
+test -s "$SCRATCH/run.jsonl" || { echo "telemetry run log missing"; exit 1; }
+test -s "$SCRATCH/trace.json" || { echo "telemetry trace missing"; exit 1; }
+cargo run --offline --release -p tpa-bench --bin obs_validate -- \
+    "$SCRATCH/run.jsonl" "$SCRATCH/trace.json"
+
+echo "== [6/6] cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "smoke: all green"

@@ -14,7 +14,9 @@
 //! * [`adversary`] — the paper's lower-bound construction and analytic
 //!   bounds;
 //! * [`check`] — the bounded-exhaustive schedule explorer, swarm fuzzer,
-//!   and counterexample shrinker that verify the portfolio.
+//!   and counterexample shrinker that verify the portfolio;
+//! * [`obs`] — the zero-cost telemetry layer (structured probes, JSONL
+//!   run logs, Perfetto trace export) the other four emit into.
 //!
 //! ```
 //! use tpa::prelude::*;
@@ -36,6 +38,7 @@ pub use tpa_adversary as adversary;
 pub use tpa_algos as algos;
 pub use tpa_check as check;
 pub use tpa_objects as objects;
+pub use tpa_obs as obs;
 pub use tpa_tso as tso;
 
 /// Convenient glob import for examples and quick experiments.
@@ -46,6 +49,7 @@ pub mod prelude {
     pub use tpa_check::{check_exhaustive, check_swarm};
     pub use tpa_check::{Checker, ExploreConfig, Report, SwarmConfig, Verdict};
     pub use tpa_objects::{ArrayQueue, CasCounter, OneTimeMutex, TreiberStack};
+    pub use tpa_obs::{AdvEvent, CollectProbe, NullProbe, Probe, Recorder};
     pub use tpa_tso::sched::{run_random, run_round_robin, CommitPolicy};
     pub use tpa_tso::{
         Directive, Machine, MemoryModel, Op, Outcome, ProcId, Program, System, Value, VarId,
