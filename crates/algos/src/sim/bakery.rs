@@ -19,6 +19,7 @@ pub struct BakeryLock {
     passages: usize,
     pso_hardened: bool,
     doorway_fenced: bool,
+    recoverable: bool,
 }
 
 impl BakeryLock {
@@ -29,6 +30,7 @@ impl BakeryLock {
             passages,
             pso_hardened: false,
             doorway_fenced: true,
+            recoverable: false,
         }
     }
 
@@ -44,6 +46,42 @@ impl BakeryLock {
             passages,
             pso_hardened: true,
             doorway_fenced: true,
+            recoverable: false,
+        }
+    }
+
+    /// A crash-recoverable variant for the fault model: on a crash the
+    /// process abandons its passage and restarts cleanly at the doorway
+    /// (losing registers and buffered writes, as
+    /// [`tpa_tso::Machine::set_crash_budget`] specifies). Restarting the
+    /// whole doorway — re-announcing `choosing`, rescanning, taking a
+    /// fresh ticket — is what keeps exclusion: committed stale state
+    /// (`choosing[me]`, `number[me]`) is republished and then properly
+    /// cleared, so the survivors' view is never silently contradicted.
+    pub fn recoverable(n: usize, passages: usize) -> Self {
+        BakeryLock {
+            n,
+            passages,
+            pso_hardened: false,
+            doorway_fenced: true,
+            recoverable: true,
+        }
+    }
+
+    /// The crash-model negative control: recoverable, but with the
+    /// doorway-closing fence removed. The victim's doorway stores
+    /// (`number[me]`, `choosing[me] := 0`) can then still be buffered —
+    /// and lost to a crash — while it scans its competitors, so the
+    /// explorer with a crash budget of 1 finds executions in which a
+    /// crash discards buffered doorway stores and two processes enter the
+    /// critical section (see `crates/check/tests/crash_faults.rs`).
+    pub fn recoverable_without_doorway_fence(n: usize, passages: usize) -> Self {
+        BakeryLock {
+            n,
+            passages,
+            pso_hardened: false,
+            doorway_fenced: false,
+            recoverable: true,
         }
     }
 
@@ -60,6 +98,7 @@ impl BakeryLock {
             passages,
             pso_hardened: false,
             doorway_fenced: false,
+            recoverable: false,
         }
     }
 }
@@ -86,16 +125,17 @@ impl System for BakeryLock {
             passages_left: self.passages,
             pso_hardened: self.pso_hardened,
             doorway_fenced: self.doorway_fenced,
+            recoverable: self.recoverable,
         })
     }
 
     fn name(&self) -> &str {
-        if self.pso_hardened {
-            "bakery-pso"
-        } else if !self.doorway_fenced {
-            "bakery-nofence"
-        } else {
-            "bakery"
+        match (self.pso_hardened, self.doorway_fenced, self.recoverable) {
+            (true, _, _) => "bakery-pso",
+            (_, false, true) => "bakery-rec-nofence",
+            (_, false, false) => "bakery-nofence",
+            (_, true, true) => "bakery-rec",
+            (_, true, false) => "bakery",
         }
     }
 }
@@ -136,6 +176,7 @@ struct BakeryProgram {
     passages_left: usize,
     pso_hardened: bool,
     doorway_fenced: bool,
+    recoverable: bool,
 }
 
 impl BakeryProgram {
@@ -271,6 +312,24 @@ impl Program for BakeryProgram {
             }
             State::Done => panic!("apply on a halted program"),
         };
+    }
+
+    fn recover(&mut self) -> bool {
+        if !self.recoverable {
+            return false;
+        }
+        // Crash wipes the registers; the passage being attempted restarts
+        // from the doorway. Passages already completed stay completed —
+        // `passages_left` is only decremented at `Exit`, which the crash
+        // interrupted at most once.
+        self.max = 0;
+        self.my_number = 0;
+        self.state = if self.passages_left == 0 {
+            State::Done
+        } else {
+            State::Enter
+        };
+        true
     }
 }
 

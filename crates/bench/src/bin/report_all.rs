@@ -258,6 +258,14 @@ fn main() {
     let speedup = tpa_bench::c1::measure_speedup("tas", sp_n, sp_steps, probe.as_ref());
     tpa_bench::c1::write_bench_json(threads, &c1, &speedup);
 
+    // R1: the crash-fault model across the bakery variants.
+    let r1_steps = if quick { 28 } else { 40 };
+    let r1 = tpa_bench::r1::portfolio_rows(2, r1_steps, threads, probe.as_ref());
+    tpa_bench::r1::print_table(
+        &format!("R1: crash-fault model (n = 2, {threads} threads)"),
+        &r1,
+    );
+
     tpa_bench::obs::finish(&recorder);
     println!("\nall simulator experiments complete; run `cargo bench -p tpa-bench` for H1.");
 }

@@ -15,6 +15,7 @@
 //! | T5 | Lemma 9 — object-to-mutex reduction cost transfer | `exp_t5_lemma9` |
 //! | T6 | Theorem 1 — the feasibility frontier across f-families | `exp_t6_frontier` |
 //! | C1 | checker cross-validation — explorer effort & parallel speedup | `exp_c1_explorer` |
+//! | R1 | crash-fault model — crash budgets across the bakery variants | `exp_r1_crash` |
 //!
 //! Each binary prints an aligned table and, when the `TPA_JSON`
 //! environment variable names a path, writes the raw rows as JSON.
@@ -25,6 +26,7 @@
 pub mod c1;
 pub mod experiments;
 pub mod obs;
+pub mod r1;
 pub mod report;
 
 pub use experiments::*;

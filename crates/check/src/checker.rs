@@ -25,16 +25,22 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tpa_obs::{Probe, RunInfo, RunSummary};
 use tpa_tso::{MemoryModel, System};
 
-use crate::explore::ExploreConfig;
+use crate::explore::{ExploreConfig, IncompleteReason};
 use crate::invariant::{standard_invariants, Invariant};
 use crate::parallel::run_exhaustive;
 use crate::swarm::{run_swarm, SwarmConfig};
-use crate::verdict::{condemn, Report};
+use crate::verdict::{condemn, Report, Verdict};
+
+/// Schedules the deadline-degradation swarm runs when an exhaustive
+/// search times out. Small on purpose: the fallback exists to keep
+/// *looking for violations* after completeness is lost, not to burn the
+/// rest of the wall clock.
+const FALLBACK_SCHEDULES: usize = 32;
 
 fn model_tag(model: MemoryModel) -> &'static str {
     match model {
@@ -55,6 +61,8 @@ pub struct Checker<'a> {
     invariants: Vec<Box<dyn Invariant>>,
     max_steps: Option<usize>,
     max_transitions: u64,
+    max_crashes: u32,
+    deadline: Option<Duration>,
     threads: usize,
     seed: u64,
     probe: Option<Arc<dyn Probe>>,
@@ -69,6 +77,8 @@ impl<'a> Checker<'a> {
             invariants: standard_invariants(),
             max_steps: None,
             max_transitions: ExploreConfig::default().max_transitions,
+            max_crashes: 0,
+            deadline: None,
             threads: 1,
             seed: SwarmConfig::default().seed,
             probe: None,
@@ -105,6 +115,25 @@ impl<'a> Checker<'a> {
         self
     }
 
+    /// Enables the crash-fault model: the search may inject up to
+    /// `crashes` process crashes per schedule. A crash atomically
+    /// discards the victim's write buffer (its unflushed stores are lost)
+    /// and either crash-stops the process or restarts it in its recovery
+    /// section. The default 0 leaves every state space exactly as it was.
+    pub fn max_crashes(mut self, crashes: u32) -> Self {
+        self.max_crashes = crashes;
+        self
+    }
+
+    /// Puts a wall-clock deadline on the search. An exhaustive search
+    /// that hits it degrades gracefully: it stops expanding, runs a short
+    /// swarm pass over what it could not cover, and — if still no
+    /// violation — reports [`Verdict::Incomplete`] rather than a pass.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Worker threads for exhaustive search. Any count produces the same
     /// verdict and witness; see [`crate::parallel`]. Use
     /// [`crate::parallel::default_threads`] for "all the machine has".
@@ -137,6 +166,8 @@ impl<'a> Checker<'a> {
         let config = ExploreConfig {
             max_steps: self.max_steps.unwrap_or(ExploreConfig::default().max_steps),
             max_transitions: self.max_transitions,
+            max_crashes: self.max_crashes,
+            deadline: self.deadline.map(|d| Instant::now() + d),
         };
         if let Some(probe) = &self.probe {
             probe.run_start(&RunInfo {
@@ -149,7 +180,7 @@ impl<'a> Checker<'a> {
             });
         }
         let start = Instant::now();
-        let (found, stats, workers) = run_exhaustive(
+        let (mut found, stats, workers) = run_exhaustive(
             self.system,
             self.model,
             &self.invariants,
@@ -157,25 +188,59 @@ impl<'a> Checker<'a> {
             self.threads,
             self.probe.as_deref(),
         );
+        // Graceful degradation: an expired deadline costs completeness,
+        // but a short swarm pass can still hunt for violations in the
+        // space the exhaustive search never reached. A violation found
+        // this way is a real violation; finding nothing leaves the
+        // verdict incomplete either way.
+        let mut fallback_note = String::new();
+        if found.is_none() && stats.incomplete == Some(IncompleteReason::DeadlineExpired) {
+            let fallback = SwarmConfig {
+                schedules: FALLBACK_SCHEDULES,
+                max_steps: config.max_steps,
+                seed: self.seed,
+                max_crashes: self.max_crashes,
+            };
+            let (sw_found, sw_stats) =
+                run_swarm(self.system, self.model, &self.invariants, &fallback);
+            fallback_note = format!(
+                "; fallback swarm ran {} schedules ({} transitions) without finding a violation",
+                sw_stats.schedules_run, sw_stats.transitions
+            );
+            found = sw_found;
+        }
         let wall = start.elapsed();
         if let Some(probe) = &self.probe {
             probe.run_finish(&RunSummary {
                 algo: self.system.name().to_string(),
                 mode: "exhaustive",
-                passed: found.is_none(),
+                passed: found.is_none() && stats.complete,
                 complete: stats.complete,
                 transitions: stats.transitions,
                 unique_states: stats.unique_states as u64,
                 wall_us: wall.as_micros() as u64,
             });
         }
+        let verdict = if found.is_none() {
+            match stats.incomplete {
+                Some(reason) => Verdict::Incomplete {
+                    reason: format!(
+                        "{reason} after {} transitions / {} unique states{fallback_note}",
+                        stats.transitions, stats.unique_states
+                    ),
+                },
+                None => Verdict::Pass,
+            }
+        } else {
+            condemn(self.system, self.model, &self.invariants, found)
+        };
         Report {
             algo: self.system.name().to_string(),
             model: self.model,
             mode: "exhaustive",
             threads: self.threads,
             wall,
-            verdict: condemn(self.system, self.model, &self.invariants, found),
+            verdict,
             stats: stats.into(),
             workers,
         }
@@ -187,6 +252,7 @@ impl<'a> Checker<'a> {
             schedules,
             max_steps: self.max_steps.unwrap_or(SwarmConfig::default().max_steps),
             seed: self.seed,
+            max_crashes: self.max_crashes,
         };
         if let Some(probe) = &self.probe {
             probe.run_start(&RunInfo {

@@ -36,6 +36,13 @@ pub struct ExploreConfig {
     /// Global budget on executed transitions; exceeding it aborts the
     /// search with [`ExploreStats::complete`]` == false`.
     pub max_transitions: u64,
+    /// Crash budget: how many [`Directive::Crash`] moves the explorer may
+    /// enumerate per schedule. The default 0 disables the fault model —
+    /// every existing state space is bit-identical.
+    pub max_crashes: u32,
+    /// Wall-clock deadline; when it passes, the search aborts with
+    /// [`IncompleteReason::DeadlineExpired`].
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ExploreConfig {
@@ -43,6 +50,32 @@ impl Default for ExploreConfig {
         ExploreConfig {
             max_steps: 80,
             max_transitions: 20_000_000,
+            max_crashes: 0,
+            deadline: None,
+        }
+    }
+}
+
+/// Why an exhaustive search stopped short of covering its whole bounded
+/// space. `None` in [`ExploreStats::incomplete`] means full coverage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IncompleteReason {
+    /// The global transition budget ([`ExploreConfig::max_transitions`])
+    /// was exhausted.
+    BudgetExhausted,
+    /// The wall-clock deadline ([`ExploreConfig::deadline`]) expired.
+    DeadlineExpired,
+    /// A worker thread panicked; the surviving workers' results were
+    /// kept, but the panicked worker's subtree was lost.
+    WorkerPanic,
+}
+
+impl std::fmt::Display for IncompleteReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncompleteReason::BudgetExhausted => write!(f, "transition budget exhausted"),
+            IncompleteReason::DeadlineExpired => write!(f, "wall-clock deadline expired"),
+            IncompleteReason::WorkerPanic => write!(f, "a worker thread panicked"),
         }
     }
 }
@@ -60,8 +93,10 @@ pub struct ExploreStats {
     pub unique_states: usize,
     /// Paths cut off by the depth bound.
     pub truncated_paths: u64,
-    /// Whether the search ran to completion (no transition-budget abort).
+    /// Whether the search ran to completion (no abort of any kind).
     pub complete: bool,
+    /// Why the search aborted, when `complete` is false.
+    pub incomplete: Option<IncompleteReason>,
 }
 
 /// A violating schedule as found (pre-shrinking).

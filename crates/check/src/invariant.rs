@@ -9,7 +9,7 @@
 //! checked with exactly the same predicate.
 
 use tpa_tso::machine::NextEvent;
-use tpa_tso::{EventKind, Machine, Op, ProcId, Section};
+use tpa_tso::{CrashState, EventKind, Machine, Op, ProcId, Section};
 
 /// A violated invariant: which law broke and a human-readable diagnosis.
 #[derive(Clone, Debug)]
@@ -140,6 +140,86 @@ impl Invariant for TerminalQuiescence {
     }
 }
 
+/// Crash-safe mutual exclusion: exclusion must survive the fault model.
+///
+/// Same predicate as [`MutualExclusion`] but restricted to executions in
+/// which a crash actually *lost buffered stores*
+/// ([`Machine::writes_lost`]` > 0`) — the TSO-specific crash hazard,
+/// where a victim's unflushed writes silently vanish from under the
+/// survivors. The restriction is what makes the invariant useful on its
+/// own: checking a crash-vulnerable protocol against this invariant alone
+/// steers the search — and, more importantly, the ddmin shrink, which
+/// replays candidate sub-schedules against the same predicate — toward
+/// witnesses in which the data-losing crash is load-bearing. A 1-minimal
+/// witness of this invariant always keeps a
+/// [`tpa_tso::Directive::Crash`] that discarded at least one store.
+pub struct CrashSafeExclusion;
+
+impl Invariant for CrashSafeExclusion {
+    fn name(&self) -> &'static str {
+        "crash-safe-exclusion"
+    }
+
+    fn check(&self, machine: &Machine) -> Option<Violation> {
+        if machine.writes_lost() == 0 {
+            return None;
+        }
+        let in_cs = cs_enabled_pids(machine);
+        (in_cs.len() > 1).then(|| Violation {
+            invariant: self.name(),
+            detail: format!(
+                "after {} crash(es) losing {} buffered store(s), \
+                 processes {in_cs:?} can all enter the critical section",
+                machine.crashes_executed(),
+                machine.writes_lost()
+            ),
+        })
+    }
+}
+
+/// Recoverable progress: a crash must not wedge the survivors.
+///
+/// In a *terminal* state of a crash-bearing execution, every process that
+/// is still running (never crashed, or crashed and recovered) must be back
+/// in its non-critical section with nothing buffered. Crash-stopped
+/// processes are exempt — they are gone by assumption — which is where
+/// this differs from [`TerminalQuiescence`]: that invariant asks whether
+/// *anyone* got stuck; this one asks specifically whether a victim's lost
+/// writes stranded everyone else. (A survivor that spins forever keeps its
+/// `Issue` directive enabled and never yields a terminal state, so
+/// crash-induced livelock is out of scope for a bounded explorer.)
+pub struct RecoverableProgress;
+
+impl Invariant for RecoverableProgress {
+    fn name(&self) -> &'static str {
+        "recoverable-progress"
+    }
+
+    fn check(&self, machine: &Machine) -> Option<Violation> {
+        if machine.crashes_executed() == 0 {
+            return None;
+        }
+        let terminal =
+            (0..machine.n()).all(|i| machine.enabled_directives(ProcId(i as u32)).is_empty());
+        if !terminal {
+            return None;
+        }
+        let stuck: Vec<ProcId> = (0..machine.n())
+            .map(|i| ProcId(i as u32))
+            .filter(|&p| {
+                machine.crash_state(p) == CrashState::Running
+                    && (machine.section(p) != Section::Ncs || !machine.buffer_empty(p))
+            })
+            .collect();
+        (!stuck.is_empty()).then(|| Violation {
+            invariant: self.name(),
+            detail: format!(
+                "crash(es) left surviving processes {stuck:?} wedged mid-passage in a terminal state"
+            ),
+        })
+    }
+}
+
 /// The default battery: mutual exclusion, buffer/fence laws, and bounded
 /// deadlock-freedom.
 pub fn standard_invariants() -> Vec<Box<dyn Invariant>> {
@@ -148,6 +228,17 @@ pub fn standard_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(StoreBufferLaws),
         Box::new(TerminalQuiescence),
     ]
+}
+
+/// The battery for crash-enabled checks: [`standard_invariants`] plus the
+/// crash-specific laws. The standard battery is deliberately untouched so
+/// every crash-free witness stays byte-identical to what it was before
+/// the fault model existed.
+pub fn crash_invariants() -> Vec<Box<dyn Invariant>> {
+    let mut invs = standard_invariants();
+    invs.push(Box::new(CrashSafeExclusion));
+    invs.push(Box::new(RecoverableProgress));
+    invs
 }
 
 #[cfg(test)]

@@ -57,8 +57,8 @@ pub mod verdict;
 pub use checker::Checker;
 #[allow(deprecated)]
 pub use explore::explore;
-pub use explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation};
-pub use invariant::{standard_invariants, Invariant, Violation};
+pub use explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation, IncompleteReason};
+pub use invariant::{crash_invariants, standard_invariants, Invariant, Violation};
 pub use parallel::{default_threads, WorkerStats};
 #[allow(deprecated)]
 pub use swarm::swarm;

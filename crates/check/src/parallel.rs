@@ -34,7 +34,7 @@ use tpa_obs::{Probe, WorkerSnapshot};
 use tpa_tso::{Directive, Machine, MemoryModel, System};
 
 use crate::cache::{Rank, StateCache};
-use crate::explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation};
+use crate::explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation, IncompleteReason};
 use crate::invariant::Invariant;
 use crate::sleep::SleepSet;
 
@@ -129,8 +129,11 @@ struct Engine<'a> {
     pruned_sleep: AtomicU64,
     cache_skips: AtomicU64,
     truncated_paths: AtomicU64,
-    /// Transition budget exhausted: stop everything, report incomplete.
+    /// Some abort condition hit (budget, deadline, worker panic): stop
+    /// everything, report incomplete.
     aborted: AtomicBool,
+    /// The first abort condition observed; later ones are ignored.
+    abort_reason: Mutex<Option<IncompleteReason>>,
     /// Fast path for the best-candidate check (avoids the mutex while no
     /// violation has been found, i.e. almost always).
     found_any: AtomicBool,
@@ -168,7 +171,8 @@ pub(crate) fn run_exhaustive(
     probe: Option<&dyn Probe>,
 ) -> (Option<FoundViolation>, ExploreStats, Vec<WorkerStats>) {
     let threads = threads.max(1);
-    let root = Machine::with_model(system, model);
+    let mut root = Machine::with_model(system, model);
+    root.set_crash_budget(config.max_crashes);
     // The initial state itself may violate (e.g. an empty program that is
     // terminal but not quiescent).
     for inv in invariants {
@@ -210,6 +214,7 @@ pub(crate) fn run_exhaustive(
         cache_skips: AtomicU64::new(0),
         truncated_paths: AtomicU64::new(0),
         aborted: AtomicBool::new(false),
+        abort_reason: Mutex::new(None),
         found_any: AtomicBool::new(false),
         best: Mutex::new(None),
         work: Mutex::new(WorkQueue {
@@ -240,37 +245,69 @@ pub(crate) fn run_exhaustive(
         });
 
     if threads == 1 {
-        engine.worker();
+        engine.worker_caught();
     } else {
         std::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|| engine.worker());
+                s.spawn(|| engine.worker_caught());
             }
         });
     }
 
+    let incomplete = engine
+        .abort_reason
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let stats = ExploreStats {
         transitions: engine.transitions.load(Ordering::Relaxed),
         pruned_sleep: engine.pruned_sleep.load(Ordering::Relaxed),
         cache_skips: engine.cache_skips.load(Ordering::Relaxed),
         unique_states: engine.cache.unique_states(),
         truncated_paths: engine.truncated_paths.load(Ordering::Relaxed),
-        complete: !engine.aborted.load(Ordering::Relaxed),
+        complete: !engine.aborted.load(Ordering::Relaxed) && incomplete.is_none(),
+        incomplete,
     };
+    // A panicked worker may have poisoned these while dying; the surviving
+    // workers' data inside is still sound, so recover it rather than
+    // cascading the panic into the caller.
     let mut workers = engine
         .worker_stats
         .into_inner()
-        .expect("worker-stats slot poisoned");
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     workers.sort_by_key(|w| w.worker);
     let found = engine
         .best
         .into_inner()
-        .expect("best-candidate slot poisoned")
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .map(|c| c.found);
     (found, stats, workers)
 }
 
 impl Engine<'_> {
+    /// Records the first abort condition and wakes everyone so the search
+    /// can wind down. Later reasons are ignored: the first one is what the
+    /// verdict reports.
+    fn abort(&self, reason: IncompleteReason) {
+        let mut slot = self
+            .abort_reason
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        slot.get_or_insert(reason);
+        drop(slot);
+        self.aborted.store(true, Ordering::Relaxed);
+        self.available.notify_all();
+    }
+
+    /// Runs a worker with a panic firewall. A panic — from a buggy
+    /// invariant, a program's `apply`, or the engine itself — kills only
+    /// this worker's subtree: the search aborts as *incomplete* (never a
+    /// false pass) and the surviving workers' results are kept.
+    fn worker_caught(&self) {
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.worker())).is_err() {
+            self.abort(IncompleteReason::WorkerPanic);
+        }
+    }
+
     fn worker(&self) {
         let mut ws = WorkerStats {
             worker: self.next_worker.fetch_add(1, Ordering::Relaxed) as u32,
@@ -373,6 +410,12 @@ impl Engine<'_> {
         if !self.still_viable(&node.rank) {
             return;
         }
+        if let Some(deadline) = self.config.deadline {
+            if std::time::Instant::now() >= deadline {
+                self.abort(IncompleteReason::DeadlineExpired);
+                return;
+            }
+        }
         ws.nodes_expanded += 1;
         let mut done = SleepSet::empty();
         let mut children: Vec<Node> = Vec::new();
@@ -383,8 +426,7 @@ impl Engine<'_> {
                 continue;
             }
             if self.transitions.fetch_add(1, Ordering::Relaxed) >= self.config.max_transitions {
-                self.aborted.store(true, Ordering::Relaxed);
-                self.available.notify_all();
+                self.abort(IncompleteReason::BudgetExhausted);
                 return;
             }
             ws.transitions += 1;

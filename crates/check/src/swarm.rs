@@ -25,6 +25,10 @@ pub struct SwarmConfig {
     pub max_steps: usize,
     /// Base seed; schedule `i` derives its generator from `(seed, i)`.
     pub seed: u64,
+    /// Crash budget per schedule: how many crash directives the random
+    /// scheduler may pick in one run. 0 (the default) disables the fault
+    /// model entirely.
+    pub max_crashes: u32,
 }
 
 impl Default for SwarmConfig {
@@ -33,6 +37,7 @@ impl Default for SwarmConfig {
             schedules: 96,
             max_steps: 4096,
             seed: 0x0070_6170_6572,
+            max_crashes: 0,
         }
     }
 }
@@ -91,15 +96,7 @@ pub(crate) fn run_swarm(
             .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
             | 1;
         let bias = BIASES[i % BIASES.len()];
-        if let Some(found) = run_one(
-            system,
-            model,
-            invariants,
-            bias,
-            seed,
-            config.max_steps,
-            &mut stats,
-        ) {
+        if let Some(found) = run_one(system, model, invariants, bias, seed, config, &mut stats) {
             return (Some(found), stats);
         }
     }
@@ -112,14 +109,15 @@ fn run_one(
     invariants: &[Box<dyn Invariant>],
     bias: Bias,
     seed: u64,
-    max_steps: usize,
+    config: &SwarmConfig,
     stats: &mut SwarmStats,
 ) -> Option<FoundViolation> {
     let mut machine = Machine::with_model(system, model);
+    machine.set_crash_budget(config.max_crashes);
     let mut rng = XorShift::new(seed);
     // Bursty state: the process currently being run, and steps remaining.
     let mut burst: Option<(ProcId, usize)> = None;
-    for _ in 0..max_steps {
+    for _ in 0..config.max_steps {
         let enabled = enabled_all(&machine);
         if enabled.is_empty() {
             break;
@@ -225,6 +223,7 @@ mod tests {
             schedules: 9,
             max_steps: 512,
             seed: 1,
+            ..SwarmConfig::default()
         };
         let (found, stats) = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg);
         assert!(found.is_none(), "{found:?}");
@@ -240,6 +239,7 @@ mod tests {
             schedules: 6,
             max_steps: 256,
             seed: 42,
+            ..SwarmConfig::default()
         };
         let (_, a) = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg);
         let (_, b) = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg);

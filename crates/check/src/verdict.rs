@@ -12,15 +12,24 @@
 use tpa_tso::shrink::shrink_schedule;
 use tpa_tso::{trace, Directive, Machine, MemoryModel, System};
 
-use crate::explore::{ExploreConfig, ExploreStats, FoundViolation};
+use crate::explore::{ExploreConfig, ExploreStats, FoundViolation, IncompleteReason};
 use crate::invariant::Invariant;
 use crate::swarm::{SwarmConfig, SwarmStats};
 
 /// Outcome of checking one system.
 #[derive(Clone, Debug)]
 pub enum Verdict {
-    /// No invariant fired within the search budget.
+    /// No invariant fired *and* the search covered its whole bounded
+    /// space (exhaustive) or ran every requested schedule (swarm).
     Pass,
+    /// No invariant fired, but the search stopped early — transition
+    /// budget, wall-clock deadline, or a worker panic — so unexplored
+    /// schedules remain. Deliberately a distinct variant: an incomplete
+    /// run must never be confused with a clean pass.
+    Incomplete {
+        /// What cut the search short, plus any fallback effort made.
+        reason: String,
+    },
     /// An invariant fired; the witness schedule was shrunk and rendered.
     Violation {
         /// Name of the invariant that fired.
@@ -42,7 +51,8 @@ pub enum Verdict {
 }
 
 impl Verdict {
-    /// Whether the check passed.
+    /// Whether the check passed. `Incomplete` is *not* a pass: no
+    /// violation was found, but schedules remain unexplored.
     pub fn passed(&self) -> bool {
         matches!(self, Verdict::Pass)
     }
@@ -64,6 +74,8 @@ pub struct EffortStats {
     /// Whether the search covered its whole bounded space (exhaustive
     /// mode; swarm is never complete).
     pub complete: bool,
+    /// Why an exhaustive search stopped short, when `complete` is false.
+    pub incomplete: Option<IncompleteReason>,
 }
 
 impl From<ExploreStats> for EffortStats {
@@ -75,6 +87,7 @@ impl From<ExploreStats> for EffortStats {
             unique_states: s.unique_states,
             schedules_run: 0,
             complete: s.complete,
+            incomplete: s.incomplete,
         }
     }
 }
@@ -136,25 +149,36 @@ impl Report {
     }
 
     /// Panics with the rendered counterexample if the check failed — the
-    /// one-liner test assertion.
+    /// one-liner test assertion. An [`Verdict::Incomplete`] run also
+    /// panics: "no violation found in the part we explored" is not a
+    /// pass.
     pub fn assert_pass(&self) {
-        if let Verdict::Violation {
-            invariant,
-            detail,
-            shrunk,
-            rendered,
-            ..
-        } = &self.verdict
-        {
-            panic!(
-                "{} [{}] violates {}: {}\nminimal schedule ({} directives):\n{}",
-                self.algo,
-                self.mode,
+        match &self.verdict {
+            Verdict::Pass => {}
+            Verdict::Incomplete { reason } => {
+                panic!(
+                    "{} [{}] did not finish checking: {} \
+                     ({} transitions, {} unique states explored)",
+                    self.algo, self.mode, reason, self.stats.transitions, self.stats.unique_states
+                );
+            }
+            Verdict::Violation {
                 invariant,
                 detail,
-                shrunk.len(),
-                rendered
-            );
+                shrunk,
+                rendered,
+                ..
+            } => {
+                panic!(
+                    "{} [{}] violates {}: {}\nminimal schedule ({} directives):\n{}",
+                    self.algo,
+                    self.mode,
+                    invariant,
+                    detail,
+                    shrunk.len(),
+                    rendered
+                );
+            }
         }
     }
 }
@@ -282,6 +306,7 @@ mod tests {
                 schedules: 4,
                 max_steps: 64,
                 seed: 9,
+                ..SwarmConfig::default()
             },
         );
         sw.assert_pass();

@@ -12,7 +12,8 @@
 use std::sync::Arc;
 
 use tpa_algos::sim::bakery::BakeryLock;
-use tpa_check::{Checker, Report, Verdict};
+use tpa_check::invariant::CrashSafeExclusion;
+use tpa_check::{Checker, IncompleteReason, Report, Verdict};
 use tpa_obs::{CollectProbe, NullProbe, Probe, Recorder};
 use tpa_tso::{Directive, Machine, MemoryModel, ProcId, System};
 
@@ -188,6 +189,129 @@ fn recording_probe_does_not_perturb_the_search() {
     let bare = clean(None);
     let recorded = clean(Some(Arc::new(Recorder::in_memory())));
     assert_identical(&bare, &recorded, "clean tas with recorder");
+}
+
+/// A `max_transitions`-truncated run must say so — `Verdict::Incomplete`
+/// plus the `EffortStats` flag — and must never be mistakable for a pass,
+/// at every thread count. (Regression guard: before the incomplete
+/// verdict existed, a truncated search on a clean system reported `Pass`.)
+#[test]
+fn truncated_run_is_incomplete_never_a_pass_at_every_thread_count() {
+    let clean = BakeryLock::new(2, 1);
+    for threads in [1, 2, 4, 8] {
+        let report = Checker::new(&clean)
+            .max_steps(40)
+            .max_transitions(50) // far below the ~10^3 reachable states
+            .threads(threads)
+            .exhaustive();
+        assert!(
+            !report.verdict.passed(),
+            "a truncated search passed at {threads} threads"
+        );
+        let Verdict::Incomplete { reason } = &report.verdict else {
+            panic!(
+                "expected Incomplete at {threads} threads, got {:?}",
+                report.verdict
+            );
+        };
+        assert!(
+            reason.contains("budget"),
+            "reason must name the budget: {reason}"
+        );
+        assert_eq!(
+            report.stats.incomplete,
+            Some(IncompleteReason::BudgetExhausted),
+            "effort stats must carry the distinct flag at {threads} threads"
+        );
+        assert!(!report.stats.complete);
+    }
+}
+
+/// `max_crashes(0)` reproduces today's exact unique-state counts and
+/// witnesses at 1/2/4/8 threads: the fault model is invisible until a
+/// budget is granted (the ISSUE's state-space-preservation acceptance
+/// criterion, pinned differentially).
+#[test]
+fn zero_crash_budget_matches_the_seed_state_space_at_every_thread_count() {
+    // Clean system: unique-state count must be untouched.
+    let clean = BakeryLock::new(2, 1);
+    let baseline = run(&clean, MemoryModel::Tso, 1);
+    assert!(baseline.stats.complete);
+    // Broken system: the witness must be untouched.
+    let broken = BakeryLock::without_doorway_fence(2, 1);
+    let Verdict::Violation {
+        found: witness_baseline,
+        ..
+    } = run(&broken, MemoryModel::Tso, 1).verdict
+    else {
+        panic!("baseline must catch the fenceless bakery");
+    };
+    for threads in [1, 2, 4, 8] {
+        let zero = Checker::new(&clean)
+            .max_steps(40)
+            .max_transitions(4_000_000)
+            .max_crashes(0)
+            .threads(threads)
+            .exhaustive();
+        assert_identical(&baseline, &zero, &format!("max_crashes(0) @{threads}"));
+        let with_zero = Checker::new(&broken)
+            .max_steps(40)
+            .max_transitions(4_000_000)
+            .max_crashes(0)
+            .threads(threads)
+            .exhaustive();
+        let Verdict::Violation { found, .. } = with_zero.verdict else {
+            panic!("max_crashes(0) missed the fenceless bakery at {threads} threads");
+        };
+        assert_eq!(
+            found, witness_baseline,
+            "max_crashes(0) changed the witness at {threads} threads"
+        );
+    }
+}
+
+/// The crash-enabled search is as deterministic as the crash-free one:
+/// the crash-induced witness in the unfenced recoverable bakery is
+/// identical at 1/2/4/8 threads, and so is the unique-state count of a
+/// passing crash-enabled search.
+#[test]
+fn crash_enabled_searches_agree_across_thread_counts() {
+    let broken = BakeryLock::recoverable_without_doorway_fence(2, 1);
+    let mut witnesses = Vec::new();
+    for threads in [1, 2, 4, 8] {
+        let report = Checker::new(&broken)
+            .invariants(vec![Box::new(CrashSafeExclusion)])
+            .max_steps(32)
+            .max_crashes(1)
+            .threads(threads)
+            .exhaustive();
+        let Verdict::Violation { found, .. } = report.verdict else {
+            panic!("crash-enabled search missed at {threads} threads");
+        };
+        assert!(found.iter().any(|d| matches!(d, Directive::Crash(_))));
+        witnesses.push(found);
+    }
+    assert!(
+        witnesses.windows(2).all(|w| w[0] == w[1]),
+        "crash witness varies with thread count: {witnesses:?}"
+    );
+
+    let hardened = BakeryLock::recoverable(2, 1);
+    let base = Checker::new(&hardened)
+        .max_steps(32)
+        .max_crashes(1)
+        .threads(1)
+        .exhaustive();
+    assert!(base.stats.complete);
+    base.assert_pass();
+    for threads in [2, 4, 8] {
+        let par = Checker::new(&hardened)
+            .max_steps(32)
+            .max_crashes(1)
+            .threads(threads)
+            .exhaustive();
+        assert_identical(&base, &par, &format!("bakery-rec crash budget @{threads}"));
+    }
 }
 
 /// The witness stays put across *many* thread counts, not just 1-vs-4.

@@ -178,7 +178,7 @@ mod tests {
                 })
                 .collect()
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         assert_eq!(sys.results(&m, tpa_tso::ProcId(0)), vec![0, 1, 2, 3, 4]);
     }
 
@@ -218,7 +218,7 @@ mod tests {
                 },
             ]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 1_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 1_000);
         assert_eq!(sys.results(&m, tpa_tso::ProcId(0)), vec![10, 11]);
     }
 
@@ -230,7 +230,7 @@ mod tests {
                 arg: 0,
             }]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 1_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 1_000);
         let stats = &m.metrics().proc(tpa_tso::ProcId(0)).completed[0];
         assert_eq!(stats.counters.fences, 1, "one CAS");
     }

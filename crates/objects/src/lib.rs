@@ -39,6 +39,8 @@ pub mod opmachine;
 pub mod queue;
 pub mod reduction;
 pub mod stack;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 pub use counter::CasCounter;
 pub use locked::LockedCounter;

@@ -251,7 +251,7 @@ mod tests {
                 },
             ]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         assert_eq!(sys.results(&m, ProcId(0)), vec![0, 1, 2]);
     }
 
@@ -284,7 +284,7 @@ mod tests {
                 arg: 0,
             }]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         let span = &m.metrics().proc(ProcId(0)).completed[0];
         assert_eq!(span.counters.fences, 2, "acquiring CAS + release fence");
     }

@@ -225,7 +225,7 @@ mod tests {
                 arg: 0,
             }]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 1_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 1_000);
         let kinds: Vec<_> = m
             .log()
             .iter()
@@ -250,7 +250,7 @@ mod tests {
                 3
             ]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         for p in 0..2u32 {
             assert_eq!(m.metrics().proc(ProcId(p)).completed.len(), 3);
         }
@@ -259,7 +259,7 @@ mod tests {
     #[test]
     fn empty_call_list_halts_immediately() {
         let sys = ObjectSystem::new(CasCounter::new(), 1, |_| vec![]);
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 100).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 100);
         assert!(m.log().is_empty());
     }
 }

@@ -350,7 +350,7 @@ mod tests {
                 },
             ]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         assert_eq!(
             sys.results(&m, ProcId(0)),
             vec![10, 20, 10, 30, 20, 30, EMPTY]
@@ -368,7 +368,7 @@ mod tests {
                 5
             ]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         assert_eq!(sys.results(&m, ProcId(0)), vec![0, 1, 2, 3, EMPTY]);
     }
 
@@ -407,7 +407,7 @@ mod tests {
                 },
             ]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         assert_eq!(sys.results(&m, ProcId(0)), vec![1, EMPTY]);
     }
 
@@ -434,7 +434,7 @@ mod tests {
                 ]
             }
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         let results = sys.results(&m, ProcId(1));
         for r in results {
             assert!(

@@ -308,11 +308,17 @@ mod tests {
         // One-time mutex: every process performs exactly one passage.
         for n in [1, 2, 4, 8] {
             let sys = OneTimeMutex::new(CasCounter::new(), n);
-            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000).unwrap();
+            crate::testutil::expect(
+                testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000),
+                &format!("counter one-time mutex round-robin (n = {n})"),
+            );
         }
         for seed in 1..=8u64 {
             let sys = OneTimeMutex::new(CasCounter::new(), 4);
-            testing::check_exclusion_random(&sys, seed, 80, 400_000).unwrap();
+            crate::testutil::expect(
+                testing::check_exclusion_random(&sys, seed, 80, 400_000),
+                &format!("counter one-time mutex exclusion (seed {seed})"),
+            );
         }
     }
 
@@ -320,11 +326,17 @@ mod tests {
     fn queue_reduction_battery() {
         for n in [1, 2, 5] {
             let sys = OneTimeMutex::new(ArrayQueue::counter_prefill(n), n);
-            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000).unwrap();
+            crate::testutil::expect(
+                testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000),
+                &format!("queue one-time mutex round-robin (n = {n})"),
+            );
         }
         for seed in 1..=8u64 {
             let sys = OneTimeMutex::new(ArrayQueue::counter_prefill(4), 4);
-            testing::check_exclusion_random(&sys, seed, 80, 400_000).unwrap();
+            crate::testutil::expect(
+                testing::check_exclusion_random(&sys, seed, 80, 400_000),
+                &format!("queue one-time mutex exclusion (seed {seed})"),
+            );
         }
     }
 
@@ -332,19 +344,27 @@ mod tests {
     fn stack_reduction_battery() {
         for n in [1, 2, 5] {
             let sys = OneTimeMutex::new(TreiberStack::counter_prefill(n), n);
-            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000).unwrap();
+            crate::testutil::expect(
+                testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000),
+                &format!("stack one-time mutex round-robin (n = {n})"),
+            );
         }
         for seed in 1..=8u64 {
             let sys = OneTimeMutex::new(TreiberStack::counter_prefill(4), 4);
-            testing::check_exclusion_random(&sys, seed, 80, 400_000).unwrap();
+            crate::testutil::expect(
+                testing::check_exclusion_random(&sys, seed, 80, 400_000),
+                &format!("stack one-time mutex exclusion (seed {seed})"),
+            );
         }
     }
 
     #[test]
     fn passages_enter_in_ticket_order() {
         let sys = OneTimeMutex::new(CasCounter::new(), 4);
-        let m =
-            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000).unwrap();
+        let m = crate::testutil::expect(
+            testing::check_round_robin_completion(&sys, CommitPolicy::Lazy, 1, 2_000_000),
+            "ticket-order round-robin",
+        );
         let cs: Vec<_> = m
             .log()
             .iter()
@@ -357,7 +377,10 @@ mod tests {
     #[test]
     fn solo_passage_is_constant_fences() {
         let sys = OneTimeMutex::new(CasCounter::new(), 1);
-        let m = testing::check_solo_progress(&sys, ProcId(0), 1, 10_000).unwrap();
+        let m = crate::testutil::expect(
+            testing::check_solo_progress(&sys, ProcId(0), 1, 10_000),
+            "solo passage",
+        );
         let stats = &m.metrics().proc(ProcId(0)).completed[0];
         // 1 (counter CAS) + waiting fence + release fence = 3;
         // no successor, so no spin fence.

@@ -370,7 +370,7 @@ mod tests {
                 },
             ]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         assert_eq!(
             sys.results(&m, ProcId(0)),
             vec![10, 20, 30, 30, 20, 10, EMPTY]
@@ -388,7 +388,7 @@ mod tests {
                 5
             ]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         assert_eq!(sys.results(&m, ProcId(0)), vec![0, 1, 2, 3, EMPTY]);
     }
 
@@ -460,7 +460,7 @@ mod tests {
                 },
             ]
         });
-        let m = sys.run_to_completion(CommitPolicy::Lazy, 10_000).unwrap();
+        let m = crate::testutil::complete_or_dump(&sys, CommitPolicy::Lazy, 10_000);
         assert_eq!(sys.results(&m, ProcId(0)), vec![1, EMPTY]);
     }
 }

@@ -1,0 +1,54 @@
+//! Test-only run helpers.
+//!
+//! Object tests used to end in `run_to_completion(...).unwrap()`, which on
+//! failure prints one opaque line ("budget exhausted after N steps") and
+//! throws away the machine — exactly the artefact needed to debug the
+//! failure. [`complete_or_dump`] keeps the machine and panics with its
+//! rendered trace instead: the per-process timeline plus the full event
+//! listing, the same renderers the checker's violation reports use.
+
+use tpa_tso::sched::{drive_round_robin, CommitPolicy};
+use tpa_tso::{trace, Machine, System};
+
+/// Runs `sys` round-robin until every process halts and returns the
+/// machine.
+///
+/// # Panics
+///
+/// On a step error or an exhausted step budget, panics with the rendered
+/// trace of the partial run (timeline + event listing) so the failing
+/// schedule is readable straight from the test output.
+pub fn complete_or_dump<S: System + ?Sized>(
+    sys: &S,
+    policy: CommitPolicy,
+    max_steps: usize,
+) -> Machine {
+    let mut machine = Machine::new(sys);
+    let why = match drive_round_robin(&mut machine, policy, max_steps) {
+        Ok(stats) if stats.all_halted => return machine,
+        Ok(stats) => format!("budget exhausted after {} steps", stats.steps),
+        Err(e) => e.to_string(),
+    };
+    dump(&machine, sys.name(), &why)
+}
+
+/// Unwraps a result from the `tpa-algos` testing helpers (which consume
+/// the machine on failure), attaching `what` so a failure names the
+/// scenario instead of printing a bare `unwrap` line.
+///
+/// # Panics
+///
+/// Panics with `what` and the helper's diagnosis when `result` is `Err`.
+pub fn expect<T>(result: Result<T, String>, what: &str) -> T {
+    result.unwrap_or_else(|e| panic!("{what} failed: {e}"))
+}
+
+/// Panics with the machine's rendered trace.
+fn dump(machine: &Machine, name: &str, why: &str) -> ! {
+    panic!(
+        "run of `{name}` failed: {why}\n\
+         --- timeline ---\n{}\n--- events ---\n{}",
+        trace::timeline(machine.log(), machine.n()),
+        trace::listing(machine.log()),
+    )
+}

@@ -78,6 +78,13 @@ pub enum SimKind {
         /// The operation's result.
         value: u64,
     },
+    /// A crash: the process's write buffer was discarded.
+    Crash {
+        /// Buffered writes lost (never committed).
+        lost: u32,
+    },
+    /// A crashed process resumed at its recovery section.
+    Recover,
 }
 
 impl SimKind {
@@ -95,6 +102,8 @@ impl SimKind {
             SimKind::Exit => "exit",
             SimKind::Invoke { .. } => "invoke",
             SimKind::Return { .. } => "return",
+            SimKind::Crash { .. } => "crash",
+            SimKind::Recover => "recover",
         }
     }
 }

@@ -223,9 +223,13 @@ fn sim_kind_fields(kind: &SimKind) -> String {
         ),
         SimKind::Invoke { op, arg } => format!(",\"op\":{op},\"arg\":{arg}"),
         SimKind::Return { value } => format!(",\"value\":{value}"),
-        SimKind::BeginFence | SimKind::EndFence | SimKind::Enter | SimKind::Cs | SimKind::Exit => {
-            String::new()
-        }
+        SimKind::Crash { lost } => format!(",\"lost\":{lost}"),
+        SimKind::BeginFence
+        | SimKind::EndFence
+        | SimKind::Enter
+        | SimKind::Cs
+        | SimKind::Exit
+        | SimKind::Recover => String::new(),
     }
 }
 

@@ -130,6 +130,15 @@ pub fn validate_lines<S: AsRef<str>>(lines: &[S]) -> Result<LogSummary, String> 
                 // Fresh workers; counter baselines reset.
                 worker_last.clear();
             }
+            "sim" => {
+                // Crash events must record how many buffered writes died.
+                let event = v.get("event").and_then(Json::as_str).unwrap_or("");
+                if event == "crash" && v.get("lost").and_then(Json::as_u64).is_none() {
+                    return Err(format!(
+                        "line {lineno}: sim crash event missing numeric `lost`"
+                    ));
+                }
+            }
             "worker" => {
                 let id = v
                     .get("worker")
@@ -250,6 +259,20 @@ mod tests {
         assert!(validate_lines(&unknown)
             .unwrap_err()
             .contains("unknown kind"));
+    }
+
+    #[test]
+    fn crash_sim_lines_require_lost() {
+        let ok = [
+            r#"{"t":1,"kind":"sim","seq":0,"pid":1,"event":"crash","critical":false,"buffer_depth":0,"lost":2}"#,
+            r#"{"t":2,"kind":"sim","seq":1,"pid":1,"event":"recover","critical":false,"buffer_depth":0}"#,
+        ];
+        validate_lines(&ok).expect("crash with lost + recover are valid");
+        let bad = [
+            r#"{"t":1,"kind":"sim","seq":0,"pid":1,"event":"crash","critical":false,"buffer_depth":0}"#,
+        ];
+        let err = validate_lines(&bad).unwrap_err();
+        assert!(err.contains("lost"), "{err}");
     }
 
     #[test]

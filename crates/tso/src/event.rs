@@ -86,6 +86,15 @@ pub enum EventKind {
         /// The operation's result.
         value: Value,
     },
+    /// A crash: the process's write buffer was atomically discarded (the
+    /// `lost` writes were never committed) and its program reset to the
+    /// recovery section, or crash-stopped if the program has none.
+    Crash {
+        /// Buffered writes discarded by the crash.
+        lost: u32,
+    },
+    /// A crashed process resumed execution at its recovery section.
+    Recover,
 }
 
 /// Classification of *special* events (Definition 3 of the paper): critical
@@ -139,9 +148,10 @@ impl Event {
         }
     }
 
-    /// Returns `true` for transition events (`Enter`/`CS`/`Exit`, and the
+    /// Returns `true` for transition events (`Enter`/`CS`/`Exit`, the
     /// object-operation markers which play the same role for Section 5
-    /// programs).
+    /// programs, and crash/recover which move a process between its
+    /// program sections in the crash-recovery model).
     pub fn is_transition(&self) -> bool {
         matches!(
             self.kind,
@@ -150,6 +160,8 @@ impl Event {
                 | EventKind::Exit
                 | EventKind::Invoke { .. }
                 | EventKind::Return { .. }
+                | EventKind::Crash { .. }
+                | EventKind::Recover
         )
     }
 
@@ -209,6 +221,8 @@ impl Event {
             EventKind::Exit => SimKind::Exit,
             EventKind::Invoke { op, arg } => SimKind::Invoke { op, arg },
             EventKind::Return { value } => SimKind::Return { value },
+            EventKind::Crash { lost } => SimKind::Crash { lost },
+            EventKind::Recover => SimKind::Recover,
         };
         tpa_obs::SimStep {
             seq: self.seq as u64,
@@ -239,6 +253,7 @@ impl Event {
             | (Exit, Exit) => true,
             (Invoke { op: a, .. }, Invoke { op: b, .. }) => a == b,
             (Return { .. }, Return { .. }) => true,
+            (Crash { .. }, Crash { .. }) | (Recover, Recover) => true,
             _ => false,
         }
     }

@@ -89,7 +89,9 @@ pub use erase::{erase, EraseOutcome};
 pub use event::{Event, EventKind, ReadSource, SpecialKind};
 pub use fxhash::{fx_hash_one, FxBuildHasher, FxHasher};
 pub use ids::{ProcId, Value, VarId};
-pub use machine::{Directive, Machine, MemoryModel, Mode, Section, StateKey, StepError};
+pub use machine::{
+    CrashState, Directive, Machine, MemoryModel, Mode, Section, StateKey, StepError,
+};
 pub use metrics::{Counters, Histogram, Metrics, PassageStats, ProcMetrics, SpanKind};
 pub use op::{Op, Outcome};
 pub use program::{Program, System};

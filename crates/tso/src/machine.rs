@@ -62,15 +62,43 @@ pub enum Directive {
     /// Commit the pending write to a specific variable — only legal under
     /// [`MemoryModel::Pso`] unless it happens to be the oldest write.
     CommitVar(ProcId, VarId),
+    /// Crash the process: its write buffer is atomically discarded (under
+    /// PSO this covers every per-variable pending write — the buffer is
+    /// shared), its program resets to its recovery section (or
+    /// crash-stops if [`Program::recover`] declines), and its section
+    /// returns to ncs. Enumerated by the explorer only while the
+    /// machine's crash budget ([`Machine::set_crash_budget`]) is
+    /// positive; executing the directive directly (replay, shrinking) is
+    /// always legal. Kept the *last* variant so the sleep sets' stable
+    /// `Ord` over the pre-existing directives is unchanged.
+    Crash(ProcId),
 }
 
 impl Directive {
     /// The process this directive schedules.
     pub fn pid(self) -> ProcId {
         match self {
-            Directive::Issue(p) | Directive::Commit(p) | Directive::CommitVar(p, _) => p,
+            Directive::Issue(p)
+            | Directive::Commit(p)
+            | Directive::CommitVar(p, _)
+            | Directive::Crash(p) => p,
         }
     }
+}
+
+/// Crash-recovery status of a process (the Chan–Woelfel recoverable
+/// model: a crash wipes local state — registers, buffered writes — while
+/// committed shared memory persists).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum CrashState {
+    /// Executing normally.
+    #[default]
+    Running,
+    /// Crashed with a recovery section: the next issue executes
+    /// [`EventKind::Recover`] and resumes at the recovery section.
+    Down,
+    /// Crashed with no recovery section: never schedulable again.
+    Stopped,
 }
 
 /// Whether a process is between fences (`Read`) or executing one (`Write`).
@@ -204,6 +232,9 @@ pub enum NextEvent {
     },
     /// A transition (`Enter`/`Cs`/`Exit`) or object marker.
     Transition(Op),
+    /// Crashed with a recovery section: the next event is
+    /// [`EventKind::Recover`].
+    Recover,
 }
 
 impl NextEvent {
@@ -216,7 +247,7 @@ impl NextEvent {
             NextEvent::Read { critical, .. } => critical.then_some(SpecialKind::Critical),
             NextEvent::IssueWrite { .. } => None,
             NextEvent::Cas { .. } => Some(SpecialKind::Fence),
-            NextEvent::Transition(_) => Some(SpecialKind::Transition),
+            NextEvent::Transition(_) | NextEvent::Recover => Some(SpecialKind::Transition),
         }
     }
 }
@@ -233,6 +264,9 @@ struct ProcEntry {
     /// instead of rebuilding a hash table.
     remote_reads: Vec<VarId>,
     passages_completed: usize,
+    /// Crash-recovery status (the fault model; [`CrashState::Running`]
+    /// unless a [`Directive::Crash`] hit this process).
+    crash: CrashState,
     /// Tombstone set by [`Machine::erase_in_place`]: the process' events
     /// were removed from the execution and it may not be scheduled again.
     erased: bool,
@@ -248,6 +282,7 @@ impl ProcEntry {
             aw: self.aw.clone(),
             remote_reads: self.remote_reads.clone(),
             passages_completed: self.passages_completed,
+            crash: self.crash,
             erased: self.erased,
         }
     }
@@ -294,6 +329,21 @@ pub struct Machine {
     var_hash: Vec<u64>,
     proc_hash: Vec<u64>,
     hash: u64,
+    /// Remaining crash budget: how many more [`Directive::Crash`] moves
+    /// the explorer may *enumerate*. Part of the state hash (it changes
+    /// the enabled-directive sets), decremented by each crash. Executing
+    /// a crash directive directly never requires budget, so replays and
+    /// shrinking work on fresh zero-budget machines.
+    crash_budget: u32,
+    /// Crashes executed so far (replay or search), for invariants that
+    /// only fire on crash-bearing executions. Not hashed: in any search
+    /// it is determined by the budget spent.
+    crashes_executed: u32,
+    /// Buffered stores discarded by crashes so far. Hashed (via the
+    /// global component): invariants read it, so two states may only
+    /// share a cache entry if they agree on it. In zero-budget runs it is
+    /// constantly 0 and existing state spaces are unchanged.
+    writes_lost: u32,
     /// Set by [`Machine::fork_for_search`]: commit history was dropped, so
     /// in-place erasure (which rewinds through it) is unavailable.
     search_fork: bool,
@@ -341,6 +391,7 @@ impl Machine {
                     aw: AwSet::singleton(pid),
                     remote_reads: Vec::new(),
                     passages_completed: 0,
+                    crash: CrashState::Running,
                     erased: false,
                 }
             })
@@ -359,6 +410,9 @@ impl Machine {
             var_hash: Vec::new(),
             proc_hash: Vec::new(),
             hash: 0,
+            crash_budget: 0,
+            crashes_executed: 0,
+            writes_lost: 0,
             search_fork: false,
             probe: None,
         };
@@ -513,6 +567,11 @@ impl Machine {
         if entry.erased {
             return NextEvent::Halted;
         }
+        match entry.crash {
+            CrashState::Stopped => return NextEvent::Halted,
+            CrashState::Down => return NextEvent::Recover,
+            CrashState::Running => {}
+        }
         if entry.in_fence {
             return match entry.buffer.peek_oldest() {
                 Some(w) => NextEvent::CommitNext {
@@ -590,6 +649,7 @@ impl Machine {
             Directive::Commit(p) => self.do_commit(p)?,
             Directive::CommitVar(p, v) => self.do_commit_var(p, v)?,
             Directive::Issue(p) => self.do_issue(p)?,
+            Directive::Crash(p) => self.do_crash(p)?,
         };
         self.schedule.push(d);
         self.log.push(event);
@@ -660,6 +720,23 @@ impl Machine {
     }
 
     fn do_issue(&mut self, p: ProcId) -> Result<Event, StepError> {
+        match self.procs[p.index()].crash {
+            CrashState::Stopped => return Err(StepError::Halted(p)),
+            CrashState::Down => {
+                // The recovery event: the process resumes at the recovery
+                // section its program jumped to when it crashed.
+                let entry = &mut self.procs[p.index()];
+                entry.crash = CrashState::Running;
+                self.metrics.proc_mut(p).events += 1;
+                return Ok(Event {
+                    seq: self.next_seq(),
+                    pid: p,
+                    kind: EventKind::Recover,
+                    critical: false,
+                });
+            }
+            CrashState::Running => {}
+        }
         if self.procs[p.index()].in_fence {
             if !self.procs[p.index()].buffer.is_empty() {
                 return self.do_commit(p);
@@ -880,6 +957,83 @@ impl Machine {
         })
     }
 
+    fn do_crash(&mut self, p: ProcId) -> Result<Event, StepError> {
+        let entry = &mut self.procs[p.index()];
+        if entry.crash != CrashState::Running {
+            return Err(StepError::Halted(p));
+        }
+        // The crash atomically discards everything process-local: the
+        // write buffer (under PSO the same buffer holds every pending
+        // per-variable write, so all of them die), fence progress,
+        // awareness, remote-read history, and — via Program::recover —
+        // the program's registers and control location. Committed shared
+        // memory persists, possibly stale.
+        let lost = entry.buffer.len() as u32;
+        entry.buffer = WriteBuffer::new();
+        entry.in_fence = false;
+        entry.section = Section::Ncs;
+        entry.aw = AwSet::singleton(p);
+        entry.remote_reads.clear();
+        entry.crash = if entry.program.recover() {
+            CrashState::Down
+        } else {
+            CrashState::Stopped
+        };
+        // A crash mid-passage abandons the open accounting span — the
+        // passage never completes — and drops the process' cached copies.
+        self.metrics.abort_span(p);
+        self.metrics.proc_mut(p).events += 1;
+        let mut gone = std::collections::BTreeSet::new();
+        gone.insert(p);
+        self.cache.purge(&gone);
+        let old = self.global_component();
+        self.crashes_executed += 1;
+        self.writes_lost += lost;
+        if self.crash_budget > 0 {
+            self.crash_budget -= 1;
+        }
+        self.hash ^= old ^ self.global_component();
+        Ok(Event {
+            seq: self.next_seq(),
+            pid: p,
+            kind: EventKind::Crash { lost },
+            critical: false,
+        })
+    }
+
+    /// Sets the crash budget: how many [`Directive::Crash`] moves
+    /// [`Machine::enabled_directives`] will still offer. The default 0
+    /// disables crash enumeration entirely (existing state spaces are
+    /// unchanged); executing crash directives directly never consumes
+    /// budget, so shrink/replay runs work on fresh machines.
+    pub fn set_crash_budget(&mut self, budget: u32) {
+        let old = self.global_component();
+        self.crash_budget = budget;
+        self.hash ^= old ^ self.global_component();
+    }
+
+    /// The remaining crash budget.
+    pub fn crash_budget(&self) -> u32 {
+        self.crash_budget
+    }
+
+    /// Crashes executed in this execution so far.
+    pub fn crashes_executed(&self) -> u32 {
+        self.crashes_executed
+    }
+
+    /// Buffered stores discarded by crashes in this execution so far —
+    /// the TSO-specific crash damage. A crash of a process with an empty
+    /// buffer loses nothing and leaves this unchanged.
+    pub fn writes_lost(&self) -> u32 {
+        self.writes_lost
+    }
+
+    /// Crash-recovery status of `p`.
+    pub fn crash_state(&self, p: ProcId) -> CrashState {
+        self.procs[p.index()].crash
+    }
+
     /// Whether `p` was erased in place.
     pub fn is_erased(&self, p: ProcId) -> bool {
         self.procs[p.index()].erased
@@ -943,6 +1097,13 @@ impl Machine {
         let mut schedule = Vec::with_capacity(self.schedule.len());
         for (event, directive) in self.log.iter().zip(&self.schedule) {
             if erased.contains(&event.pid) {
+                // Erasing a crashed process erases its crash damage too —
+                // the counters must match what a fresh replay of the
+                // surviving schedule would accumulate.
+                if let EventKind::Crash { lost } = event.kind {
+                    self.crashes_executed -= 1;
+                    self.writes_lost -= lost;
+                }
                 continue;
             }
             let mut e = *event;
@@ -966,6 +1127,7 @@ impl Machine {
         for &p in erased {
             let entry = &mut self.procs[p.index()];
             entry.erased = true;
+            entry.crash = CrashState::Running;
             entry.in_fence = false;
             entry.section = Section::Ncs;
             entry.buffer = WriteBuffer::new();
@@ -1071,6 +1233,9 @@ impl Machine {
             var_hash: self.var_hash.clone(),
             proc_hash: self.proc_hash.clone(),
             hash: self.hash,
+            crash_budget: self.crash_budget,
+            crashes_executed: self.crashes_executed,
+            writes_lost: self.writes_lost,
             search_fork: self.search_fork,
             probe: self.probe.clone(),
         }
@@ -1098,6 +1263,9 @@ impl Machine {
             var_hash: self.var_hash.clone(),
             proc_hash: self.proc_hash.clone(),
             hash: self.hash,
+            crash_budget: self.crash_budget,
+            crashes_executed: self.crashes_executed,
+            writes_lost: self.writes_lost,
             search_fork: true,
             probe: None,
         }
@@ -1140,7 +1308,7 @@ impl Machine {
     /// [`Machine::state_hash`]; exposed so tests can assert exactly that
     /// after arbitrary schedules.
     pub fn recompute_state_hash(&self) -> u64 {
-        let mut hash = Self::model_component(self.model);
+        let mut hash = self.global_component();
         for (i, _) in self.var_hash.iter().enumerate() {
             hash ^= self.var_component(i);
         }
@@ -1154,10 +1322,17 @@ impl Machine {
     const VAR_TAG: u64 = 0x5641_5200; // "VAR\0"
     const PROC_TAG: u64 = 0x5052_4f43; // "PROC"
 
-    fn model_component(model: MemoryModel) -> u64 {
+    /// The machine-global hash component: memory model, remaining crash
+    /// budget (the budget gates which directives are enabled, so two
+    /// states differing only in budget must not be cache-merged) and
+    /// stores lost to crashes (invariants read it, so it is behavioural
+    /// state).
+    fn global_component(&self) -> u64 {
         use std::hash::Hasher;
         let mut h = FxHasher::with_seed(0x4d4f_4445_4c00); // "MODEL\0"
-        h.write_u8((model == MemoryModel::Pso) as u8);
+        h.write_u8((self.model == MemoryModel::Pso) as u8);
+        h.write_u32(self.crash_budget);
+        h.write_u32(self.writes_lost);
         h.finish()
     }
 
@@ -1175,6 +1350,7 @@ impl Machine {
         let mut h = FxHasher::with_seed(Self::PROC_TAG ^ ((i as u64) << 16));
         let entry = &self.procs[i];
         entry.erased.hash(&mut h);
+        (entry.crash as u8).hash(&mut h);
         entry.in_fence.hash(&mut h);
         (entry.section as u8).hash(&mut h);
         entry.passages_completed.hash(&mut h);
@@ -1197,7 +1373,7 @@ impl Machine {
         for i in 0..self.proc_hash.len() {
             self.proc_hash[i] = self.proc_component(i);
         }
-        self.hash = Self::model_component(self.model)
+        self.hash = self.global_component()
             ^ self.var_hash.iter().fold(0, |a, h| a ^ h)
             ^ self.proc_hash.iter().fold(0, |a, h| a ^ h);
     }
@@ -1231,6 +1407,15 @@ impl Machine {
         if entry.erased {
             return Vec::new();
         }
+        match entry.crash {
+            // Crash-stopped: nothing, ever.
+            CrashState::Stopped => return Vec::new(),
+            // Down: the only move is the recovery event. Its buffer is
+            // empty (the crash discarded it), so no crash is offered
+            // either — crashing an empty-buffered process loses nothing.
+            CrashState::Down => return vec![Directive::Issue(p)],
+            CrashState::Running => {}
+        }
         let mut out = Vec::new();
         let halted = !entry.in_fence && matches!(entry.program.peek(), Op::Halt);
         if !halted {
@@ -1245,6 +1430,14 @@ impl Machine {
             for w in entry.buffer.iter().skip(1) {
                 out.push(Directive::CommitVar(p, w.var));
             }
+        }
+        // The fault model: while budget remains, the adversary may crash
+        // any process with a non-empty write buffer. The gate keeps the
+        // budgeted search on the TSO-interesting crash points — a crash
+        // with nothing buffered is indistinguishable from one delayed to
+        // the process' next issue.
+        if self.crash_budget > 0 && !entry.buffer.is_empty() {
+            out.push(Directive::Crash(p));
         }
         out
     }
@@ -1264,6 +1457,13 @@ impl Machine {
             write: Some(var),
         };
         match d {
+            // A crash touches no shared variable: the buffered writes it
+            // discards were never visible.
+            Directive::Crash(_) => (entry.crash == CrashState::Running).then_some(Footprint {
+                pid: p,
+                read: None,
+                write: None,
+            }),
             Directive::Commit(_) => entry.buffer.peek_oldest().map(|w| commit_of(w.var)),
             Directive::CommitVar(_, v) => entry
                 .buffer
@@ -1285,12 +1485,13 @@ impl Machine {
                     read: Some(var),
                     write: Some(var),
                 }),
-                // Issued writes go to the private buffer; fence brackets and
-                // transitions touch no shared variable.
+                // Issued writes go to the private buffer; fence brackets,
+                // transitions and recovery touch no shared variable.
                 NextEvent::IssueWrite { .. }
                 | NextEvent::BeginFence
                 | NextEvent::EndFence
-                | NextEvent::Transition(_) => Some(Footprint {
+                | NextEvent::Transition(_)
+                | NextEvent::Recover => Some(Footprint {
                     pid: p,
                     read: None,
                     write: None,
@@ -1312,6 +1513,11 @@ impl Machine {
     /// sleep sets are built on.
     pub fn independent(&self, a: Directive, b: Directive) -> bool {
         if a.pid() == b.pid() {
+            return false;
+        }
+        // Two crashes are never independent: both draw on the same global
+        // crash budget, so one can disable the other's enumeration.
+        if matches!(a, Directive::Crash(_)) && matches!(b, Directive::Crash(_)) {
             return false;
         }
         let (Some(fa), Some(fb)) = (self.footprint(a), self.footprint(b)) else {

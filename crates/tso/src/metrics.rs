@@ -134,6 +134,12 @@ impl Metrics {
         self.procs[pid.index()] = ProcMetrics::new();
     }
 
+    /// Abandons the currently open span, if any, without recording it —
+    /// a crashed passage never completes. No-op when no span is open.
+    pub(crate) fn abort_span(&mut self, pid: ProcId) {
+        self.procs[pid.index()].open_snapshot = None;
+    }
+
     pub(crate) fn close_span(&mut self, pid: ProcId) {
         let m = &mut self.procs[pid.index()];
         let (kind, snap) = m

@@ -48,6 +48,15 @@ pub trait Program: Send {
         None
     }
 
+    /// Crash notification (the fault model): local registers and control
+    /// location are lost. Returns `true` if the program has a recovery
+    /// section and has jumped to it (it will be re-scheduled after a
+    /// `Recover` event, and may rely only on shared memory to rebuild
+    /// local state); `false` — the default — crash-stops the process.
+    fn recover(&mut self) -> bool {
+        false
+    }
+
     /// Snapshots the program: returns a behaviourally identical copy in
     /// the same state. Required by the schedule explorer
     /// (`tpa-check`), which branches the whole machine at every choice

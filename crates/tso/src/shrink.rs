@@ -277,6 +277,67 @@ mod tests {
     }
 
     #[test]
+    fn crash_schedules_shrink_to_one_minimal_keeping_the_crash() {
+        // Property: some crash discarded at least one buffered store. The
+        // minimal exhibit is two directives — one buffered issue plus the
+        // crash that loses it — and ddmin must find exactly that, because
+        // replay (`exhibits` runs on a fresh zero-budget machine) accepts
+        // crash directives unconditionally.
+        let sys = writer_system();
+        let p0 = ProcId(0);
+        let p1 = ProcId(1);
+        let lost_store = |m: &Machine| m.writes_lost() > 0;
+        let noisy = vec![
+            Directive::Issue(p1),
+            Directive::Issue(p0), // issue v1 = 7
+            Directive::Issue(p1),
+            Directive::Issue(p0), // issue v0 = 42
+            Directive::Crash(p0), // loses both buffered writes
+        ];
+        assert!(exhibits(&sys, MemoryModel::Tso, &noisy, &lost_store));
+        let shrunk = shrink_schedule(&sys, MemoryModel::Tso, &noisy, lost_store);
+        assert_eq!(shrunk.len(), 2, "{shrunk:?}");
+        assert!(
+            matches!(shrunk[1], Directive::Crash(p) if p == p0),
+            "the data-losing crash is load-bearing: {shrunk:?}"
+        );
+        // 1-minimality survives the crash extension: dropping either the
+        // issue or the crash kills the property.
+        for i in 0..shrunk.len() {
+            let mut candidate = shrunk.clone();
+            candidate.remove(i);
+            assert!(
+                !exhibits(&sys, MemoryModel::Tso, &candidate, &lost_store),
+                "directive {i} of {shrunk:?} is removable"
+            );
+        }
+    }
+
+    #[test]
+    fn vacuous_crashes_shrink_away() {
+        // A crash with an empty buffer loses nothing; if the property
+        // doesn't need it, ddmin removes it like any other noise.
+        let sys = writer_system();
+        let p0 = ProcId(0);
+        let p1 = ProcId(1);
+        let noisy = vec![
+            Directive::Issue(p1),
+            Directive::Crash(p1), // p1 has nothing buffered: vacuous
+            Directive::Issue(p0), // issue v1
+            Directive::Issue(p0), // issue v0
+            Directive::Issue(p0), // BeginFence
+            Directive::Issue(p0), // commit v1
+            Directive::Issue(p0), // commit v0 -> property
+        ];
+        assert!(exhibits(&sys, MemoryModel::Tso, &noisy, &v0_is_42));
+        let shrunk = shrink_schedule(&sys, MemoryModel::Tso, &noisy, v0_is_42);
+        assert!(
+            !shrunk.iter().any(|d| matches!(d, Directive::Crash(_))),
+            "the vacuous crash must not survive shrinking: {shrunk:?}"
+        );
+    }
+
+    #[test]
     fn exclusion_violated_counts_cs_enabled() {
         let sys = ScriptSystem::new(2, 1, |_| {
             vec![Instr::Enter, Instr::Cs, Instr::Exit, Instr::Halt]

@@ -47,6 +47,8 @@ pub fn compact(step: &SimStep) -> String {
         SimKind::Exit => "EXIT".to_owned(),
         SimKind::Invoke { op, arg } => format!("inv({op},{arg})"),
         SimKind::Return { value } => format!("ret({value})"),
+        SimKind::Crash { lost } => format!("CRASH({lost})"),
+        SimKind::Recover => "RECOVER".to_owned(),
     }
 }
 
@@ -86,6 +88,10 @@ pub fn verbose(step: &SimStep) -> String {
         SimKind::Exit => format!("[{seq}] p{pid} EXIT"),
         SimKind::Invoke { op, arg } => format!("[{seq}] p{pid} invoke(op{op}, {arg})"),
         SimKind::Return { value } => format!("[{seq}] p{pid} return({value})"),
+        SimKind::Crash { lost } => {
+            format!("[{seq}] p{pid} CRASH ({lost} buffered writes lost)")
+        }
+        SimKind::Recover => format!("[{seq}] p{pid} RECOVER"),
     }
 }
 

@@ -10,11 +10,20 @@
 #   4. the exhaustive-explorer smoke sweep, timed, on 4 worker threads
 #      (n = 2, incl. the bakery-nofence negative control — nonzero exit
 #      if it slips by)
-#   5. telemetry: rerun the explorer with TPA_OBS_* set and validate the
+#   5. the crash-fault model: exhaustive n = 2 with a crash budget of 1;
+#      the crash-gated negative control (unfenced recoverable bakery)
+#      must be caught and shrunk with its crash, and the telemetry it
+#      emits — crash events included — must pass schema validation
+#   6. telemetry: rerun the explorer with TPA_OBS_* set and validate the
 #      JSONL run log and the Perfetto trace with obs_validate
-#   6. formatting check
+#   7. formatting check
 #
-# Stages 3-5 redirect BENCH_check.json to a scratch dir so a smoke run
+# Every stage runs under `timeout` (default 900 s per stage, override
+# with SMOKE_STAGE_TIMEOUT) so a wedged stage fails the smoke run
+# instead of hanging it — the same discipline the checker itself applies
+# to its searches.
+#
+# Stages 3-6 redirect BENCH_check.json to a scratch dir so a smoke run
 # never clobbers the committed benchmark record.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,32 +31,41 @@ cd "$(dirname "$0")/.."
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
 
-echo "== [1/6] tier-1: build + tests =="
-cargo build --offline --release --workspace
-cargo test --offline -q --workspace
+STAGE_TIMEOUT="${SMOKE_STAGE_TIMEOUT:-900}"
+t() { timeout --foreground "$STAGE_TIMEOUT" "$@"; }
 
-echo "== [2/6] clippy (-D warnings) =="
-cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "== [1/7] tier-1: build + tests =="
+t cargo build --offline --release --workspace
+t cargo test --offline -q --workspace
 
-echo "== [3/6] experiment harness (quick) =="
+echo "== [2/7] clippy (-D warnings) =="
+t cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== [3/7] experiment harness (quick) =="
 TPA_BENCH_JSON="$SCRATCH/bench_report_all.json" \
-    cargo run --offline --release -p tpa-bench --bin report_all -- --quick
+    t cargo run --offline --release -p tpa-bench --bin report_all -- --quick
 
-echo "== [4/6] parallel explorer smoke (quick, 4 threads, timed) =="
+echo "== [4/7] parallel explorer smoke (quick, 4 threads, timed) =="
 time TPA_BENCH_JSON="$SCRATCH/bench_c1.json" \
-    cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick --threads 4
+    t cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick --threads 4
 
-echo "== [5/6] telemetry: JSONL + Perfetto export, schema-validated =="
+echo "== [5/7] crash-fault model (quick, negative control + telemetry) =="
+TPA_OBS_JSONL="$SCRATCH/crash.jsonl" \
+    t cargo run --offline --release -p tpa-bench --bin exp_r1_crash -- --quick --threads 4
+test -s "$SCRATCH/crash.jsonl" || { echo "crash-model run log missing"; exit 1; }
+t cargo run --offline --release -p tpa-bench --bin obs_validate -- "$SCRATCH/crash.jsonl"
+
+echo "== [6/7] telemetry: JSONL + Perfetto export, schema-validated =="
 TPA_BENCH_JSON="$SCRATCH/bench_obs.json" \
 TPA_OBS_JSONL="$SCRATCH/run.jsonl" \
 TPA_OBS_TRACE="$SCRATCH/trace.json" \
-    cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick --threads 4
+    t cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick --threads 4
 test -s "$SCRATCH/run.jsonl" || { echo "telemetry run log missing"; exit 1; }
 test -s "$SCRATCH/trace.json" || { echo "telemetry trace missing"; exit 1; }
-cargo run --offline --release -p tpa-bench --bin obs_validate -- \
+t cargo run --offline --release -p tpa-bench --bin obs_validate -- \
     "$SCRATCH/run.jsonl" "$SCRATCH/trace.json"
 
-echo "== [6/6] cargo fmt --check =="
-cargo fmt --all -- --check
+echo "== [7/7] cargo fmt --check =="
+t cargo fmt --all -- --check
 
 echo "smoke: all green"

@@ -47,7 +47,9 @@ pub mod prelude {
     pub use tpa_algos::{all_locks, lock_by_name};
     #[allow(deprecated)]
     pub use tpa_check::{check_exhaustive, check_swarm};
-    pub use tpa_check::{Checker, ExploreConfig, Report, SwarmConfig, Verdict};
+    pub use tpa_check::{
+        crash_invariants, Checker, ExploreConfig, IncompleteReason, Report, SwarmConfig, Verdict,
+    };
     pub use tpa_objects::{ArrayQueue, CasCounter, OneTimeMutex, TreiberStack};
     pub use tpa_obs::{AdvEvent, CollectProbe, NullProbe, Probe, Recorder};
     pub use tpa_tso::sched::{run_random, run_round_robin, CommitPolicy};

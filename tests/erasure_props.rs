@@ -120,6 +120,183 @@ proptest! {
     }
 }
 
+/// Runs `sys` under a random schedule with a crash budget of 1, forcing
+/// `victim` to crash the first time it has a buffered store (so the crash
+/// actually discards data). Scripts have no recovery section, so the
+/// victim crash-stops.
+fn run_with_forced_crash(sys: &ScriptSystem, n: usize, victim: ProcId, seed: u64) -> Machine {
+    let mut m = Machine::new(sys);
+    m.set_crash_budget(1);
+    let mut rng = tpa::tso::sched::XorShift::new(seed);
+    for _ in 0..10_000 {
+        let enabled: Vec<Directive> = (0..n)
+            .flat_map(|i| m.enabled_directives(ProcId(i as u32)))
+            .filter(|d| match d {
+                Directive::Crash(p) => *p == victim,
+                _ => true,
+            })
+            .collect();
+        if enabled.is_empty() {
+            break;
+        }
+        let forced = enabled
+            .iter()
+            .copied()
+            .find(|d| matches!(d, Directive::Crash(p) if *p == victim));
+        let d = forced.unwrap_or_else(|| enabled[rng.below(enabled.len())]);
+        m.step(d).unwrap();
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 1 survives the fault model: erasing unaware processes from a
+    /// history containing a `Crash` event still yields a valid execution
+    /// with identical survivor projections — whether the crashed process
+    /// is erased (its crash vanishes with it) or retained (the filtered
+    /// replay re-executes the crash, budget-free).
+    #[test]
+    fn prop_lemma1_with_crash_events(
+        n in 2usize..6,
+        seed in 1u64..500,
+        victim_pick in 0u32..6,
+        erase_mask in 0u32..32,
+    ) {
+        use tpa::tso::EventKind;
+        let victim = ProcId(victim_pick % n as u32);
+        let sys = independent_system(n, 2);
+        let machine = run_with_forced_crash(&sys, n, victim, seed);
+        let crashed = machine
+            .log()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Crash { .. }));
+        prop_assume!(crashed); // tiny interleavings may halt before buffering
+
+        let erased: BTreeSet<ProcId> =
+            (0..n as u32).filter(|i| erase_mask & (1 << i) != 0).map(ProcId).collect();
+        let out = erase(&sys, &machine, &erased).unwrap();
+        prop_assert!(out.projection_identical, "{:?}", out.first_mismatch);
+        prop_assert!(out.criticality_preserved);
+        if erased.contains(&victim) {
+            let crash_remains = out
+                .machine
+                .log()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Crash { .. }));
+            prop_assert!(!crash_remains, "erasing the victim must take its crash along");
+            prop_assert_eq!(out.machine.writes_lost(), 0);
+        } else {
+            prop_assert_eq!(out.machine.writes_lost(), machine.writes_lost());
+            prop_assert_eq!(out.machine.crashes_executed(), machine.crashes_executed());
+        }
+    }
+}
+
+/// A two-instruction recoverable program (write your slot, fence, halt;
+/// crash restarts from the top) so the root-crate erasure tests can cover
+/// `Recover` events, which scripts cannot produce.
+#[derive(Clone)]
+struct RestartProgram {
+    me: u32,
+    step: u8,
+}
+
+impl Program for RestartProgram {
+    fn peek(&self) -> Op {
+        match self.step {
+            0 => Op::Write(VarId(self.me), 1),
+            1 => Op::Fence,
+            _ => Op::Halt,
+        }
+    }
+    fn apply(&mut self, _outcome: Outcome) {
+        self.step += 1;
+    }
+    fn fork(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+    fn state_hash(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash;
+        self.step.hash(&mut h);
+    }
+    fn recover(&mut self) -> bool {
+        self.step = 0;
+        true
+    }
+}
+
+struct RestartSystem(usize);
+
+impl System for RestartSystem {
+    fn n(&self) -> usize {
+        self.0
+    }
+    fn vars(&self) -> VarSpec {
+        VarSpec::remote(self.0)
+    }
+    fn program(&self, pid: ProcId) -> Box<dyn Program> {
+        Box::new(RestartProgram { me: pid.0, step: 0 })
+    }
+    fn name(&self) -> &str {
+        "restart"
+    }
+}
+
+#[test]
+fn lemma1_holds_across_crash_and_recovery() {
+    use tpa::tso::EventKind;
+    let sys = RestartSystem(2);
+    let p0 = ProcId(0);
+    let p1 = ProcId(1);
+    let mut m = Machine::new(&sys);
+    m.set_crash_budget(1);
+    // p0: buffer the write, crash (losing it), recover, redo the passage.
+    for d in [
+        Directive::Issue(p0), // buffered write
+        Directive::Crash(p0), // discards it
+        Directive::Issue(p0), // Recover event
+        Directive::Issue(p0), // re-issue
+        Directive::Issue(p0), // BeginFence
+        Directive::Issue(p0), // commit
+        Directive::Issue(p0), // EndFence
+    ] {
+        m.step(d).unwrap();
+    }
+    // p1 runs its whole program (write, fence brackets, commit), never
+    // touching p0's column.
+    for _ in 0..4 {
+        m.step(Directive::Issue(p1)).unwrap();
+    }
+    let has = |log: &[tpa::tso::Event], pred: &dyn Fn(&EventKind) -> bool| {
+        log.iter().any(|e| pred(&e.kind))
+    };
+    assert!(has(m.log(), &|k| matches!(k, EventKind::Crash { lost: 1 })));
+    assert!(has(m.log(), &|k| matches!(k, EventKind::Recover)));
+
+    // Erase the bystander: the crashed-and-recovered projection survives
+    // intact, crash and recovery events included.
+    let out = erase(&sys, &m, &[p1].into_iter().collect()).unwrap();
+    assert!(out.projection_identical, "{:?}", out.first_mismatch);
+    assert!(has(out.machine.log(), &|k| matches!(
+        k,
+        EventKind::Crash { lost: 1 }
+    )));
+    assert!(has(out.machine.log(), &|k| matches!(k, EventKind::Recover)));
+    assert_eq!(out.machine.writes_lost(), 1);
+
+    // Erase the victim: survivors replay identically and the fault
+    // disappears from the history entirely.
+    let out = erase(&sys, &m, &[p0].into_iter().collect()).unwrap();
+    assert!(out.projection_identical, "{:?}", out.first_mismatch);
+    assert!(!has(out.machine.log(), &|k| matches!(
+        k,
+        EventKind::Crash { .. } | EventKind::Recover
+    )));
+    assert_eq!(out.machine.writes_lost(), 0);
+}
+
 #[test]
 fn erasing_after_lock_contention_respects_awareness() {
     // On a real lock, erasure of a process the others have observed must
