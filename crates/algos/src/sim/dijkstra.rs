@@ -12,7 +12,9 @@
 //! the number of restarts — constant when uncontended, growing with
 //! contention. Deadlock-free but not starvation-free.
 
-use tpa_tso::{Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec};
+use tpa_tso::{
+    Op, Outcome, Permutation, PidEncoding, ProcId, Program, System, Value, VarId, VarSpec,
+};
 
 /// Dijkstra's lock system.
 #[derive(Clone, Debug)]
@@ -42,8 +44,10 @@ impl System for DijkstraLock {
 
     fn vars(&self) -> VarSpec {
         let mut b = VarSpec::builder();
-        b.var("turn", 0, None);
-        b.array("flag", self.n, 0, |_| None);
+        let turn = b.var("turn", 0, None);
+        let flags = b.array("flag", self.n, 0, |_| None);
+        b.mark_pid_valued(turn, PidEncoding::ZeroBased);
+        b.mark_pid_indexed(flags, self.n);
         b.build()
     }
 
@@ -58,6 +62,14 @@ impl System for DijkstraLock {
 
     fn name(&self) -> &str {
         "dijkstra"
+    }
+
+    fn symmetric(&self) -> bool {
+        // Processes are interchangeable: `turn` holds a pid (relabeled as
+        // zero-based), `flag` is pid-indexed, and the only pid-order
+        // dependence — the scan — is handled as a renaming precondition
+        // in `state_hash_permuted`.
+        true
     }
 }
 
@@ -117,6 +129,30 @@ impl Program for DijkstraProgram {
         use std::hash::Hash;
         self.state.hash(&mut h);
         self.passages_left.hash(&mut h);
+    }
+
+    fn state_hash_permuted(&self, perm: &Permutation, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash;
+        let state = match self.state {
+            // The watched turn-holder is a pid.
+            State::ReadHolderFlag { holder } => State::ReadHolderFlag {
+                holder: perm.apply_index(holder),
+            },
+            // A scan in pid order skipping `me`: the renamed program must
+            // have completed exactly the renamed prefix.
+            State::Scan { j } => {
+                if !perm.maps_scan_prefix(j, self.me) {
+                    return false;
+                }
+                State::Scan {
+                    j: perm.apply_index(j),
+                }
+            }
+            s => s,
+        };
+        state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+        true
     }
 
     fn peek(&self) -> Op {

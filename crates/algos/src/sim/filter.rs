@@ -6,7 +6,9 @@
 //! fences per passage (one per level) and Θ(n²) reads under contention —
 //! a deliberately expensive read/write baseline for the experiment tables.
 
-use tpa_tso::{Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec};
+use tpa_tso::{
+    Op, Outcome, Permutation, PidEncoding, ProcId, Program, System, Value, VarId, VarSpec,
+};
 
 /// The filter lock system.
 #[derive(Clone, Debug)]
@@ -29,8 +31,16 @@ impl System for FilterLock {
 
     fn vars(&self) -> VarSpec {
         let mut b = VarSpec::builder();
-        b.array("level", self.n, 0, |_| None);
-        b.array("victim", self.n, 0, |_| None);
+        // level[] is indexed by pid and holds levels; victim[] is indexed
+        // by *level* (so its slots do not permute) and holds pids. Levels
+        // run 1..=n-1, so only n-1 victim slots exist — an unused slot 0
+        // would sit unwritten forever and, being pid-valued, needlessly
+        // restrict every renaming to ones fixing pid 0.
+        let level = b.array("level", self.n, 0, |_| None);
+        let victims = self.n.saturating_sub(1);
+        let victim = b.array("victim", victims, 0, |_| None);
+        b.mark_pid_indexed(level, self.n);
+        b.mark_pid_valued_array(victim, victims, PidEncoding::ZeroBased);
         b.build()
     }
 
@@ -45,6 +55,14 @@ impl System for FilterLock {
 
     fn name(&self) -> &str {
         "filter"
+    }
+
+    fn symmetric(&self) -> bool {
+        // Processes are interchangeable: `level[]` is pid-indexed,
+        // `victim[]` holds pids, and the only pid-order dependence — the
+        // per-level scan — is a renaming precondition in
+        // `state_hash_permuted`.
+        true
     }
 }
 
@@ -77,7 +95,8 @@ impl FilterProgram {
     }
 
     fn victim_var(&self, l: usize) -> VarId {
-        VarId((self.n + l) as u32)
+        // Victim slots cover levels 1..=n-1, packed after the level array.
+        VarId((self.n + l - 1) as u32)
     }
 
     /// First scan index at level `l` skipping `me`, or the level is clear.
@@ -106,6 +125,26 @@ impl Program for FilterProgram {
         use std::hash::Hash;
         self.state.hash(&mut h);
         self.passages_left.hash(&mut h);
+    }
+
+    fn state_hash_permuted(&self, perm: &Permutation, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash;
+        // Levels are plain data; only the scan position `k` is a pid.
+        let state = match self.state {
+            State::Scan { l, k } => {
+                if !perm.maps_scan_prefix(k, self.me) {
+                    return false;
+                }
+                State::Scan {
+                    l,
+                    k: perm.apply_index(k),
+                }
+            }
+            s => s,
+        };
+        state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+        true
     }
 
     fn peek(&self) -> Op {

@@ -9,7 +9,9 @@
 //! invented for (compare the T7 table). Fences: Θ(retries) on the tail
 //! swap plus a constant.
 
-use tpa_tso::{Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec};
+use tpa_tso::{
+    Op, Outcome, Permutation, PidEncoding, ProcId, Program, System, Value, VarId, VarSpec,
+};
 
 /// The MCS lock system.
 #[derive(Clone, Debug)]
@@ -42,11 +44,16 @@ impl System for McsLock {
 
     fn vars(&self) -> VarSpec {
         let mut b = VarSpec::builder();
-        b.var("tail", 0, None);
+        let tail = b.var("tail", 0, None);
         // next[i] is written by i's predecessor-to-be and read by i: keep
         // it remote. locked[i] is spun on only by i: DSM-local.
-        b.array("next", self.n, 0, |_| None);
-        b.array("locked", self.n, 0, |i| Some(ProcId(i as u32)));
+        let next = b.array("next", self.n, 0, |_| None);
+        let locked = b.array("locked", self.n, 0, |i| Some(ProcId(i as u32)));
+        // Queue links are pid+1 with 0 meaning "empty"/"none".
+        b.mark_pid_valued(tail, PidEncoding::OneBased);
+        b.mark_pid_indexed(next, self.n);
+        b.mark_pid_valued_array(next, self.n, PidEncoding::OneBased);
+        b.mark_pid_indexed(locked, self.n);
         b.build()
     }
 
@@ -62,6 +69,13 @@ impl System for McsLock {
 
     fn name(&self) -> &str {
         "mcs"
+    }
+
+    fn symmetric(&self) -> bool {
+        // Processes are interchangeable: queue links are one-based pids
+        // (`tail`, `next[]`, the local `pred`/`succ`), both arrays are
+        // pid-indexed, and nothing depends on pid *order*.
+        true
     }
 }
 
@@ -121,6 +135,30 @@ impl Program for McsProgram {
         self.state.hash(&mut h);
         self.pred.hash(&mut h);
         self.passages_left.hash(&mut h);
+    }
+
+    fn state_hash_permuted(&self, perm: &Permutation, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash;
+        // Every pid in local state is one-based (0 = none): the observed
+        // tail, the predecessor link and the successor being handed to.
+        let state = match self.state {
+            State::CasTail { t } => match perm.map_value_one_based(t) {
+                Some(t) => State::CasTail { t },
+                None => return false,
+            },
+            State::WriteHandoff { succ } => match perm.map_value_one_based(succ) {
+                Some(succ) => State::WriteHandoff { succ },
+                None => return false,
+            },
+            s => s,
+        };
+        let Some(pred) = perm.map_value_one_based(self.pred) else {
+            return false;
+        };
+        state.hash(&mut h);
+        pred.hash(&mut h);
+        self.passages_left.hash(&mut h);
+        true
     }
 
     fn peek(&self) -> Op {

@@ -14,7 +14,9 @@
 //! so both RMRs and fences grow with the actual contention — the shape the
 //! paper's trade-off says any adaptive algorithm must exhibit.
 
-use tpa_tso::{Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec};
+use tpa_tso::{
+    Op, Outcome, Permutation, PidEncoding, ProcId, Program, System, Value, VarId, VarSpec,
+};
 
 /// The fast-path (splitter) lock system.
 #[derive(Clone, Debug)]
@@ -45,9 +47,14 @@ impl System for SplitterLock {
 
     fn vars(&self) -> VarSpec {
         let mut b = VarSpec::builder();
-        b.var("y", 0, None);
-        b.var("x", 0, None);
-        b.array("b", self.n, 0, |_| None);
+        // x and y hold pid+1 (0 = unclaimed); b[] is the pid-indexed
+        // announce array.
+        let y = b.var("y", 0, None);
+        let x = b.var("x", 0, None);
+        let bb = b.array("b", self.n, 0, |_| None);
+        b.mark_pid_valued(y, PidEncoding::OneBased);
+        b.mark_pid_valued(x, PidEncoding::OneBased);
+        b.mark_pid_indexed(bb, self.n);
         b.build()
     }
 
@@ -62,6 +69,14 @@ impl System for SplitterLock {
 
     fn name(&self) -> &str {
         "splitter"
+    }
+
+    fn symmetric(&self) -> bool {
+        // Processes are interchangeable: x/y hold one-based pids compared
+        // only for equality with the reader's own id, b[] is pid-indexed,
+        // and the slow-path wait scan is a renaming precondition in
+        // `state_hash_permuted`.
+        true
     }
 }
 
@@ -128,6 +143,27 @@ impl Program for SplitterProgram {
         use std::hash::Hash;
         self.state.hash(&mut h);
         self.passages_left.hash(&mut h);
+    }
+
+    fn state_hash_permuted(&self, perm: &Permutation, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash;
+        // The b-scan runs over *all* pids (including me) in pid order:
+        // the renamed program must have completed exactly the renamed
+        // prefix.
+        let state = match self.state {
+            State::WaitB { j } => {
+                if !perm.maps_prefix(j) {
+                    return false;
+                }
+                State::WaitB {
+                    j: perm.apply_index(j),
+                }
+            }
+            s => s,
+        };
+        state.hash(&mut h);
+        self.passages_left.hash(&mut h);
+        true
     }
 
     fn peek(&self) -> Op {

@@ -5,7 +5,7 @@
 //! fence complexity per passage equals the number of acquisition attempts
 //! — Θ(k) under contention k. RMR complexity is likewise unbounded in k.
 
-use tpa_tso::{Op, Outcome, ProcId, Program, System, VarId, VarSpec};
+use tpa_tso::{Op, Outcome, Permutation, ProcId, Program, System, VarId, VarSpec};
 
 /// The test-and-set lock system.
 #[derive(Clone, Debug)]
@@ -45,6 +45,12 @@ impl System for TasLock {
     fn name(&self) -> &str {
         "tas"
     }
+
+    fn symmetric(&self) -> bool {
+        // Programs are pid-oblivious and the lone lock variable holds
+        // plain 0/1 data, so every renaming is an automorphism.
+        true
+    }
 }
 
 #[derive(Clone, Copy, Hash, Debug)]
@@ -73,6 +79,12 @@ impl Program for TasProgram {
         use std::hash::Hash;
         self.state.hash(&mut h);
         self.passages_left.hash(&mut h);
+    }
+
+    fn state_hash_permuted(&self, _perm: &Permutation, h: &mut dyn std::hash::Hasher) -> bool {
+        // No local state mentions a pid: the renamed hash is the hash.
+        self.state_hash(h);
+        true
     }
 
     fn peek(&self) -> Op {

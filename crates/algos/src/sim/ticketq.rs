@@ -10,7 +10,7 @@
 //! (the paper's primitive set has no atomic fetch&increment; only reads,
 //! writes and comparison primitives).
 
-use tpa_tso::{Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec};
+use tpa_tso::{Op, Outcome, Permutation, ProcId, Program, System, Value, VarId, VarSpec};
 
 /// The ticket lock system.
 #[derive(Clone, Debug)]
@@ -59,6 +59,13 @@ impl System for TicketLock {
     fn name(&self) -> &str {
         "ticketq"
     }
+
+    fn symmetric(&self) -> bool {
+        // Tickets are dispenser order, not pids: `tail` counts, the grant
+        // slots are indexed by ticket, and no program state mentions a
+        // pid — every renaming is an automorphism without relabeling.
+        true
+    }
 }
 
 fn grant_var(ticket: Value) -> VarId {
@@ -95,6 +102,12 @@ impl Program for TicketProgram {
         self.state.hash(&mut h);
         self.ticket.hash(&mut h);
         self.passages_left.hash(&mut h);
+    }
+
+    fn state_hash_permuted(&self, _perm: &Permutation, h: &mut dyn std::hash::Hasher) -> bool {
+        // Tickets and the CAS-observed tail are counter values, not pids.
+        self.state_hash(h);
+        true
     }
 
     fn peek(&self) -> Op {

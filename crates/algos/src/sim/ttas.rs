@@ -5,7 +5,7 @@
 //! with [`crate::sim::tas`], the read spin converts most RMRs into local
 //! cache hits, but each *attempt* is still a CAS and hence a fence.
 
-use tpa_tso::{Op, Outcome, ProcId, Program, System, VarId, VarSpec};
+use tpa_tso::{Op, Outcome, Permutation, ProcId, Program, System, VarId, VarSpec};
 
 /// The test-and-test-and-set lock system.
 #[derive(Clone, Debug)]
@@ -44,6 +44,12 @@ impl System for TtasLock {
     fn name(&self) -> &str {
         "ttas"
     }
+
+    fn symmetric(&self) -> bool {
+        // Programs are pid-oblivious and the lone lock variable holds
+        // plain 0/1 data, so every renaming is an automorphism.
+        true
+    }
 }
 
 #[derive(Clone, Copy, Hash, Debug)]
@@ -73,6 +79,12 @@ impl Program for TtasProgram {
         use std::hash::Hash;
         self.state.hash(&mut h);
         self.passages_left.hash(&mut h);
+    }
+
+    fn state_hash_permuted(&self, _perm: &Permutation, h: &mut dyn std::hash::Hasher) -> bool {
+        // No local state mentions a pid: the renamed hash is the hash.
+        self.state_hash(h);
+        true
     }
 
     fn peek(&self) -> Op {

@@ -42,6 +42,15 @@ pub struct CheckRow {
     pub complete: bool,
     /// `"pass"` or `"VIOLATION"`.
     pub verdict: &'static str,
+    /// Whether the `.symmetry(true)` rerun engaged canonical caching
+    /// (false when the lock is pid-asymmetric or no rerun was made).
+    pub symmetry: bool,
+    /// Distinct canonical states of the symmetry rerun; equals
+    /// `unique_states` when canonical caching did not engage.
+    pub canonical_states: usize,
+    /// Measured concrete-to-canonical state ratio
+    /// (`unique_states / canonical_states`; 1.0 without engagement).
+    pub sym_ratio: f64,
     /// Per-worker search counters (one entry per worker thread).
     pub workers: Vec<WorkerStats>,
 }
@@ -66,8 +75,19 @@ impl CheckRow {
             } else {
                 "VIOLATION"
             },
+            symmetry: false,
+            canonical_states: report.stats.unique_states,
+            sym_ratio: 1.0,
             workers: report.workers.clone(),
         }
+    }
+
+    /// Attaches the `.symmetry(true)` rerun's measurement to this row.
+    pub fn with_symmetry(mut self, sym: &Report) -> Self {
+        self.symmetry = sym.symmetry;
+        self.canonical_states = sym.stats.unique_states;
+        self.sym_ratio = self.unique_states as f64 / sym.stats.unique_states.max(1) as f64;
+        self
     }
 }
 
@@ -86,6 +106,9 @@ impl ToJson for CheckRow {
             ("states_per_sec", self.states_per_sec.to_json()),
             ("complete", self.complete.to_json()),
             ("verdict", self.verdict.to_json()),
+            ("symmetry", self.symmetry.to_json()),
+            ("canonical_states", self.canonical_states.to_json()),
+            ("sym_ratio", self.sym_ratio.to_json()),
             ("workers", self.workers.to_json()),
         ])
     }
@@ -132,18 +155,32 @@ pub fn check(
     threads: usize,
     probe: Option<&Arc<dyn Probe>>,
 ) -> Report {
+    check_with_symmetry(system, max_steps, threads, false, probe)
+}
+
+/// [`check`], optionally requesting symmetry-reduced canonical caching.
+pub fn check_with_symmetry(
+    system: &dyn System,
+    max_steps: usize,
+    threads: usize,
+    symmetry: bool,
+    probe: Option<&Arc<dyn Probe>>,
+) -> Report {
     let mut checker = Checker::new(system)
         .model(MemoryModel::Tso)
         .max_steps(max_steps)
         .max_transitions(4_000_000)
-        .threads(threads);
+        .threads(threads)
+        .symmetry(symmetry);
     if let Some(probe) = probe {
         checker = checker.probe(probe.clone());
     }
     checker.exhaustive()
 }
 
-/// Runs the whole lock portfolio at each `(n, max_steps)` size.
+/// Runs the whole lock portfolio at each `(n, max_steps)` size. Each
+/// lock is checked twice — concretely, then with `.symmetry(true)` — so
+/// every row carries the measured canonical-vs-concrete state ratio.
 pub fn portfolio_rows(
     sizes: &[(usize, usize)],
     threads: usize,
@@ -153,7 +190,8 @@ pub fn portfolio_rows(
     for &(n, max_steps) in sizes {
         for lock in tpa_algos::all_locks(n, 1) {
             let report = check(lock.as_ref(), max_steps, threads, probe);
-            rows.push(CheckRow::from_report(&report, n, max_steps));
+            let sym = check_with_symmetry(lock.as_ref(), max_steps, threads, true, probe);
+            rows.push(CheckRow::from_report(&report, n, max_steps).with_symmetry(&sym));
         }
     }
     rows
@@ -200,6 +238,12 @@ pub fn print_table(title: &str, rows: &[CheckRow]) {
                 r.unique_states.to_string(),
                 format!("{:.1}", r.wall_ms),
                 fmt_f64(r.states_per_sec),
+                r.canonical_states.to_string(),
+                if r.symmetry {
+                    format!("{:.2}x", r.sym_ratio)
+                } else {
+                    "-".to_string()
+                },
                 if r.complete { "yes" } else { "budget" }.to_string(),
                 r.verdict.to_string(),
             ]
@@ -218,6 +262,8 @@ pub fn print_table(title: &str, rows: &[CheckRow]) {
             "states",
             "wall ms",
             "states/s",
+            "canonical",
+            "sym",
             "complete",
             "verdict",
         ],
@@ -287,6 +333,10 @@ mod tests {
         let rows = v.get("rows").and_then(Json::as_arr).expect("rows array");
         let r = &rows[0];
         assert_eq!(r.get("algo").and_then(Json::as_str), Some("tas"));
+        // Symmetry measurement fields are always present; without a
+        // `.symmetry(true)` rerun attached they report no reduction.
+        assert_eq!(r.get("symmetry").and_then(Json::as_bool), Some(false));
+        assert_eq!(r.get("sym_ratio").and_then(Json::as_num), Some(1.0));
         assert_eq!(r.get("states_per_sec").and_then(Json::as_num), Some(0.0));
         assert_eq!(r.get("wall_ms").and_then(Json::as_num), Some(0.0));
         // The per-worker breakdown survives with its counters intact.

@@ -28,13 +28,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tpa_obs::{Probe, RunInfo, RunSummary};
-use tpa_tso::{MemoryModel, System};
+use tpa_tso::sched::XorShift;
+use tpa_tso::{Machine, MemoryModel, SymmetryGroup, System};
 
-use crate::explore::{ExploreConfig, IncompleteReason};
+use crate::explore::{enabled_all, ExploreConfig, IncompleteReason};
 use crate::invariant::{standard_invariants, Invariant};
 use crate::parallel::run_exhaustive;
 use crate::swarm::{run_swarm, SwarmConfig};
-use crate::verdict::{condemn, Report, Verdict};
+use crate::verdict::{condemn, EffortStats, Report, Verdict};
 
 /// Schedules the deadline-degradation swarm runs when an exhaustive
 /// search times out. Small on purpose: the fallback exists to keep
@@ -42,11 +43,82 @@ use crate::verdict::{condemn, Report, Verdict};
 /// rest of the wall clock.
 const FALLBACK_SCHEDULES: usize = 32;
 
+/// Steps per transposition in the start-of-run symmetry validation walk.
+/// Long enough to get well past the doorway/entry protocol of every lock
+/// in the portfolio, short enough to be noise next to the search itself.
+const VALIDATION_STEPS: usize = 96;
+
 fn model_tag(model: MemoryModel) -> &'static str {
     match model {
         MemoryModel::Tso => "tso",
         MemoryModel::Pso => "pso",
     }
+}
+
+/// Dynamically validates a system's claimed pid-symmetry before the
+/// search trusts it: for every transposition `π = (a b)` the group kept,
+/// walk two machines in lockstep — one under a deterministic
+/// pseudo-random schedule, the other under the *renamed* schedule — and
+/// require the canonical state keys to agree after every step.
+///
+/// The walk is *validity-preserving*: it only takes steps after which `π`
+/// is still expressible for the reached state (`state_hash_permuted`
+/// returns `Some`). That is exactly the regime in which the cache would
+/// merge the two states, so it is the property worth testing; outside it
+/// (a pid-order scan mid-prefix, an unwritten pid-valued variable the
+/// transposition moves) the two executions legitimately diverge and the
+/// canonicaliser never equates them anyway. A walk that cannot start or
+/// continue validates vacuously; a *mismatch* — the declared marks are
+/// wrong, so two genuinely equivalent states canonicalise apart — rejects
+/// the group and the checker falls back to concrete keys, which is always
+/// sound.
+fn validate_symmetry(
+    system: &dyn System,
+    model: MemoryModel,
+    max_crashes: u32,
+    group: &SymmetryGroup,
+) -> bool {
+    let n = group.n();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let Some(idx) = group.find_transposition(a, b) else {
+                continue;
+            };
+            let perm = group.perm(idx);
+            let var_map = group.var_map(idx);
+            let mut orig = Machine::with_model(system, model);
+            orig.set_crash_budget(max_crashes);
+            let mut renamed = Machine::with_model(system, model);
+            renamed.set_crash_budget(max_crashes);
+            if orig.state_hash_permuted(perm, var_map).is_none() {
+                // π cannot express even the initial state (e.g. it moves
+                // the initial holder of a pid-valued variable): nothing
+                // to validate for this transposition.
+                continue;
+            }
+            let mut rng = XorShift::new(0x7379_6d00 ^ ((a as u64) << 8) ^ (b as u64) | 1);
+            for _ in 0..VALIDATION_STEPS {
+                let keeps_validity: Vec<_> = enabled_all(&orig)
+                    .into_iter()
+                    .filter(|&d| {
+                        let mut probe = orig.fork_for_search();
+                        probe.step(d).is_ok() && probe.state_hash_permuted(perm, var_map).is_some()
+                    })
+                    .collect();
+                if keeps_validity.is_empty() {
+                    break;
+                }
+                let d = keeps_validity[rng.below(keeps_validity.len())];
+                if orig.step(d).is_err() || renamed.step(group.rename_directive(idx, d)).is_err() {
+                    return false;
+                }
+                if orig.canonical_state_key(group).0 != renamed.canonical_state_key(group).0 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Configures and runs one check of one system; see the
@@ -65,6 +137,7 @@ pub struct Checker<'a> {
     deadline: Option<Duration>,
     threads: usize,
     seed: u64,
+    symmetry: bool,
     probe: Option<Arc<dyn Probe>>,
 }
 
@@ -81,6 +154,7 @@ impl<'a> Checker<'a> {
             deadline: None,
             threads: 1,
             seed: SwarmConfig::default().seed,
+            symmetry: false,
             probe: None,
         }
     }
@@ -128,17 +202,32 @@ impl<'a> Checker<'a> {
     /// Puts a wall-clock deadline on the search. An exhaustive search
     /// that hits it degrades gracefully: it stops expanding, runs a short
     /// swarm pass over what it could not cover, and — if still no
-    /// violation — reports [`Verdict::Incomplete`] rather than a pass.
+    /// violation — reports [`Verdict::Incomplete`] rather than a pass. A
+    /// swarm run stops claiming schedules at the deadline and likewise
+    /// reports [`Verdict::Incomplete`].
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
     }
 
-    /// Worker threads for exhaustive search. Any count produces the same
-    /// verdict and witness; see [`crate::parallel`]. Use
+    /// Worker threads for the search (both modes). Any count produces the
+    /// same verdict and witness; see [`crate::parallel`]. Use
     /// [`crate::parallel::default_threads`] for "all the machine has".
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Opt in to process-symmetry reduction for exhaustive search. Only
+    /// takes effect when the system declares [`System::symmetric`], the
+    /// variable layout yields a non-trivial group, and the claimed
+    /// symmetry survives a start-of-run validation walk (see
+    /// [`Report::symmetry`] for whether it actually engaged). States are
+    /// then cached under orbit-canonical keys, collapsing up to `n!`
+    /// states to one entry; verdicts and witnesses are unchanged (the
+    /// differential suite pins symmetry-on against symmetry-off).
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
         self
     }
 
@@ -169,6 +258,13 @@ impl<'a> Checker<'a> {
             max_crashes: self.max_crashes,
             deadline: self.deadline.map(|d| Instant::now() + d),
         };
+        let group = if self.symmetry && self.system.symmetric() {
+            let g = SymmetryGroup::for_spec(&self.system.vars(), self.system.n());
+            (!g.is_trivial() && validate_symmetry(self.system, self.model, self.max_crashes, &g))
+                .then_some(g)
+        } else {
+            None
+        };
         if let Some(probe) = &self.probe {
             probe.run_start(&RunInfo {
                 algo: self.system.name().to_string(),
@@ -176,7 +272,7 @@ impl<'a> Checker<'a> {
                 mode: "exhaustive",
                 threads: self.threads as u32,
                 max_steps: config.max_steps as u64,
-                max_transitions: config.max_transitions,
+                max_transitions: Some(config.max_transitions),
             });
         }
         let start = Instant::now();
@@ -187,6 +283,7 @@ impl<'a> Checker<'a> {
             &config,
             self.threads,
             self.probe.as_deref(),
+            group.as_ref(),
         );
         // Graceful degradation: an expired deadline costs completeness,
         // but a short swarm pass can still hunt for violations in the
@@ -201,13 +298,20 @@ impl<'a> Checker<'a> {
                 seed: self.seed,
                 max_crashes: self.max_crashes,
             };
-            let (sw_found, sw_stats) =
-                run_swarm(self.system, self.model, &self.invariants, &fallback);
+            let outcome = run_swarm(
+                self.system,
+                self.model,
+                &self.invariants,
+                &fallback,
+                self.threads,
+                None,
+                None,
+            );
             fallback_note = format!(
                 "; fallback swarm ran {} schedules ({} transitions) without finding a violation",
-                sw_stats.schedules_run, sw_stats.transitions
+                outcome.stats.schedules_run, outcome.stats.transitions
             );
-            found = sw_found;
+            found = outcome.found;
         }
         let wall = start.elapsed();
         if let Some(probe) = &self.probe {
@@ -217,7 +321,7 @@ impl<'a> Checker<'a> {
                 passed: found.is_none() && stats.complete,
                 complete: stats.complete,
                 transitions: stats.transitions,
-                unique_states: stats.unique_states as u64,
+                unique_states: Some(stats.unique_states as u64),
                 wall_us: wall.as_micros() as u64,
             });
         }
@@ -239,6 +343,7 @@ impl<'a> Checker<'a> {
             model: self.model,
             mode: "exhaustive",
             threads: self.threads,
+            symmetry: group.is_some(),
             wall,
             verdict,
             stats: stats.into(),
@@ -246,7 +351,12 @@ impl<'a> Checker<'a> {
         }
     }
 
-    /// Runs `schedules` seeded biased random schedules.
+    /// Runs `schedules` seeded biased random schedules, fanned across
+    /// [`Checker::threads`] workers. The reported violation is the one
+    /// with the lowest schedule index, so the witness is deterministic in
+    /// the seed at any thread count. A schedule that panics (a buggy
+    /// invariant or program) is contained by a per-schedule firewall and
+    /// surfaces as [`Verdict::Incomplete`], never a process abort.
     pub fn swarm(self, schedules: usize) -> Report {
         let config = SwarmConfig {
             schedules,
@@ -259,34 +369,57 @@ impl<'a> Checker<'a> {
                 algo: self.system.name().to_string(),
                 model: model_tag(self.model).to_string(),
                 mode: "swarm",
-                threads: 1,
+                threads: self.threads as u32,
                 max_steps: config.max_steps as u64,
-                max_transitions: 0,
+                max_transitions: None,
             });
         }
         let start = Instant::now();
-        let (found, stats) = run_swarm(self.system, self.model, &self.invariants, &config);
+        let outcome = run_swarm(
+            self.system,
+            self.model,
+            &self.invariants,
+            &config,
+            self.threads,
+            self.deadline.map(|d| Instant::now() + d),
+            self.probe.as_deref(),
+        );
         let wall = start.elapsed();
         if let Some(probe) = &self.probe {
             probe.run_finish(&RunSummary {
                 algo: self.system.name().to_string(),
                 mode: "swarm",
-                passed: found.is_none(),
+                passed: outcome.found.is_none() && outcome.incomplete.is_none(),
                 complete: false,
-                transitions: stats.transitions,
-                unique_states: 0,
+                transitions: outcome.stats.transitions,
+                unique_states: None,
                 wall_us: wall.as_micros() as u64,
             });
         }
+        let verdict = match (outcome.found, outcome.incomplete) {
+            (Some(found), _) => condemn(self.system, self.model, &self.invariants, Some(found)),
+            (None, Some(reason)) => Verdict::Incomplete {
+                reason: format!(
+                    "{reason} after {} of {} schedules ({} transitions)",
+                    outcome.stats.schedules_run, schedules, outcome.stats.transitions
+                ),
+            },
+            (None, None) => Verdict::Pass,
+        };
+        let mut stats: EffortStats = outcome.stats.into();
+        // A panic or expired deadline is recorded even when a violation
+        // still surfaced: the effort stats must say the run was cut short.
+        stats.incomplete = outcome.incomplete;
         Report {
             algo: self.system.name().to_string(),
             model: self.model,
             mode: "swarm",
-            threads: 1,
+            threads: self.threads,
+            symmetry: false,
             wall,
-            verdict: condemn(self.system, self.model, &self.invariants, found),
-            stats: stats.into(),
-            workers: Vec::new(),
+            verdict,
+            stats,
+            workers: outcome.workers,
         }
     }
 }

@@ -20,13 +20,12 @@
 //! Both reductions are sound for state predicates: every reachable state
 //! within the bound is reached by at least one explored schedule. The
 //! engine itself lives in [`crate::parallel`]; this module keeps the
-//! configuration/statistics types and the deprecated free-function entry
-//! point. New code should drive the search through
+//! configuration/statistics types. The search is driven through
 //! [`Checker`](crate::Checker).
 
-use tpa_tso::{Directive, Machine, MemoryModel, ProcId, System};
+use tpa_tso::{Directive, Machine, ProcId};
 
-use crate::invariant::{Invariant, Violation};
+use crate::invariant::Violation;
 
 /// Exploration bounds.
 #[derive(Clone, Debug)]
@@ -115,28 +114,13 @@ pub fn enabled_all(machine: &Machine) -> Vec<Directive> {
         .collect()
 }
 
-/// Explores every schedule of `system` up to `config.max_steps` steps,
-/// returning the first invariant violation found (if any) and the search
-/// counters.
-#[deprecated(note = "use `Checker::new(system).exhaustive()`, which also parallelises the search")]
-pub fn explore(
-    system: &dyn System,
-    model: MemoryModel,
-    invariants: &[Box<dyn Invariant>],
-    config: &ExploreConfig,
-) -> (Option<FoundViolation>, ExploreStats) {
-    let (found, stats, _workers) =
-        crate::parallel::run_exhaustive(system, model, invariants, config, 1, None);
-    (found, stats)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::invariant::{standard_invariants, Invariant, Violation};
     use crate::parallel::run_exhaustive;
     use tpa_tso::scripted::{Instr, ScriptSystem};
-    use tpa_tso::{Value, VarId};
+    use tpa_tso::{Machine, MemoryModel, Value, VarId};
 
     /// p0: v0 := 1; read v1.  p1: v1 := 1; read v0. The store-buffer
     /// litmus: TSO reaches r0 = r1 = 0.
@@ -186,6 +170,7 @@ mod tests {
             &ExploreConfig::default(),
             1,
             None,
+            None,
         );
         let found = found.expect("TSO must exhibit r0 = r1 = 0");
         assert!(stats.transitions > 0);
@@ -203,6 +188,7 @@ mod tests {
             &invs,
             &ExploreConfig::default(),
             1,
+            None,
             None,
         );
         assert!(found.is_none(), "unexpected violation: {found:?}");
@@ -233,6 +219,7 @@ mod tests {
             &invs,
             &ExploreConfig::default(),
             1,
+            None,
             None,
         );
         assert!(found.is_none());
@@ -282,20 +269,8 @@ mod tests {
             &ExploreConfig::default(),
             1,
             None,
+            None,
         );
         assert!(found.is_some());
-    }
-
-    #[test]
-    fn deprecated_entry_point_still_works() {
-        #[allow(deprecated)]
-        let (found, stats) = explore(
-            &store_buffer(),
-            MemoryModel::Tso,
-            &standard_invariants(),
-            &ExploreConfig::default(),
-        );
-        assert!(found.is_none());
-        assert!(stats.complete);
     }
 }

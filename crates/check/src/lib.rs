@@ -55,14 +55,8 @@ pub mod swarm;
 pub mod verdict;
 
 pub use checker::Checker;
-#[allow(deprecated)]
-pub use explore::explore;
 pub use explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation, IncompleteReason};
 pub use invariant::{crash_invariants, standard_invariants, Invariant, Violation};
 pub use parallel::{default_threads, WorkerStats};
-#[allow(deprecated)]
-pub use swarm::swarm;
 pub use swarm::{Bias, SwarmConfig, SwarmStats};
-#[allow(deprecated)]
-pub use verdict::{check_exhaustive, check_swarm, CheckReport};
 pub use verdict::{EffortStats, Report, Verdict};

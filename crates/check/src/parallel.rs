@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use tpa_obs::{Probe, WorkerSnapshot};
-use tpa_tso::{Directive, Machine, MemoryModel, System};
+use tpa_tso::{Directive, Machine, MemoryModel, StateKey, SymmetryGroup, System};
 
 use crate::cache::{Rank, StateCache};
 use crate::explore::{enabled_all, ExploreConfig, ExploreStats, FoundViolation, IncompleteReason};
@@ -104,7 +104,7 @@ pub struct WorkerStats {
 }
 
 impl WorkerStats {
-    fn snapshot(&self, frontier_depth: u32, done: bool) -> WorkerSnapshot {
+    pub(crate) fn snapshot(&self, frontier_depth: u32, done: bool) -> WorkerSnapshot {
         WorkerSnapshot {
             worker: self.worker,
             done,
@@ -146,6 +146,38 @@ struct Engine<'a> {
     worker_stats: Mutex<Vec<WorkerStats>>,
     /// Telemetry sink: periodic and final [`WorkerSnapshot`]s.
     probe: Option<&'a dyn Probe>,
+    /// When present, states are cached under their canonical (orbit-
+    /// minimal) key and sleep sets are relabeled to match; ranks, paths
+    /// and the frontier stay concrete, so the reported witness is still
+    /// the lexicographically least *un-renamed* schedule.
+    symmetry: Option<&'a SymmetryGroup>,
+}
+
+/// The cache coordinates of a state: its canonical key plus, when the
+/// canonicalising permutation is not the identity, the sleep set
+/// relabeled into the same coordinates (a sleep set names directives,
+/// and cache subsumption compares sleep sets of states stored under one
+/// key — they must all speak the key's renaming).
+fn cache_coords(
+    machine: &Machine,
+    sleep: &SleepSet,
+    symmetry: Option<&SymmetryGroup>,
+) -> (StateKey, Option<SleepSet>) {
+    match symmetry {
+        None => (machine.state_key(), None),
+        Some(group) => {
+            let (key, idx) = machine.canonical_state_key(group);
+            if idx == 0 {
+                (key, None)
+            } else {
+                let mut renamed = SleepSet::empty();
+                for d in sleep.iter() {
+                    renamed.insert(group.rename_directive(idx, d));
+                }
+                (key, Some(renamed))
+            }
+        }
+    }
 }
 
 /// Explores every schedule of `system` up to `config.max_steps` steps
@@ -169,6 +201,7 @@ pub(crate) fn run_exhaustive(
     config: &ExploreConfig,
     threads: usize,
     probe: Option<&dyn Probe>,
+    symmetry: Option<&SymmetryGroup>,
 ) -> (Option<FoundViolation>, ExploreStats, Vec<WorkerStats>) {
     let threads = threads.max(1);
     let mut root = Machine::with_model(system, model);
@@ -225,12 +258,14 @@ pub(crate) fn run_exhaustive(
         next_worker: AtomicUsize::new(0),
         worker_stats: Mutex::new(Vec::with_capacity(threads)),
         probe,
+        symmetry,
     };
 
     let root_rank: Rank = Arc::from(&[] as &[u32]);
+    let (root_key, _) = cache_coords(&root, &SleepSet::empty(), symmetry);
     engine
         .cache
-        .try_visit(root.state_key(), &SleepSet::empty(), 0, &root_rank);
+        .try_visit(root_key, &SleepSet::empty(), 0, &root_rank);
     engine
         .work
         .lock()
@@ -469,9 +504,11 @@ impl Engine<'_> {
             done.insert(d);
 
             let child_depth = node.depth + 1;
+            let (child_key, renamed_sleep) = cache_coords(&child, &child_sleep, self.symmetry);
+            let cache_sleep = renamed_sleep.as_ref().unwrap_or(&child_sleep);
             if !self
                 .cache
-                .try_visit(child.state_key(), &child_sleep, child_depth, &child_rank)
+                .try_visit(child_key, cache_sleep, child_depth, &child_rank)
             {
                 self.cache_skips.fetch_add(1, Ordering::Relaxed);
                 ws.cache_hits += 1;

@@ -9,12 +9,35 @@
 //! commits to one [`Bias`] for its whole run (the "swarm testing" idea of
 //! Groce et al.: feature-biased configurations find more bugs than any
 //! single fair distribution).
+//!
+//! The runtime discipline matches the exhaustive engine's: schedules fan
+//! out across a worker pool, every schedule runs inside a panic firewall,
+//! and an expired deadline stops the swarm with a truthful incomplete
+//! reason instead of an overrun. Determinism across thread counts comes
+//! from the *reporting* rule, not the execution order: schedule `i`'s run
+//! depends only on `(seed, i)`, workers claim indices from a shared
+//! counter, an index is skipped only when a violation at a *lower* index
+//! is already recorded, and the violation reported is the one with the
+//! lowest schedule index — the same one a sequential sweep finds.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tpa_obs::Probe;
 use tpa_tso::sched::XorShift;
 use tpa_tso::{Directive, Machine, MemoryModel, Mode, ProcId, System};
 
-use crate::explore::{enabled_all, FoundViolation};
+use crate::explore::{enabled_all, FoundViolation, IncompleteReason};
 use crate::invariant::Invariant;
+use crate::parallel::WorkerStats;
+
+/// How many schedules a swarm worker completes between probe snapshots
+/// (schedules are coarse units — hundreds to thousands of transitions —
+/// so this is far rarer than the exhaustive engine's per-expansion
+/// cadence).
+const SNAPSHOT_EVERY_SCHEDULES: u64 = 16;
 
 /// Swarm search bounds.
 #[derive(Clone, Debug)]
@@ -45,10 +68,21 @@ impl Default for SwarmConfig {
 /// Swarm effort counters.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct SwarmStats {
-    /// Schedules actually run.
+    /// Schedules actually run (skipped ones — indices above an already
+    /// recorded violation — are not counted).
     pub schedules_run: usize,
     /// Total machine steps executed across all schedules.
     pub transitions: u64,
+}
+
+/// Everything a swarm run produced: the lowest-schedule-index violation,
+/// the aggregate counters, the per-worker counters, and the first abort
+/// condition (worker panic, expired deadline) if any run hit one.
+pub(crate) struct SwarmOutcome {
+    pub found: Option<FoundViolation>,
+    pub stats: SwarmStats,
+    pub workers: Vec<WorkerStats>,
+    pub incomplete: Option<IncompleteReason>,
 }
 
 /// The per-schedule scheduling bias.
@@ -69,38 +103,178 @@ pub enum Bias {
 
 const BIASES: [Bias; 3] = [Bias::CommitStarved, Bias::FenceStalled, Bias::Bursty];
 
-/// Runs biased random schedules until a violation is found or the budget
-/// is exhausted.
-#[deprecated(note = "use `Checker::new(system).swarm(schedules)`")]
-pub fn swarm(
-    system: &dyn System,
+struct Pool<'a> {
+    system: &'a dyn System,
     model: MemoryModel,
-    invariants: &[Box<dyn Invariant>],
-    config: &SwarmConfig,
-) -> (Option<FoundViolation>, SwarmStats) {
-    run_swarm(system, model, invariants, config)
+    invariants: &'a [Box<dyn Invariant>],
+    config: &'a SwarmConfig,
+    deadline: Option<Instant>,
+    /// Next unclaimed schedule index.
+    next: AtomicUsize,
+    /// Lowest violating schedule index recorded so far (`usize::MAX`
+    /// while none): the skip threshold. Indices *below* it always run,
+    /// which is what makes the lowest-index report deterministic.
+    best_index: AtomicUsize,
+    best: Mutex<Option<(usize, FoundViolation)>>,
+    incomplete: Mutex<Option<IncompleteReason>>,
+    transitions: AtomicU64,
+    schedules_run: AtomicUsize,
+    next_worker: AtomicUsize,
+    worker_stats: Mutex<Vec<WorkerStats>>,
+    probe: Option<&'a dyn Probe>,
 }
 
-/// The swarm search proper (the engine behind [`crate::Checker::swarm`]).
+/// Runs biased random schedules across `threads` workers until every
+/// schedule has run, a recorded violation makes the rest unreportable, or
+/// the deadline expires. Panics inside a schedule (a buggy invariant or
+/// program) are confined to that schedule and surface as
+/// [`IncompleteReason::WorkerPanic`] — never a process abort, never a
+/// false pass.
 pub(crate) fn run_swarm(
     system: &dyn System,
     model: MemoryModel,
     invariants: &[Box<dyn Invariant>],
     config: &SwarmConfig,
-) -> (Option<FoundViolation>, SwarmStats) {
-    let mut stats = SwarmStats::default();
-    for i in 0..config.schedules {
-        stats.schedules_run += 1;
-        let seed = config
-            .seed
-            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            | 1;
-        let bias = BIASES[i % BIASES.len()];
-        if let Some(found) = run_one(system, model, invariants, bias, seed, config, &mut stats) {
-            return (Some(found), stats);
-        }
+    threads: usize,
+    deadline: Option<Instant>,
+    probe: Option<&dyn Probe>,
+) -> SwarmOutcome {
+    let threads = threads.max(1).min(config.schedules.max(1));
+    let pool = Pool {
+        system,
+        model,
+        invariants,
+        config,
+        deadline,
+        next: AtomicUsize::new(0),
+        best_index: AtomicUsize::new(usize::MAX),
+        best: Mutex::new(None),
+        incomplete: Mutex::new(None),
+        transitions: AtomicU64::new(0),
+        schedules_run: AtomicUsize::new(0),
+        next_worker: AtomicUsize::new(0),
+        worker_stats: Mutex::new(Vec::with_capacity(threads)),
+        probe,
+    };
+    if threads == 1 {
+        pool.worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| pool.worker());
+            }
+        });
     }
-    (None, stats)
+    let mut workers = pool
+        .worker_stats
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    workers.sort_by_key(|w| w.worker);
+    SwarmOutcome {
+        found: pool
+            .best
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .map(|(_, f)| f),
+        stats: SwarmStats {
+            schedules_run: pool.schedules_run.load(Ordering::Relaxed),
+            transitions: pool.transitions.load(Ordering::Relaxed),
+        },
+        workers,
+        incomplete: pool
+            .incomplete
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()),
+    }
+}
+
+impl Pool<'_> {
+    fn worker(&self) {
+        let mut ws = WorkerStats {
+            worker: self.next_worker.fetch_add(1, Ordering::Relaxed) as u32,
+            ..WorkerStats::default()
+        };
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.config.schedules {
+                break;
+            }
+            // A violation at a lower index is already recorded: nothing
+            // at `i` can be reported, so don't burn time running it.
+            // Indices below the recorded one are never skipped.
+            if i > self.best_index.load(Ordering::Acquire) {
+                continue;
+            }
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.record_incomplete(IncompleteReason::DeadlineExpired);
+                    break;
+                }
+            }
+            let seed = self
+                .config
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                | 1;
+            let bias = BIASES[i % BIASES.len()];
+            let mut local = SwarmStats::default();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_one(
+                    self.system,
+                    self.model,
+                    self.invariants,
+                    bias,
+                    seed,
+                    self.config,
+                    &mut local,
+                )
+            }));
+            self.schedules_run.fetch_add(1, Ordering::Relaxed);
+            self.transitions
+                .fetch_add(local.transitions, Ordering::Relaxed);
+            ws.transitions += local.transitions;
+            ws.nodes_expanded += 1; // one schedule = one unit of work
+            match result {
+                Ok(Some(found)) => self.offer(i, found),
+                Ok(None) => {}
+                Err(_) => self.record_incomplete(IncompleteReason::WorkerPanic),
+            }
+            if ws.nodes_expanded.is_multiple_of(SNAPSHOT_EVERY_SCHEDULES) {
+                if let Some(probe) = self.probe {
+                    probe.worker(&ws.snapshot(0, false));
+                }
+            }
+        }
+        if let Some(probe) = self.probe {
+            probe.worker(&ws.snapshot(0, true));
+        }
+        self.worker_stats
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(ws);
+    }
+
+    /// Keeps the lowest-schedule-index violation.
+    fn offer(&self, index: usize, found: FoundViolation) {
+        let mut best = self
+            .best
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match &*best {
+            Some((recorded, _)) if *recorded <= index => {}
+            _ => *best = Some((index, found)),
+        }
+        drop(best);
+        self.best_index.fetch_min(index, Ordering::AcqRel);
+    }
+
+    /// Records the first abort condition; later ones are ignored.
+    fn record_incomplete(&self, reason: IncompleteReason) {
+        self.incomplete
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get_or_insert(reason);
+    }
 }
 
 fn run_one(
@@ -225,10 +399,13 @@ mod tests {
             seed: 1,
             ..SwarmConfig::default()
         };
-        let (found, stats) = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg);
-        assert!(found.is_none(), "{found:?}");
-        assert_eq!(stats.schedules_run, 9);
-        assert!(stats.transitions > 0);
+        let out = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg, 1, None, None);
+        assert!(out.found.is_none(), "{:?}", out.found);
+        assert!(out.incomplete.is_none());
+        assert_eq!(out.stats.schedules_run, 9);
+        assert!(out.stats.transitions > 0);
+        assert_eq!(out.workers.len(), 1);
+        assert_eq!(out.workers[0].nodes_expanded, 9);
     }
 
     #[test]
@@ -241,8 +418,42 @@ mod tests {
             seed: 42,
             ..SwarmConfig::default()
         };
-        let (_, a) = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg);
-        let (_, b) = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg);
-        assert_eq!(a.transitions, b.transitions);
+        let a = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg, 1, None, None);
+        let b = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg, 1, None, None);
+        assert_eq!(a.stats.transitions, b.stats.transitions);
+    }
+
+    #[test]
+    fn worker_counters_sum_to_the_pool_counters() {
+        let sys = two_writers();
+        let invs = standard_invariants();
+        let cfg = SwarmConfig {
+            schedules: 12,
+            max_steps: 256,
+            seed: 7,
+            ..SwarmConfig::default()
+        };
+        let out = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg, 4, None, None);
+        let t: u64 = out.workers.iter().map(|w| w.transitions).sum();
+        let n: u64 = out.workers.iter().map(|w| w.nodes_expanded).sum();
+        assert_eq!(t, out.stats.transitions);
+        assert_eq!(n, out.stats.schedules_run as u64);
+    }
+
+    #[test]
+    fn an_already_expired_deadline_stops_the_swarm_truthfully() {
+        let sys = two_writers();
+        let invs = standard_invariants();
+        let cfg = SwarmConfig {
+            schedules: 50,
+            max_steps: 256,
+            seed: 3,
+            ..SwarmConfig::default()
+        };
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let out = run_swarm(&sys, MemoryModel::Tso, &invs, &cfg, 2, Some(past), None);
+        assert!(out.found.is_none());
+        assert_eq!(out.incomplete, Some(IncompleteReason::DeadlineExpired));
+        assert_eq!(out.stats.schedules_run, 0, "no schedule should start");
     }
 }

@@ -6,15 +6,14 @@
 //! first minimised with [`tpa_tso::shrink::shrink_schedule`] (ddmin
 //! against the *same* state predicate that fired) and then rendered with
 //! [`tpa_tso::trace`] into the per-process timeline a human actually
-//! reads. The deprecated [`check_exhaustive`]/[`check_swarm`] free
-//! functions forward to the builder.
+//! reads.
 
 use tpa_tso::shrink::shrink_schedule;
 use tpa_tso::{trace, Directive, Machine, MemoryModel, System};
 
-use crate::explore::{ExploreConfig, ExploreStats, FoundViolation, IncompleteReason};
+use crate::explore::{ExploreStats, FoundViolation, IncompleteReason};
 use crate::invariant::Invariant;
-use crate::swarm::{SwarmConfig, SwarmStats};
+use crate::swarm::SwarmStats;
 
 /// Outcome of checking one system.
 #[derive(Clone, Debug)]
@@ -111,22 +110,23 @@ pub struct Report {
     pub model: MemoryModel,
     /// `"exhaustive"` or `"swarm"`.
     pub mode: &'static str,
-    /// Worker threads the search ran on (always 1 for swarm).
+    /// Worker threads the search ran on.
     pub threads: usize,
+    /// Whether the exhaustive search cached states under canonical
+    /// (symmetry-reduced) keys. Always `false` in swarm mode, and when
+    /// the system does not declare itself symmetric or the declared
+    /// symmetry failed its start-of-run validation.
+    pub symmetry: bool,
     /// Wall-clock time of the search (excluding shrinking/rendering).
     pub wall: std::time::Duration,
     /// Pass, or a shrunk and rendered violation.
     pub verdict: Verdict,
     /// How hard the search worked.
     pub stats: EffortStats,
-    /// Per-worker breakdown of the effort (exhaustive mode; empty for
-    /// swarm). One entry per worker thread, in worker order.
+    /// Per-worker breakdown of the effort. One entry per worker thread,
+    /// in worker order; in swarm mode `nodes_expanded` counts schedules.
     pub workers: Vec<crate::parallel::WorkerStats>,
 }
-
-/// The pre-facade name of [`Report`].
-#[deprecated(note = "renamed to `Report`")]
-pub type CheckReport = Report;
 
 impl Report {
     /// Distinct states visited per wall-clock second (exhaustive mode).
@@ -183,27 +183,6 @@ impl Report {
     }
 }
 
-/// Exhaustively checks `system` against the standard invariant battery.
-#[deprecated(note = "use `Checker::new(system).model(model).exhaustive()`")]
-pub fn check_exhaustive(system: &dyn System, model: MemoryModel, config: &ExploreConfig) -> Report {
-    crate::Checker::new(system)
-        .model(model)
-        .max_steps(config.max_steps)
-        .max_transitions(config.max_transitions)
-        .threads(1)
-        .exhaustive()
-}
-
-/// Swarm-checks `system` against the standard invariant battery.
-#[deprecated(note = "use `Checker::new(system).model(model).swarm(schedules)`")]
-pub fn check_swarm(system: &dyn System, model: MemoryModel, config: &SwarmConfig) -> Report {
-    crate::Checker::new(system)
-        .model(model)
-        .max_steps(config.max_steps)
-        .seed(config.seed)
-        .swarm(config.schedules)
-}
-
 /// Shrinks and renders a found violation (or passes).
 pub(crate) fn condemn(
     system: &dyn System,
@@ -248,7 +227,6 @@ fn render(system: &dyn System, model: MemoryModel, schedule: &[Directive]) -> St
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::Checker;
     use tpa_tso::scripted::{Instr, ScriptSystem};
 
@@ -290,26 +268,5 @@ mod tests {
         assert_eq!(rate, 0.0);
         report.wall = std::time::Duration::from_secs(2);
         assert_eq!(report.states_per_sec(), 500_000.0);
-    }
-
-    #[test]
-    fn deprecated_wrappers_still_work() {
-        let sys = disjoint_writers();
-        #[allow(deprecated)]
-        let ex = check_exhaustive(&sys, MemoryModel::Tso, &ExploreConfig::default());
-        ex.assert_pass();
-        #[allow(deprecated)]
-        let sw = check_swarm(
-            &sys,
-            MemoryModel::Tso,
-            &SwarmConfig {
-                schedules: 4,
-                max_steps: 64,
-                seed: 9,
-                ..SwarmConfig::default()
-            },
-        );
-        sw.assert_pass();
-        assert_eq!(sw.stats.schedules_run, 4);
     }
 }

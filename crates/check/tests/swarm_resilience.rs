@@ -1,0 +1,213 @@
+//! Swarm-mode resilience and determinism, held to the bar the exhaustive
+//! engine already meets.
+//!
+//! The swarm is seeded random search, so its *determinism contract* is
+//! in terms of the schedule index: with a fixed seed, schedule `i` is
+//! the same schedule at any thread count, and the reported violation is
+//! the one with the lowest index — workers never skip an index below the
+//! best violation found so far. Its *resilience contract* matches PR 4's
+//! checker runtime: a panicking schedule is contained by the worker
+//! firewall and surfaces as a truthful `Verdict::Incomplete`, an expired
+//! deadline likewise, and neither can masquerade as a pass.
+
+use std::time::Duration;
+
+use tpa_check::{Checker, IncompleteReason, Invariant, Verdict, Violation};
+use tpa_tso::scripted::{Instr, ScriptSystem};
+use tpa_tso::Machine;
+
+/// Fires when both store-buffer litmus processes read 0 — the TSO-only
+/// outcome, easy prey for the biased swarm.
+struct BothReadZero;
+impl Invariant for BothReadZero {
+    fn name(&self) -> &'static str {
+        "both-read-zero"
+    }
+    fn check(&self, m: &Machine) -> Option<Violation> {
+        let halted =
+            |p: u32| m.peek_next(tpa_tso::ProcId(p)) == tpa_tso::machine::NextEvent::Halted;
+        let r = |p: u32| m.program(tpa_tso::ProcId(p)).and_then(|pr| pr.register(0));
+        (halted(0) && halted(1) && r(0) == Some(0) && r(1) == Some(0)).then(|| Violation {
+            invariant: "both-read-zero",
+            detail: "store-buffer reordering observed".into(),
+        })
+    }
+}
+
+fn store_buffer() -> ScriptSystem {
+    ScriptSystem::new(2, 2, |pid| {
+        let me = pid.0;
+        vec![
+            Instr::Write { var: me, value: 1 },
+            Instr::Read {
+                var: 1 - me,
+                reg: 0,
+            },
+            Instr::Halt,
+        ]
+    })
+}
+
+fn two_writers() -> ScriptSystem {
+    ScriptSystem::new(2, 2, |pid| {
+        vec![
+            Instr::Write {
+                var: pid.0,
+                value: 1,
+            },
+            Instr::Fence,
+            Instr::Halt,
+        ]
+    })
+}
+
+/// Same seed ⇒ same witness at 1, 2, 4 and 8 threads: the
+/// lowest-schedule-index violation wins regardless of which worker races
+/// ahead. Also pins that `Report.threads` reflects the *configured* pool
+/// size (it used to report a placeholder).
+#[test]
+fn swarm_witness_is_deterministic_across_thread_counts() {
+    let sys = store_buffer();
+    let mut witnesses = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let report = Checker::new(&sys)
+            .invariants(vec![Box::new(BothReadZero)])
+            .max_steps(64)
+            .seed(7)
+            .threads(threads)
+            .swarm(64);
+        assert_eq!(report.threads, threads, "report must carry the pool size");
+        assert!(!report.symmetry, "swarm never uses canonical keys");
+        let Verdict::Violation { found, .. } = report.verdict else {
+            panic!("swarm missed the reordering at {threads} threads");
+        };
+        witnesses.push(found);
+    }
+    assert!(
+        witnesses.windows(2).all(|w| w[0] == w[1]),
+        "swarm witness varies with thread count: {witnesses:?}"
+    );
+}
+
+/// A clean system passes at every thread count, the report's per-worker
+/// breakdown covers the configured pool, and the workers' schedule
+/// counts sum to the requested schedule budget.
+#[test]
+fn swarm_pass_reports_honest_per_worker_effort() {
+    const SCHEDULES: usize = 48;
+    for threads in [1usize, 4] {
+        let report = Checker::new(&two_writers())
+            .max_steps(64)
+            .seed(3)
+            .threads(threads)
+            .swarm(SCHEDULES);
+        report.assert_pass();
+        assert_eq!(report.threads, threads);
+        assert_eq!(report.workers.len(), threads);
+        let ran: u64 = report.workers.iter().map(|w| w.nodes_expanded).sum();
+        assert_eq!(
+            ran, SCHEDULES as u64,
+            "workers ran {ran} schedules, wanted {SCHEDULES} ({threads} threads)"
+        );
+    }
+}
+
+/// An invariant that panics once the schedule has any depth — drives the
+/// worker panic firewall.
+struct Grenade;
+impl Invariant for Grenade {
+    fn name(&self) -> &'static str {
+        "grenade"
+    }
+    fn check(&self, m: &Machine) -> Option<Violation> {
+        assert!(m.log().last().is_none(), "grenade went off");
+        None
+    }
+}
+
+/// Regression: a panic inside a swarm schedule used to propagate out of
+/// `Checker::swarm` and abort the caller. Now the firewall contains it
+/// and the verdict is a truthful `Incomplete` naming the panic — at
+/// every thread count, including the single-threaded in-caller path.
+#[test]
+fn swarm_panic_is_contained_and_reported_incomplete() {
+    for threads in [1usize, 4] {
+        let report = Checker::new(&two_writers())
+            .invariants(vec![Box::new(Grenade)])
+            .max_steps(32)
+            .threads(threads)
+            .swarm(16);
+        assert!(
+            !report.verdict.passed(),
+            "a panicked swarm must never pass ({threads} threads)"
+        );
+        let Verdict::Incomplete { reason } = &report.verdict else {
+            panic!("expected Incomplete, got {:?}", report.verdict);
+        };
+        assert!(reason.contains("panicked"), "reason: {reason}");
+        assert_eq!(report.stats.incomplete, Some(IncompleteReason::WorkerPanic));
+        assert!(!report.stats.complete);
+        assert_eq!(report.threads, threads);
+    }
+}
+
+/// A violation with a lower schedule index beats a panic *and* the
+/// panicking schedules don't hide it: panics only mark the run
+/// incomplete when no violation was found.
+#[test]
+fn violation_outranks_panic_noise() {
+    /// Violates on the relaxed store-buffer outcome (both read 0) and
+    /// panics on the common SC outcome (both read 1) — so most schedules
+    /// blow up, yet the violation must still surface.
+    struct Mixed;
+    impl Invariant for Mixed {
+        fn name(&self) -> &'static str {
+            "mixed"
+        }
+        fn check(&self, m: &Machine) -> Option<Violation> {
+            let halted =
+                |p: u32| m.peek_next(tpa_tso::ProcId(p)) == tpa_tso::machine::NextEvent::Halted;
+            let r = |p: u32| m.program(tpa_tso::ProcId(p)).and_then(|pr| pr.register(0));
+            if !(halted(0) && halted(1)) {
+                return None;
+            }
+            if r(0) == Some(0) && r(1) == Some(0) {
+                return Some(Violation {
+                    invariant: "mixed",
+                    detail: "store-buffer reordering observed".into(),
+                });
+            }
+            assert!(!(r(0) == Some(1) && r(1) == Some(1)), "grenade went off");
+            None
+        }
+    }
+    let report = Checker::new(&store_buffer())
+        .invariants(vec![Box::new(Mixed)])
+        .max_steps(64)
+        .seed(7)
+        .threads(4)
+        .swarm(64);
+    let Verdict::Violation { invariant, .. } = &report.verdict else {
+        panic!("violation was drowned out by panics: {:?}", report.verdict);
+    };
+    assert_eq!(*invariant, "mixed");
+}
+
+/// An expired deadline stops the swarm before it runs a single schedule
+/// and reports `Incomplete`, never a pass.
+#[test]
+fn swarm_honours_the_deadline() {
+    let report = Checker::new(&two_writers())
+        .max_steps(64)
+        .deadline(Duration::ZERO)
+        .threads(4)
+        .swarm(1_000);
+    let Verdict::Incomplete { reason } = &report.verdict else {
+        panic!("expected Incomplete, got {:?}", report.verdict);
+    };
+    assert!(reason.contains("deadline"), "reason: {reason}");
+    assert_eq!(
+        report.stats.incomplete,
+        Some(IncompleteReason::DeadlineExpired)
+    );
+}

@@ -250,8 +250,10 @@ pub struct RunInfo {
     pub threads: u32,
     /// Schedule-length bound.
     pub max_steps: u64,
-    /// Transition budget.
-    pub max_transitions: u64,
+    /// Transition budget. `None` in swarm mode, which is bounded by
+    /// schedules × steps rather than a global transition budget — the
+    /// recorder omits the key instead of inventing a placeholder.
+    pub max_transitions: Option<u64>,
 }
 
 /// Outcome announced when a check/search finishes.
@@ -267,8 +269,10 @@ pub struct RunSummary {
     pub complete: bool,
     /// Total machine transitions.
     pub transitions: u64,
-    /// Distinct states visited.
-    pub unique_states: u64,
+    /// Distinct states visited. `None` in swarm mode, which keeps no
+    /// state cache and therefore cannot count — the recorder omits the
+    /// key instead of reporting a fake zero.
+    pub unique_states: Option<u64>,
     /// Wall-clock time in microseconds.
     pub wall_us: u64,
 }

@@ -392,14 +392,19 @@ impl Probe for Recorder {
     fn run_start(&self, info: &RunInfo) {
         let mut inner = self.inner.lock().expect("recorder poisoned");
         let t = self.stamp(&mut inner);
+        // A swarm run has no transition budget: omit the key rather than
+        // write a placeholder the schema would have to excuse.
+        let budget = match info.max_transitions {
+            Some(b) => format!(",\"max_transitions\":{b}"),
+            None => String::new(),
+        };
         let line = format!(
-            "{{\"t\":{t},\"kind\":\"run_start\",\"algo\":{},\"model\":\"{}\",\"mode\":\"{}\",\"threads\":{},\"max_steps\":{},\"max_transitions\":{}}}",
+            "{{\"t\":{t},\"kind\":\"run_start\",\"algo\":{},\"model\":\"{}\",\"mode\":\"{}\",\"threads\":{},\"max_steps\":{}{budget}}}",
             escape(&info.algo),
             info.model,
             info.mode,
             info.threads,
             info.max_steps,
-            info.max_transitions,
         );
         write_line(&mut inner.sink, &line);
         inner.open_runs.push((info.algo.clone(), info.mode, t));
@@ -412,14 +417,19 @@ impl Probe for Recorder {
     fn run_finish(&self, summary: &RunSummary) {
         let mut inner = self.inner.lock().expect("recorder poisoned");
         let t = self.stamp(&mut inner);
+        // Swarm keeps no state cache: omit `unique_states` rather than
+        // report a fake zero.
+        let states = match summary.unique_states {
+            Some(s) => format!(",\"unique_states\":{s}"),
+            None => String::new(),
+        };
         let line = format!(
-            "{{\"t\":{t},\"kind\":\"run_finish\",\"algo\":{},\"mode\":\"{}\",\"passed\":{},\"complete\":{},\"transitions\":{},\"unique_states\":{},\"wall_us\":{}}}",
+            "{{\"t\":{t},\"kind\":\"run_finish\",\"algo\":{},\"mode\":\"{}\",\"passed\":{},\"complete\":{},\"transitions\":{}{states},\"wall_us\":{}}}",
             escape(&summary.algo),
             summary.mode,
             summary.passed,
             summary.complete,
             summary.transitions,
-            summary.unique_states,
             summary.wall_us,
         );
         write_line(&mut inner.sink, &line);
@@ -432,22 +442,16 @@ impl Probe for Recorder {
             None => t.saturating_sub(summary.wall_us),
         };
         let name = format!("{}: {}", summary.mode, summary.algo);
-        inner.trace.slice(
-            &name,
-            "run",
-            PID_RUN,
-            0,
-            start,
-            t - start,
-            vec![
-                ("transitions".to_owned(), summary.transitions.to_string()),
-                (
-                    "unique_states".to_owned(),
-                    summary.unique_states.to_string(),
-                ),
-                ("passed".to_owned(), summary.passed.to_string()),
-            ],
-        );
+        let mut args = vec![
+            ("transitions".to_owned(), summary.transitions.to_string()),
+            ("passed".to_owned(), summary.passed.to_string()),
+        ];
+        if let Some(states) = summary.unique_states {
+            args.push(("unique_states".to_owned(), states.to_string()));
+        }
+        inner
+            .trace
+            .slice(&name, "run", PID_RUN, 0, start, t - start, args);
     }
 
     fn histogram(&self, hist: &HistogramRecord) {
@@ -494,7 +498,7 @@ mod tests {
             mode: "exhaustive",
             threads: 2,
             max_steps: 40,
-            max_transitions: 1000,
+            max_transitions: Some(1000),
         });
         rec.sim_step(&SimStep {
             seq: 0,
@@ -542,10 +546,50 @@ mod tests {
             passed: true,
             complete: true,
             transitions: 15,
-            unique_states: 12,
+            unique_states: Some(12),
             wall_us: 100,
         });
         rec.finish();
+    }
+
+    #[test]
+    fn swarm_runs_omit_unmeasured_keys_and_stay_schema_clean() {
+        let rec = Recorder::in_memory();
+        rec.run_start(&RunInfo {
+            algo: "tas".into(),
+            model: "tso".into(),
+            mode: "swarm",
+            threads: 4,
+            max_steps: 4096,
+            max_transitions: None,
+        });
+        rec.worker(&WorkerSnapshot {
+            worker: 0,
+            done: true,
+            transitions: 9,
+            nodes_expanded: 3,
+            ..WorkerSnapshot::default()
+        });
+        rec.run_finish(&RunSummary {
+            algo: "tas".into(),
+            mode: "swarm",
+            passed: true,
+            complete: false,
+            transitions: 9,
+            unique_states: None,
+            wall_us: 50,
+        });
+        rec.finish();
+        let lines = rec.lines();
+        validate_lines(&lines).expect("swarm lines are schema-clean");
+        assert!(
+            !lines.iter().any(|l| l.contains("max_transitions")),
+            "unmeasured budget must be omitted: {lines:?}"
+        );
+        assert!(
+            !lines.iter().any(|l| l.contains("unique_states")),
+            "unmeasured state count must be omitted: {lines:?}"
+        );
     }
 
     #[test]

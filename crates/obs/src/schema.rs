@@ -7,7 +7,11 @@
 //!   non-decreasing across the file;
 //! * `kind` — one of `run_start`, `run_finish`, `sim`, `adv`, `worker`,
 //!   `hist`, `mark`;
-//! * kind-specific required keys (see [`required_keys`]).
+//! * kind-specific required keys (see [`required_keys`]). Two keys are
+//!   required only outside swarm mode: `max_transitions` (`run_start`)
+//!   and `unique_states` (`run_finish`) — a swarm run has no transition
+//!   budget and no state cache, and the recorder omits what was not
+//!   measured rather than emitting placeholder zeros.
 //!
 //! Two cross-line invariants are checked on top of per-line shape:
 //! `t` monotonicity, and per-worker counter monotonicity (`transitions`,
@@ -21,23 +25,18 @@ use std::collections::BTreeMap;
 use crate::json::{parse, Json};
 
 /// The required keys of each line kind (beyond `t` and `kind`).
+/// `run_start`/`run_finish` additionally require `max_transitions`/
+/// `unique_states` except in swarm mode; [`validate_lines`] checks that
+/// per line since it depends on the line's `mode`.
 pub fn required_keys(kind: &str) -> Option<&'static [&'static str]> {
     Some(match kind {
-        "run_start" => &[
-            "algo",
-            "model",
-            "mode",
-            "threads",
-            "max_steps",
-            "max_transitions",
-        ],
+        "run_start" => &["algo", "model", "mode", "threads", "max_steps"],
         "run_finish" => &[
             "algo",
             "mode",
             "passed",
             "complete",
             "transitions",
-            "unique_states",
             "wall_us",
         ],
         "sim" => &["seq", "pid", "event", "critical", "buffer_depth"],
@@ -125,10 +124,23 @@ pub fn validate_lines<S: AsRef<str>>(lines: &[S]) -> Result<LogSummary, String> 
                 return Err(format!("line {lineno}: kind `{kind}` missing key `{key}`"));
             }
         }
+        // Exhaustive runs must report their budget and their state count;
+        // swarm runs have neither, and the recorder omits the keys.
+        let mode_is_swarm = || v.get("mode").and_then(Json::as_str) == Some("swarm");
         match kind {
             "run_start" => {
+                if !mode_is_swarm() && v.get("max_transitions").is_none() {
+                    return Err(format!(
+                        "line {lineno}: non-swarm run_start missing key `max_transitions`"
+                    ));
+                }
                 // Fresh workers; counter baselines reset.
                 worker_last.clear();
+            }
+            "run_finish" if !mode_is_swarm() && v.get("unique_states").is_none() => {
+                return Err(format!(
+                    "line {lineno}: non-swarm run_finish missing key `unique_states`"
+                ));
             }
             "sim" => {
                 // Crash events must record how many buffered writes died.
@@ -273,6 +285,30 @@ mod tests {
         ];
         let err = validate_lines(&bad).unwrap_err();
         assert!(err.contains("lost"), "{err}");
+    }
+
+    #[test]
+    fn swarm_runs_may_omit_budget_and_state_count() {
+        let lines = [
+            r#"{"t":0,"kind":"run_start","algo":"tas","model":"tso","mode":"swarm","threads":4,"max_steps":4096}"#,
+            r#"{"t":5,"kind":"worker","worker":0,"done":true,"transitions":9,"nodes_expanded":3,"cache_hits":0,"cache_misses":0,"sleep_prunes":0,"donated":0,"frontier_depth":0,"max_frontier":0}"#,
+            r#"{"t":9,"kind":"run_finish","algo":"tas","mode":"swarm","passed":true,"complete":false,"transitions":9,"wall_us":9}"#,
+        ];
+        validate_lines(&lines).expect("swarm lines need no placeholder counters");
+    }
+
+    #[test]
+    fn exhaustive_runs_must_report_budget_and_state_count() {
+        let start = [
+            r#"{"t":0,"kind":"run_start","algo":"tas","model":"tso","mode":"exhaustive","threads":1,"max_steps":40}"#,
+        ];
+        let err = validate_lines(&start).unwrap_err();
+        assert!(err.contains("max_transitions"), "{err}");
+        let finish = [
+            r#"{"t":0,"kind":"run_finish","algo":"tas","mode":"exhaustive","passed":true,"complete":true,"transitions":7,"wall_us":3}"#,
+        ];
+        let err = validate_lines(&finish).unwrap_err();
+        assert!(err.contains("unique_states"), "{err}");
     }
 
     #[test]

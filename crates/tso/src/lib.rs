@@ -75,6 +75,7 @@ pub mod ids;
 pub mod machine;
 pub mod metrics;
 pub mod op;
+pub mod perm;
 pub mod program;
 pub mod sched;
 pub mod scripted;
@@ -94,5 +95,6 @@ pub use machine::{
 };
 pub use metrics::{Counters, Histogram, Metrics, PassageStats, ProcMetrics, SpanKind};
 pub use op::{Op, Outcome};
+pub use perm::{Permutation, SymmetryGroup};
 pub use program::{Program, System};
-pub use vars::{VarSpec, VarSpecBuilder};
+pub use vars::{PidEncoding, VarSpec, VarSpecBuilder};

@@ -24,8 +24,9 @@ use crate::fxhash::FxHasher;
 use crate::ids::{ProcId, Value, VarId};
 use crate::metrics::{Metrics, SpanKind};
 use crate::op::{Op, Outcome};
+use crate::perm::{Permutation, SymmetryGroup};
 use crate::program::{Program, System};
-use crate::vars::{VarSpec, VarTable};
+use crate::vars::{PidEncoding, VarSpec, VarTable};
 
 /// The store-ordering discipline the machine enforces.
 ///
@@ -1362,6 +1363,116 @@ impl Machine {
         entry.remote_reads.hash(&mut h);
         entry.program.state_hash(&mut h);
         h.finish()
+    }
+
+    /// Maps a value stored in (or buffered for) `v` under `perm`,
+    /// following the variable's declared [`PidEncoding`]. `None` when the
+    /// value cannot be a pid (out of range) — the permutation is invalid
+    /// for the state.
+    fn map_value(&self, v: VarId, value: Value, perm: &Permutation) -> Option<Value> {
+        match self.spec.pid_encoding(v) {
+            PidEncoding::None => Some(value),
+            PidEncoding::ZeroBased => perm.map_value_zero_based(value),
+            PidEncoding::OneBased => perm.map_value_one_based(value),
+        }
+    }
+
+    /// [`Machine::var_component`] of the π-renamed state: variable `i`
+    /// lands at `var_map[i]` (so the seed changes), its value is mapped
+    /// per the declared encoding, and its writer is renamed. `None` when
+    /// the state is not expressible under `perm` — in particular an
+    /// *unwritten* pid-valued variable whose initial value `perm` moves:
+    /// the renamed execution's variable would hold the same initial, so a
+    /// renaming that reinterprets it (dijkstra's `turn = 0` meaning
+    /// "process 0 holds the turn") is not an automorphism.
+    fn var_component_permuted(&self, i: usize, perm: &Permutation, var_map: &[u32]) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::with_seed(Self::VAR_TAG ^ ((var_map[i] as u64) << 16));
+        let state = self.vars.get(VarId(i as u32));
+        let mapped = self.map_value(VarId(i as u32), state.value, perm)?;
+        if state.writer.is_none() && mapped != state.value {
+            return None;
+        }
+        mapped.hash(&mut h);
+        state.writer.map(|p| perm.apply(p)).hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// [`Machine::proc_component`] of the π-renamed state: process `i`
+    /// lands at `perm(i)` (seed change), buffered writes keep their issue
+    /// order but are relabeled (variable through `var_map`, value through
+    /// the encoding), the remote-read history is relabeled and re-sorted,
+    /// and the program hashes its own renamed local state. `None` when
+    /// any piece is not expressible under `perm`.
+    fn proc_component_permuted(
+        &self,
+        i: usize,
+        perm: &Permutation,
+        var_map: &[u32],
+    ) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let image = perm.apply(ProcId(i as u32));
+        let mut h = FxHasher::with_seed(Self::PROC_TAG ^ ((image.index() as u64) << 16));
+        let entry = &self.procs[i];
+        entry.erased.hash(&mut h);
+        (entry.crash as u8).hash(&mut h);
+        entry.in_fence.hash(&mut h);
+        (entry.section as u8).hash(&mut h);
+        entry.passages_completed.hash(&mut h);
+        entry.buffer.len().hash(&mut h);
+        for w in entry.buffer.iter() {
+            VarId(var_map[w.var.index()]).hash(&mut h);
+            self.map_value(w.var, w.value, perm)?.hash(&mut h);
+        }
+        let mut remote: Vec<VarId> = entry
+            .remote_reads
+            .iter()
+            .map(|v| VarId(var_map[v.index()]))
+            .collect();
+        remote.sort_unstable();
+        remote.hash(&mut h);
+        if !entry.program.state_hash_permuted(perm, &mut h) {
+            return None;
+        }
+        Some(h.finish())
+    }
+
+    /// The fingerprint the π-renamed state would have, or `None` when
+    /// this state is not expressible under `perm` (see
+    /// [`Program::state_hash_permuted`] — never unsound, only a missed
+    /// reduction). The global component is permutation-invariant, so only
+    /// the per-variable and per-process components are recomputed — over
+    /// current values only, no walk of histories or logs.
+    pub fn state_hash_permuted(&self, perm: &Permutation, var_map: &[u32]) -> Option<u64> {
+        let mut hash = self.global_component();
+        for i in 0..self.var_hash.len() {
+            hash ^= self.var_component_permuted(i, perm, var_map)?;
+        }
+        for i in 0..self.proc_hash.len() {
+            hash ^= self.proc_component_permuted(i, perm, var_map)?;
+        }
+        Some(hash)
+    }
+
+    /// The canonical cache key under `group`: the minimum of
+    /// [`Machine::state_hash`] over every valid renaming, plus the index
+    /// of the permutation achieving it (ties break toward the lowest
+    /// index; index 0 — the identity — is always valid, so the result is
+    /// never worse than the concrete key). All members of an orbit share
+    /// one canonical key, which is what lets the explorer's cache
+    /// collapse the orbit to a single entry.
+    pub fn canonical_state_key(&self, group: &SymmetryGroup) -> (StateKey, usize) {
+        let mut best = self.hash;
+        let mut best_idx = 0;
+        for idx in 1..group.len() {
+            if let Some(h) = self.state_hash_permuted(group.perm(idx), group.var_map(idx)) {
+                if h < best {
+                    best = h;
+                    best_idx = idx;
+                }
+            }
+        }
+        (StateKey(best), best_idx)
     }
 
     fn rebuild_state_hash(&mut self) {

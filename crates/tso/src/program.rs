@@ -9,6 +9,7 @@
 
 use crate::ids::{ProcId, Value};
 use crate::op::{Op, Outcome};
+use crate::perm::Permutation;
 use crate::vars::VarSpec;
 
 /// A deterministic per-process step machine.
@@ -71,6 +72,25 @@ pub trait Program: Send {
     /// pruning while over-hashing merely wastes cache entries. Include
     /// control location and every live register; exclude diagnostics.
     fn state_hash(&self, h: &mut dyn std::hash::Hasher);
+
+    /// Feeds the *renamed* local state into `h`: exactly what the program
+    /// running at position `perm(me)` would feed via
+    /// [`Program::state_hash`] if this execution had its processes
+    /// relabeled by `perm`. Pid-valued registers must be mapped
+    /// (`i → perm(i)`); pid-*indexed* scan positions likewise; plain data
+    /// is hashed unchanged.
+    ///
+    /// Returns `false` when the state is not expressible under `perm`
+    /// (e.g. a pid-order scan whose prefix `perm` does not preserve) or
+    /// when the program does not support symmetry at all — the default.
+    /// Returning `false` only forfeits reduction for this state; it is
+    /// never unsound. Returning `true` after hashing the *wrong* content
+    /// is unsound: only implement this after checking every field for
+    /// pid dependence.
+    fn state_hash_permuted(&self, perm: &Permutation, h: &mut dyn std::hash::Hasher) -> bool {
+        let _ = (perm, h);
+        false
+    }
 }
 
 /// An `n`-process algorithm instance: variable layout plus a program
@@ -94,6 +114,17 @@ pub trait System: Send + Sync {
     fn name(&self) -> &str {
         "unnamed"
     }
+
+    /// Declares that the system is process-symmetric: its programs differ
+    /// only in their pid, every pid-indexed array and pid-valued variable
+    /// is marked in [`System::vars`], and every program implements
+    /// [`Program::state_hash_permuted`]. The checker validates the claim
+    /// dynamically before relying on it, but declaring it falsely wastes
+    /// that validation run — and an algorithm that genuinely breaks ties
+    /// by pid (bakery, one-bit, tournament) must leave this `false`.
+    fn symmetric(&self) -> bool {
+        false
+    }
 }
 
 impl<S: System + ?Sized> System for &S {
@@ -109,6 +140,9 @@ impl<S: System + ?Sized> System for &S {
     fn name(&self) -> &str {
         (**self).name()
     }
+    fn symmetric(&self) -> bool {
+        (**self).symmetric()
+    }
 }
 
 impl<S: System + ?Sized> System for Box<S> {
@@ -123,6 +157,9 @@ impl<S: System + ?Sized> System for Box<S> {
     }
     fn name(&self) -> &str {
         (**self).name()
+    }
+    fn symmetric(&self) -> bool {
+        (**self).symmetric()
     }
 }
 

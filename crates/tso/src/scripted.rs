@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use crate::ids::{ProcId, Value, VarId};
 use crate::op::{Op, Outcome};
+use crate::perm::Permutation;
 use crate::program::{Program, System};
 use crate::vars::VarSpec;
 
@@ -302,6 +303,18 @@ impl Program for ScriptProgram {
         self.regs.hash(&mut h);
         self.halted.hash(&mut h);
     }
+
+    fn state_hash_permuted(&self, _perm: &Permutation, h: &mut dyn std::hash::Hasher) -> bool {
+        // A script's local state never references a pid: registers hold
+        // read data values and the pc indexes the (shared) code. Under a
+        // pid-equivariant renaming the renamed process's program is in the
+        // bitwise-identical local state, so the concrete hash stands in.
+        // Only meaningful for systems that opt in via
+        // [`ScriptSystem::pid_equivariant`]; the checker's start-of-run
+        // validation rejects scripts that are not actually equivariant.
+        self.state_hash(h);
+        true
+    }
 }
 
 /// Convenience constructor for a boxed [`ScriptProgram`].
@@ -315,6 +328,7 @@ pub struct ScriptSystem {
     scripts: Vec<Arc<Vec<Instr>>>,
     var_count: usize,
     name: String,
+    pid_equivariant: bool,
 }
 
 impl ScriptSystem {
@@ -326,12 +340,26 @@ impl ScriptSystem {
             scripts,
             var_count,
             name: "scripted".to_owned(),
+            pid_equivariant: bool::default(),
         }
     }
 
     /// Sets a diagnostic name.
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Declares the scripts pid-equivariant: process `π(p)`'s script is
+    /// process `p`'s with every variable `v` replaced by `π(v)` (requires
+    /// `var_count == n`, one variable per process), and no register ever
+    /// holds a pid. The variable array is then marked pid-indexed and the
+    /// system reports itself [`System::symmetric`], letting the checker's
+    /// symmetry reduction collapse renamed interleavings. Declaring this
+    /// for scripts that are *not* equivariant is caught by the checker's
+    /// start-of-run validation (the search falls back to concrete keys).
+    pub fn pid_equivariant(mut self) -> Self {
+        self.pid_equivariant = true;
         self
     }
 }
@@ -342,7 +370,14 @@ impl System for ScriptSystem {
     }
 
     fn vars(&self) -> VarSpec {
-        VarSpec::remote(self.var_count)
+        if self.pid_equivariant {
+            let mut b = VarSpec::builder();
+            let base = b.array("v", self.var_count, 0, |_| None);
+            b.mark_pid_indexed(base, self.var_count);
+            b.build()
+        } else {
+            VarSpec::remote(self.var_count)
+        }
     }
 
     fn program(&self, pid: ProcId) -> Box<dyn Program> {
@@ -351,6 +386,10 @@ impl System for ScriptSystem {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn symmetric(&self) -> bool {
+        self.pid_equivariant
     }
 }
 

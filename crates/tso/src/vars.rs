@@ -8,12 +8,32 @@
 use crate::awareness::AwSet;
 use crate::ids::{ProcId, Value, VarId};
 
+/// How a variable's *contents* relate to process identifiers — the fact
+/// symmetry reduction needs to relabel values when renaming processes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PidEncoding {
+    /// Plain data: values never mention a pid.
+    #[default]
+    None,
+    /// The value *is* a pid, `0..n-1` (e.g. dijkstra's `turn`).
+    ZeroBased,
+    /// The value is `pid + 1` with `0` meaning "no process" (e.g. the MCS
+    /// `tail` pointer).
+    OneBased,
+}
+
 /// Static description of a system's shared variables.
 #[derive(Clone, Debug)]
 pub struct VarSpec {
     owners: Vec<Option<ProcId>>,
     init: Vec<Value>,
     names: Vec<Option<String>>,
+    /// `(base, len)` spans of arrays indexed by pid — renaming processes
+    /// permutes their elements.
+    pid_indexed: Vec<(u32, u32)>,
+    /// Per-variable content encoding (dense, defaults to
+    /// [`PidEncoding::None`]).
+    encodings: Vec<PidEncoding>,
 }
 
 impl VarSpec {
@@ -24,6 +44,8 @@ impl VarSpec {
             owners: vec![None; count],
             init: vec![0; count],
             names: vec![None; count],
+            pid_indexed: Vec::new(),
+            encodings: vec![PidEncoding::None; count],
         }
     }
 
@@ -51,6 +73,17 @@ impl VarSpec {
     pub fn name(&self, v: VarId) -> Option<&str> {
         self.names[v.index()].as_deref()
     }
+
+    /// The `(base, len)` spans declared pid-indexed (see
+    /// [`VarSpecBuilder::mark_pid_indexed`]).
+    pub fn pid_indexed_groups(&self) -> &[(u32, u32)] {
+        &self.pid_indexed
+    }
+
+    /// How `v`'s contents encode process identifiers.
+    pub fn pid_encoding(&self, v: VarId) -> PidEncoding {
+        self.encodings[v.index()]
+    }
 }
 
 /// Incremental builder for [`VarSpec`] (one call per variable, returning its
@@ -61,6 +94,8 @@ pub struct VarSpecBuilder {
     owners: Vec<Option<ProcId>>,
     init: Vec<Value>,
     names: Vec<Option<String>>,
+    pid_indexed: Vec<(u32, u32)>,
+    encodings: Vec<(u32, PidEncoding)>,
 }
 
 impl VarSpecBuilder {
@@ -93,12 +128,39 @@ impl VarSpecBuilder {
         base
     }
 
+    /// Declares that the `len` variables starting at `base` form a
+    /// pid-indexed array (element `i` belongs to process `i`). Symmetry
+    /// reduction permutes such arrays' elements when renaming processes;
+    /// arrays indexed by anything else (levels, tickets, tree nodes)
+    /// must *not* be marked.
+    pub fn mark_pid_indexed(&mut self, base: VarId, len: usize) {
+        self.pid_indexed.push((base.0, len as u32));
+    }
+
+    /// Declares that `v`'s contents encode a pid (see [`PidEncoding`]).
+    pub fn mark_pid_valued(&mut self, v: VarId, enc: PidEncoding) {
+        self.encodings.push((v.0, enc));
+    }
+
+    /// [`VarSpecBuilder::mark_pid_valued`] for a whole array.
+    pub fn mark_pid_valued_array(&mut self, base: VarId, len: usize, enc: PidEncoding) {
+        for i in 0..len as u32 {
+            self.encodings.push((base.0 + i, enc));
+        }
+    }
+
     /// Finalises the spec.
     pub fn build(self) -> VarSpec {
+        let mut encodings = vec![PidEncoding::None; self.owners.len()];
+        for (v, enc) in self.encodings {
+            encodings[v as usize] = enc;
+        }
         VarSpec {
             owners: self.owners,
             init: self.init,
             names: self.names,
+            pid_indexed: self.pid_indexed,
+            encodings,
         }
     }
 }
@@ -236,6 +298,21 @@ mod tests {
         assert_eq!(spec.count(), 4);
         assert_eq!(spec.owner(VarId(2)), Some(ProcId(2)));
         assert_eq!(spec.name(VarId(3)), Some("spin[3]"));
+    }
+
+    #[test]
+    fn symmetry_marks_round_trip() {
+        let mut b = VarSpec::builder();
+        let turn = b.var("turn", 0, None);
+        let flags = b.array("flag", 3, 0, |i| Some(ProcId(i as u32)));
+        b.mark_pid_indexed(flags, 3);
+        b.mark_pid_valued(turn, PidEncoding::ZeroBased);
+        b.mark_pid_valued_array(flags, 3, PidEncoding::OneBased);
+        let spec = b.build();
+        assert_eq!(spec.pid_indexed_groups(), &[(flags.0, 3)]);
+        assert_eq!(spec.pid_encoding(turn), PidEncoding::ZeroBased);
+        assert_eq!(spec.pid_encoding(VarId(flags.0 + 2)), PidEncoding::OneBased);
+        assert_eq!(VarSpec::remote(1).pid_encoding(VarId(0)), PidEncoding::None);
     }
 
     #[test]

@@ -45,8 +45,6 @@ pub use tpa_tso as tso;
 pub mod prelude {
     pub use tpa_adversary::{Adaptivity, Config, Construction, StopReason};
     pub use tpa_algos::{all_locks, lock_by_name};
-    #[allow(deprecated)]
-    pub use tpa_check::{check_exhaustive, check_swarm};
     pub use tpa_check::{
         crash_invariants, Checker, ExploreConfig, IncompleteReason, Report, SwarmConfig, Verdict,
     };

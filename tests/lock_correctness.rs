@@ -96,6 +96,30 @@ fn exhaustive_exclusion_small_locks_n3() {
     }
 }
 
+/// The whole portfolio, exhaustively verified at n = 3 with symmetry
+/// reduction requested. The seven pid-symmetric locks engage canonical
+/// caching (collapsing up to 3! renamed interleavings per orbit); the
+/// genuinely asymmetric three (bakery, onebit, tournament) fall back to
+/// concrete keys — `.symmetry(true)` must be safe to request across the
+/// board.
+#[test]
+fn exhaustive_exclusion_every_lock_n3_with_symmetry() {
+    for lock in tpa::algos::all_locks(3, 1) {
+        let report = Checker::new(lock.as_ref())
+            .max_steps(48)
+            .max_transitions(16_000_000)
+            .threads(tpa::check::default_threads())
+            .symmetry(true)
+            .exhaustive();
+        assert!(
+            report.stats.complete,
+            "{}: exhausted the transition budget",
+            report.algo
+        );
+        report.assert_pass();
+    }
+}
+
 /// The rest of the portfolio at sizes too large to exhaust: biased swarm
 /// schedules (commit-starving, fence-stalling, bursty) instead.
 #[test]
