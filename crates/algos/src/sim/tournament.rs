@@ -10,7 +10,10 @@
 //! the interleaving our exclusion checker found; achieving O(1) fences at
 //! O(log n) RMRs is the Attiya–Hendler–Levy PODC'13 contribution.)
 
-use tpa_tso::{Op, Outcome, ProcId, Program, System, Value, VarId, VarSpec};
+use tpa_tso::{
+    Asm, Bytecode, Cmp, Label, Op, Operand, Outcome, ProcId, Program, SymMode, System, VRef, Value,
+    VarId, VarSpec, VmSystem, NREGS,
+};
 
 /// Geometry and variable layout of a Peterson arbitration tree.
 ///
@@ -119,6 +122,91 @@ impl System for TournamentLock {
 
     fn name(&self) -> &str {
         "tournament"
+    }
+
+    fn compile_vm(&self) -> Option<VmSystem> {
+        let code = (0..self.n).map(|me| self.compile(me)).collect();
+        Some(VmSystem::new(
+            self.name(),
+            self.vars(),
+            code,
+            self.symmetric(),
+        ))
+    }
+}
+
+impl TournamentLock {
+    /// Compiles process `me` by unrolling the arbitration tree: the level
+    /// `l` of the native `State` payloads is fully encoded in the pc (one
+    /// Peterson block per level on the way up, one clear per level on the
+    /// way down), every node/side variable is a compile-time constant for
+    /// a fixed `me`, and both reads are test-and-discard comparisons — so
+    /// the only register is `r0 = passages_left`. The tree is
+    /// pid-*shaped* (leaf position determines the path), so the bytecode
+    /// is [`SymMode::Asymmetric`] like the native program.
+    fn compile(&self, me: usize) -> Bytecode {
+        const R_LEFT: u8 = 0;
+        let lay = &self.layout;
+        let mut a = Asm::new();
+        let enter = a.here();
+        a.enter();
+        if lay.levels == 0 {
+            // n == 1: Enter → Cs → Exit, no tree and no release fence.
+            a.cs();
+        } else {
+            let cs = a.label();
+            let mut next_level: Option<Label> = None;
+            for l in 1..=lay.levels {
+                if let Some(lbl) = next_level.take() {
+                    a.bind(lbl);
+                }
+                let node = lay.node_of(me, l);
+                let side = lay.side_of(me, l);
+                let my_flag = VRef::Direct(lay.flag_var(l, node, side).0);
+                let peer_flag = VRef::Direct(lay.flag_var(l, node, 1 - side).0);
+                let turn = VRef::Direct(lay.turn_var(l, node).0);
+                a.write(my_flag, Operand::Imm(1));
+                a.write(turn, Operand::Imm(side as Value));
+                a.fence();
+                let adv = if l < lay.levels {
+                    let lbl = a.label();
+                    next_level = Some(lbl);
+                    lbl
+                } else {
+                    cs
+                };
+                // Peterson wait: peer flag clear → advance; else spin on
+                // the turn until it is the peer's.
+                let read_turn = a.label();
+                let read_peer = a.here();
+                a.read_br(peer_flag, Cmp::Eq, Operand::Imm(0), adv, read_turn);
+                a.bind(read_turn);
+                a.read_br(turn, Cmp::Eq, Operand::Imm(side as Value), read_peer, adv);
+            }
+            a.bind(cs);
+            a.cs();
+            // Release: clear from the root down, one fence at the end.
+            for l in (1..=lay.levels).rev() {
+                let node = lay.node_of(me, l);
+                let side = lay.side_of(me, l);
+                let my_flag = VRef::Direct(lay.flag_var(l, node, side).0);
+                a.write(my_flag, Operand::Imm(0));
+            }
+            a.fence();
+        }
+        a.exit();
+        a.add(R_LEFT, -1);
+        a.br(Operand::Reg(R_LEFT), Cmp::Ne, Operand::Imm(0), enter);
+        a.halt();
+        let mut init_regs = [0; NREGS];
+        init_regs[R_LEFT as usize] = self.passages as Value;
+        Bytecode {
+            code: a.finish(),
+            init_regs,
+            recover_pc: None,
+            sym: SymMode::Asymmetric,
+            me: me as u32,
+        }
     }
 }
 
@@ -281,6 +369,11 @@ mod tests {
     #[test]
     fn standard_battery() {
         testing::standard_lock_battery(&|n, p| Box::new(TournamentLock::new(n, p)));
+    }
+
+    #[test]
+    fn vm_lockstep_battery() {
+        testing::standard_vm_battery(&|n, p| Box::new(TournamentLock::new(n, p)));
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! (all passages complete under a fair schedule; a solo process completes
 //! unaided — weak obstruction-freedom).
 
+use std::collections::HashMap;
+
 use tpa_tso::machine::NextEvent;
 use tpa_tso::sched::{CommitPolicy, XorShift};
-use tpa_tso::{Directive, Machine, Op, ProcId, System};
+use tpa_tso::{Directive, Machine, MemoryModel, Op, ProcId, SymmetryGroup, System, VarId};
 
 /// Number of processes whose next event is the `CS` transition.
 pub fn cs_enabled(machine: &Machine) -> usize {
@@ -191,6 +193,159 @@ pub fn check_solo_progress(
         .run_solo(pid, passages, max_steps)
         .map_err(|e| format!("solo run failed for {pid}: {e} ({})", system.name()))?;
     Ok(machine)
+}
+
+/// Drives the native system and its compiled bytecode twin in lockstep
+/// under one seeded random schedule, asserting after every step that the
+/// two machines are observably identical — same next events, same shared
+/// memory, same buffers, same enabled directives — and that their state
+/// keys induce the *same equivalence relation* on the visited states
+/// (native and VM hash streams differ, so the keys themselves differ,
+/// but two visited states must collide in one machine exactly when they
+/// collide in the other; this is what makes unique-state counts match).
+///
+/// Returns the number of steps driven.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn check_vm_lockstep(
+    system: &dyn System,
+    model: MemoryModel,
+    seed: u64,
+    commit_num: u8,
+    max_steps: usize,
+) -> Result<usize, String> {
+    let compiled = system
+        .compile_vm()
+        .ok_or_else(|| format!("{} has no bytecode compiler", system.name()))?;
+    let mut nat = Machine::with_model(&system, model);
+    let mut vm = Machine::with_model(&compiled, model);
+    let n = nat.n();
+    let vars = nat.spec().count();
+    let mut rng = XorShift::new(seed);
+    let group = system
+        .symmetric()
+        .then(|| SymmetryGroup::for_spec(nat.spec(), n));
+    let mut nat_to_vm: HashMap<u64, u64> = HashMap::new();
+    let mut vm_to_nat: HashMap<u64, u64> = HashMap::new();
+    let mut cnat_to_cvm: HashMap<u64, u64> = HashMap::new();
+    let mut cvm_to_cnat: HashMap<u64, u64> = HashMap::new();
+    let mut steps = 0;
+    loop {
+        // Observable equality after the previous step.
+        for i in 0..n {
+            let p = ProcId(i as u32);
+            if nat.peek_next(p) != vm.peek_next(p) {
+                return Err(format!(
+                    "step {steps}: {p} next event diverged: native {:?} vs vm {:?} ({})",
+                    nat.peek_next(p),
+                    vm.peek_next(p),
+                    system.name()
+                ));
+            }
+            if nat.enabled_directives(p) != vm.enabled_directives(p) {
+                return Err(format!(
+                    "step {steps}: {p} enabled directives diverged ({})",
+                    system.name()
+                ));
+            }
+            if nat.buffer_len(p) != vm.buffer_len(p)
+                || nat.passages_completed(p) != vm.passages_completed(p)
+                || nat.section(p) != vm.section(p)
+            {
+                return Err(format!(
+                    "step {steps}: {p} machine-visible process state diverged ({})",
+                    system.name()
+                ));
+            }
+        }
+        for v in 0..vars {
+            let v = VarId(v as u32);
+            if nat.value(v) != vm.value(v) || nat.writer(v) != vm.writer(v) {
+                return Err(format!(
+                    "step {steps}: {v:?} diverged: native {}/{:?} vs vm {}/{:?} ({})",
+                    nat.value(v),
+                    nat.writer(v),
+                    vm.value(v),
+                    vm.writer(v),
+                    system.name()
+                ));
+            }
+        }
+        // State-key correspondence must stay a bijection.
+        let (nk, vk) = (nat.state_hash(), vm.state_hash());
+        if *nat_to_vm.entry(nk).or_insert(vk) != vk || *vm_to_nat.entry(vk).or_insert(nk) != nk {
+            return Err(format!(
+                "step {steps}: state-key equivalence broken: native {nk:#x} vs vm {vk:#x} ({})",
+                system.name()
+            ));
+        }
+        // Canonical (symmetry-reduced) keys must induce the same
+        // equivalence relation too — this exercises the per-pc register
+        // kind tables against the native `state_hash_permuted`.
+        if let Some(group) = &group {
+            let (cn, _) = nat.canonical_state_key(group);
+            let (cv, _) = vm.canonical_state_key(group);
+            if *cnat_to_cvm.entry(cn.0).or_insert(cv.0) != cv.0
+                || *cvm_to_cnat.entry(cv.0).or_insert(cn.0) != cn.0
+            {
+                return Err(format!(
+                    "step {steps}: canonical-key equivalence broken: native {:#x} vs vm {:#x} ({})",
+                    cn.0,
+                    cv.0,
+                    system.name()
+                ));
+            }
+        }
+        if steps >= max_steps {
+            return Ok(steps);
+        }
+        // One shared random directive, chosen from the native machine.
+        let runnable: Vec<ProcId> = (0..n)
+            .map(|i| ProcId(i as u32))
+            .filter(|&p| nat.peek_next(p) != NextEvent::Halted || !nat.buffer_empty(p))
+            .collect();
+        if runnable.is_empty() {
+            return Ok(steps);
+        }
+        let p = runnable[rng.below(runnable.len())];
+        let halted = nat.peek_next(p) == NextEvent::Halted;
+        let commit = !nat.buffer_empty(p) && (halted || rng.chance(commit_num));
+        let d = if commit {
+            Directive::Commit(p)
+        } else {
+            Directive::Issue(p)
+        };
+        let en = nat.step(d).map_err(|e| format!("native step: {e}"))?;
+        let ev = vm.step(d).map_err(|e| format!("vm step: {e}"))?;
+        if en.kind != ev.kind || en.pid != ev.pid {
+            return Err(format!(
+                "step {steps}: event diverged: native {:?} vs vm {:?} ({})",
+                en.kind,
+                ev.kind,
+                system.name()
+            ));
+        }
+        steps += 1;
+    }
+}
+
+/// Runs [`check_vm_lockstep`] across several seeds under both memory
+/// models — the per-lock smoke check that a compiler is faithful.
+///
+/// # Panics
+///
+/// Panics with a diagnostic on the first divergence (test helper).
+pub fn standard_vm_battery(make: &dyn Fn(usize, usize) -> Box<dyn System>) {
+    for (n, passages) in [(1, 2), (2, 2), (3, 1), (4, 1)] {
+        let sys = make(n, passages);
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            for seed in 1..=4u64 {
+                check_vm_lockstep(sys.as_ref(), model, seed, 96, 60_000).unwrap();
+            }
+        }
+    }
 }
 
 /// Runs the full standard battery against a lock system: solo progress,

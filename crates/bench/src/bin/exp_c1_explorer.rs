@@ -3,11 +3,14 @@
 //! what the work-distributing parallel engine buys on top.
 //!
 //! For each simulated lock at small `n` this runs the `Checker`
-//! exhaustive explorer and reports transitions executed, directives put
-//! to sleep, state-cache skips, distinct states, wall time, and search
-//! throughput — the numbers behind the C1 table in EXPERIMENTS.md. A
+//! exhaustive explorer twice — through the native programs and through
+//! the compiled bytecode VM (`Checker::vm(true)`) — and reports
+//! transitions executed, directives put to sleep, state-cache skips,
+//! distinct states, wall time, and search throughput for both paths, as
+//! adjacent rows: the numbers behind the C1 table in EXPERIMENTS.md. A
 //! 1-thread-vs-4-thread rerun of one instance records the parallel
-//! speedup, and a final line demonstrates the verdict pipeline on the
+//! speedup, a per-lock line records the VM-vs-native throughput ratio,
+//! and a final line demonstrates the verdict pipeline on the
 //! deliberately broken `bakery-nofence` variant: found, shrunk, sized.
 //!
 //! The machine-readable record lands in `BENCH_check.json` (override the
@@ -47,6 +50,11 @@ fn main() {
         &rows,
     );
     report::maybe_write_json("c1_explorer", rows.as_slice());
+
+    println!("\nVM-vs-native search throughput (states/s ratio, same state set):");
+    for (algo, n, ratio) in c1::vm_speedups(&rows) {
+        println!("  {algo:<16} n={n}  {ratio:.2}x");
+    }
 
     let (speedup_n, speedup_steps) = if quick { (2, 40) } else { (3, 40) };
     let speedup = c1::measure_speedup("tas", speedup_n, speedup_steps, probe.as_ref());

@@ -2,11 +2,14 @@
 //! `report_all`.
 //!
 //! For each simulated lock at small `n` this runs the [`Checker`]
-//! exhaustive explorer and records transitions executed, directives put
-//! to sleep, state-cache skips, distinct states, wall time, and search
-//! throughput. [`measure_speedup`] reruns one instance at 1 thread and
-//! at 4 for the parallel-engine record; [`write_bench_json`] lands both
-//! in `BENCH_check.json` (path overridable via `TPA_BENCH_JSON`).
+//! exhaustive explorer — natively and through the compiled bytecode VM
+//! (`Checker::vm(true)`), as adjacent row pairs — and records
+//! transitions executed, directives put to sleep, state-cache skips,
+//! distinct states, wall time, and search throughput. [`measure_speedup`]
+//! reruns one instance at 1 thread and at 4 for the parallel-engine
+//! record; [`vm_speedups`] derives the VM-vs-native throughput ratios;
+//! [`write_bench_json`] lands everything in `BENCH_check.json` (path
+//! overridable via `TPA_BENCH_JSON`).
 
 use std::sync::Arc;
 
@@ -26,6 +29,11 @@ pub struct CheckRow {
     pub max_steps: usize,
     /// Worker threads the search fanned across.
     pub threads: usize,
+    /// Whether the row ran the compiled bytecode (`Checker::vm(true)`)
+    /// instead of the native programs. Native and VM rows of the same
+    /// lock visit the same states (pinned by `vm_differential.rs`); only
+    /// the throughput may differ.
+    pub vm: bool,
     /// Transitions actually executed.
     pub transitions: u64,
     /// Directives skipped because they slept.
@@ -63,6 +71,7 @@ impl CheckRow {
             n,
             max_steps,
             threads: report.threads,
+            vm: report.vm,
             transitions: report.stats.transitions,
             pruned_sleep: report.stats.pruned_sleep,
             cache_skips: report.stats.cache_skips,
@@ -98,6 +107,7 @@ impl ToJson for CheckRow {
             ("n", self.n.to_json()),
             ("max_steps", self.max_steps.to_json()),
             ("threads", self.threads.to_json()),
+            ("vm", self.vm.to_json()),
             ("transitions", self.transitions.to_json()),
             ("pruned_sleep", self.pruned_sleep.to_json()),
             ("cache_skips", self.cache_skips.to_json()),
@@ -166,21 +176,38 @@ pub fn check_with_symmetry(
     symmetry: bool,
     probe: Option<&Arc<dyn Probe>>,
 ) -> Report {
+    check_configured(system, max_steps, threads, symmetry, false, probe)
+}
+
+/// The fully-parameterised C1 check: symmetry reduction and the bytecode
+/// VM are both opt-in, everything else is the fixed C1 configuration
+/// (TSO, 4M transitions).
+pub fn check_configured(
+    system: &dyn System,
+    max_steps: usize,
+    threads: usize,
+    symmetry: bool,
+    vm: bool,
+    probe: Option<&Arc<dyn Probe>>,
+) -> Report {
     let mut checker = Checker::new(system)
         .model(MemoryModel::Tso)
         .max_steps(max_steps)
         .max_transitions(4_000_000)
         .threads(threads)
-        .symmetry(symmetry);
+        .symmetry(symmetry)
+        .vm(vm);
     if let Some(probe) = probe {
         checker = checker.probe(probe.clone());
     }
     checker.exhaustive()
 }
 
-/// Runs the whole lock portfolio at each `(n, max_steps)` size. Each
-/// lock is checked twice — concretely, then with `.symmetry(true)` — so
-/// every row carries the measured canonical-vs-concrete state ratio.
+/// Runs the whole lock portfolio at each `(n, max_steps)` size, through
+/// the native programs and through the compiled bytecode. Each lock
+/// contributes two adjacent rows — native then VM — and each row is
+/// measured twice (concretely, then with `.symmetry(true)`) so it also
+/// carries the canonical-vs-concrete state ratio.
 pub fn portfolio_rows(
     sizes: &[(usize, usize)],
     threads: usize,
@@ -189,12 +216,35 @@ pub fn portfolio_rows(
     let mut rows = Vec::new();
     for &(n, max_steps) in sizes {
         for lock in tpa_algos::all_locks(n, 1) {
-            let report = check(lock.as_ref(), max_steps, threads, probe);
-            let sym = check_with_symmetry(lock.as_ref(), max_steps, threads, true, probe);
-            rows.push(CheckRow::from_report(&report, n, max_steps).with_symmetry(&sym));
+            for vm in [false, true] {
+                let report = check_configured(lock.as_ref(), max_steps, threads, false, vm, probe);
+                let sym = check_configured(lock.as_ref(), max_steps, threads, true, vm, probe);
+                rows.push(CheckRow::from_report(&report, n, max_steps).with_symmetry(&sym));
+            }
         }
     }
     rows
+}
+
+/// The measured VM-vs-native throughput ratios, one per (lock, size)
+/// pair of adjacent [`portfolio_rows`] rows. States-per-second is the
+/// honest basis: the differential suite pins both paths to the same
+/// state set, so this is purely a wall-clock ratio.
+pub fn vm_speedups(rows: &[CheckRow]) -> Vec<(String, usize, f64)> {
+    let mut out = Vec::new();
+    for pair in rows.chunks(2) {
+        let [native, vm] = pair else { continue };
+        if native.vm || !vm.vm || native.algo != vm.algo {
+            continue;
+        }
+        let ratio = if native.states_per_sec > 0.0 {
+            vm.states_per_sec / native.states_per_sec
+        } else {
+            0.0
+        };
+        out.push((native.algo.clone(), native.n, ratio));
+    }
+    out
 }
 
 /// Reruns one lock at 1 thread and at 4 and records the ratio. On a
@@ -232,6 +282,7 @@ pub fn print_table(title: &str, rows: &[CheckRow]) {
                 r.n.to_string(),
                 r.max_steps.to_string(),
                 r.threads.to_string(),
+                if r.vm { "vm" } else { "native" }.to_string(),
                 r.transitions.to_string(),
                 r.pruned_sleep.to_string(),
                 r.cache_skips.to_string(),
@@ -256,6 +307,7 @@ pub fn print_table(title: &str, rows: &[CheckRow]) {
             "n",
             "steps",
             "thr",
+            "path",
             "transitions",
             "slept",
             "cache",
@@ -333,6 +385,7 @@ mod tests {
         let rows = v.get("rows").and_then(Json::as_arr).expect("rows array");
         let r = &rows[0];
         assert_eq!(r.get("algo").and_then(Json::as_str), Some("tas"));
+        assert_eq!(r.get("vm").and_then(Json::as_bool), Some(false));
         // Symmetry measurement fields are always present; without a
         // `.symmetry(true)` rerun attached they report no reduction.
         assert_eq!(r.get("symmetry").and_then(Json::as_bool), Some(false));
@@ -347,5 +400,35 @@ mod tests {
             Some(report.stats.transitions)
         );
         assert!(v.get("speedup").and_then(|s| s.get("parallel")).is_some());
+    }
+
+    /// `portfolio_rows` emits native/VM row pairs and `vm_speedups`
+    /// pairs them back up; the two paths agree on the state count.
+    #[test]
+    fn portfolio_rows_pair_native_with_vm() {
+        let rows = portfolio_rows(&[(2, 12)], 1, None);
+        assert_eq!(rows.len() % 2, 0, "rows must come in native/VM pairs");
+        for pair in rows.chunks(2) {
+            let [native, vm] = pair else { unreachable!() };
+            assert_eq!(native.algo, vm.algo);
+            assert!(!native.vm, "{}: first row of a pair is native", native.algo);
+            assert!(vm.vm, "{}: second row of a pair is the VM", vm.algo);
+            assert_eq!(
+                native.unique_states, vm.unique_states,
+                "{}: the VM search visited a different state set",
+                native.algo
+            );
+            assert_eq!(
+                native.canonical_states, vm.canonical_states,
+                "{}",
+                native.algo
+            );
+        }
+        let speedups = vm_speedups(&rows);
+        assert_eq!(speedups.len(), rows.len() / 2);
+        for (algo, n, ratio) in &speedups {
+            assert_eq!(*n, 2);
+            assert!(*ratio > 0.0, "{algo}: degenerate VM speedup ratio");
+        }
     }
 }

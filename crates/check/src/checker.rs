@@ -138,6 +138,7 @@ pub struct Checker<'a> {
     threads: usize,
     seed: u64,
     symmetry: bool,
+    vm: bool,
     probe: Option<Arc<dyn Probe>>,
 }
 
@@ -155,6 +156,7 @@ impl<'a> Checker<'a> {
             threads: 1,
             seed: SwarmConfig::default().seed,
             symmetry: false,
+            vm: false,
             probe: None,
         }
     }
@@ -231,6 +233,20 @@ impl<'a> Checker<'a> {
         self
     }
 
+    /// Opt in to running the system's compiled bytecode instead of its
+    /// native programs, mirroring [`Checker::symmetry`]: only takes
+    /// effect when the system provides a compiler
+    /// ([`tpa_tso::System::compile_vm`]; see [`Report::vm`] for whether
+    /// it engaged). Verdicts, witnesses and state counts are unchanged —
+    /// the VM differential suite pins `vm(true)` against `vm(false)` over
+    /// the whole lock portfolio — but the flat register file forks faster
+    /// than boxed native programs, so exhaustive search explores more
+    /// states per second.
+    pub fn vm(mut self, on: bool) -> Self {
+        self.vm = on;
+        self
+    }
+
     /// The base seed for swarm schedules.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -258,16 +274,25 @@ impl<'a> Checker<'a> {
             max_crashes: self.max_crashes,
             deadline: self.deadline.map(|d| Instant::now() + d),
         };
-        let group = if self.symmetry && self.system.symmetric() {
-            let g = SymmetryGroup::for_spec(&self.system.vars(), self.system.n());
-            (!g.is_trivial() && validate_symmetry(self.system, self.model, self.max_crashes, &g))
+        let compiled = if self.vm {
+            self.system.compile_vm()
+        } else {
+            None
+        };
+        let system: &dyn System = match &compiled {
+            Some(vm) => vm,
+            None => self.system,
+        };
+        let group = if self.symmetry && system.symmetric() {
+            let g = SymmetryGroup::for_spec(&system.vars(), system.n());
+            (!g.is_trivial() && validate_symmetry(system, self.model, self.max_crashes, &g))
                 .then_some(g)
         } else {
             None
         };
         if let Some(probe) = &self.probe {
             probe.run_start(&RunInfo {
-                algo: self.system.name().to_string(),
+                algo: system.name().to_string(),
                 model: model_tag(self.model).to_string(),
                 mode: "exhaustive",
                 threads: self.threads as u32,
@@ -277,7 +302,7 @@ impl<'a> Checker<'a> {
         }
         let start = Instant::now();
         let (mut found, stats, workers) = run_exhaustive(
-            self.system,
+            system,
             self.model,
             &self.invariants,
             &config,
@@ -299,7 +324,7 @@ impl<'a> Checker<'a> {
                 max_crashes: self.max_crashes,
             };
             let outcome = run_swarm(
-                self.system,
+                system,
                 self.model,
                 &self.invariants,
                 &fallback,
@@ -316,7 +341,7 @@ impl<'a> Checker<'a> {
         let wall = start.elapsed();
         if let Some(probe) = &self.probe {
             probe.run_finish(&RunSummary {
-                algo: self.system.name().to_string(),
+                algo: system.name().to_string(),
                 mode: "exhaustive",
                 passed: found.is_none() && stats.complete,
                 complete: stats.complete,
@@ -336,14 +361,15 @@ impl<'a> Checker<'a> {
                 None => Verdict::Pass,
             }
         } else {
-            condemn(self.system, self.model, &self.invariants, found)
+            condemn(system, self.model, &self.invariants, found)
         };
         Report {
-            algo: self.system.name().to_string(),
+            algo: system.name().to_string(),
             model: self.model,
             mode: "exhaustive",
             threads: self.threads,
             symmetry: group.is_some(),
+            vm: compiled.is_some(),
             wall,
             verdict,
             stats: stats.into(),
@@ -364,9 +390,18 @@ impl<'a> Checker<'a> {
             seed: self.seed,
             max_crashes: self.max_crashes,
         };
+        let compiled = if self.vm {
+            self.system.compile_vm()
+        } else {
+            None
+        };
+        let system: &dyn System = match &compiled {
+            Some(vm) => vm,
+            None => self.system,
+        };
         if let Some(probe) = &self.probe {
             probe.run_start(&RunInfo {
-                algo: self.system.name().to_string(),
+                algo: system.name().to_string(),
                 model: model_tag(self.model).to_string(),
                 mode: "swarm",
                 threads: self.threads as u32,
@@ -376,7 +411,7 @@ impl<'a> Checker<'a> {
         }
         let start = Instant::now();
         let outcome = run_swarm(
-            self.system,
+            system,
             self.model,
             &self.invariants,
             &config,
@@ -387,7 +422,7 @@ impl<'a> Checker<'a> {
         let wall = start.elapsed();
         if let Some(probe) = &self.probe {
             probe.run_finish(&RunSummary {
-                algo: self.system.name().to_string(),
+                algo: system.name().to_string(),
                 mode: "swarm",
                 passed: outcome.found.is_none() && outcome.incomplete.is_none(),
                 complete: false,
@@ -397,7 +432,7 @@ impl<'a> Checker<'a> {
             });
         }
         let verdict = match (outcome.found, outcome.incomplete) {
-            (Some(found), _) => condemn(self.system, self.model, &self.invariants, Some(found)),
+            (Some(found), _) => condemn(system, self.model, &self.invariants, Some(found)),
             (None, Some(reason)) => Verdict::Incomplete {
                 reason: format!(
                     "{reason} after {} of {} schedules ({} transitions)",
@@ -411,11 +446,12 @@ impl<'a> Checker<'a> {
         // still surfaced: the effort stats must say the run was cut short.
         stats.incomplete = outcome.incomplete;
         Report {
-            algo: self.system.name().to_string(),
+            algo: system.name().to_string(),
             model: self.model,
             mode: "swarm",
             threads: self.threads,
             symmetry: false,
+            vm: compiled.is_some(),
             wall,
             verdict,
             stats,

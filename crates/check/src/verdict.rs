@@ -117,6 +117,11 @@ pub struct Report {
     /// the system does not declare itself symmetric or the declared
     /// symmetry failed its start-of-run validation.
     pub symmetry: bool,
+    /// Whether the search ran the system's compiled bytecode
+    /// ([`tpa_tso::VmSystem`]) instead of its native programs. `false`
+    /// when [`crate::Checker::vm`] was not requested or the system has no
+    /// compiler ([`tpa_tso::System::compile_vm`] returned `None`).
+    pub vm: bool,
     /// Wall-clock time of the search (excluding shrinking/rendering).
     pub wall: std::time::Duration,
     /// Pass, or a shrunk and rendered violation.

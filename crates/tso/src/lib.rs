@@ -67,6 +67,7 @@
 pub mod analysis;
 pub mod awareness;
 pub mod buffer;
+pub mod bytecode;
 pub mod cache;
 pub mod erase;
 pub mod event;
@@ -82,10 +83,14 @@ pub mod scripted;
 pub mod shrink;
 pub mod trace;
 pub mod vars;
+pub mod vm;
 
 pub use analysis::{contention, event_stats, spans, Contention, EventStats, Span};
 pub use awareness::AwSet;
 pub use buffer::WriteBuffer;
+pub use bytecode::{
+    Asm, BInstr, Bytecode, Cmp, Label, Operand, RegKind, SymMode, VRef, DISCARD, NREGS,
+};
 pub use erase::{erase, EraseOutcome};
 pub use event::{Event, EventKind, ReadSource, SpecialKind};
 pub use fxhash::{fx_hash_one, FxBuildHasher, FxHasher};
@@ -98,3 +103,4 @@ pub use op::{Op, Outcome};
 pub use perm::{Permutation, SymmetryGroup};
 pub use program::{Program, System};
 pub use vars::{PidEncoding, VarSpec, VarSpecBuilder};
+pub use vm::{VmProgram, VmSystem};

@@ -27,6 +27,7 @@ use crate::op::{Op, Outcome};
 use crate::perm::{Permutation, SymmetryGroup};
 use crate::program::{Program, System};
 use crate::vars::{PidEncoding, VarSpec, VarTable};
+use crate::vm::VmProgram;
 
 /// The store-ordering discipline the machine enforces.
 ///
@@ -253,8 +254,78 @@ impl NextEvent {
     }
 }
 
+/// The program half of a process entry. Native programs live behind the
+/// usual trait object; compiled [`VmProgram`]s (see
+/// [`System::vm_program`]) are stored *inline*, so forking copies a flat
+/// register file with no allocation and the peek/apply/hash hot path is
+/// monomorphic — this is where the VM's throughput gain over trait-object
+/// dispatch comes from.
+enum ProcProgram {
+    /// A hand-written program behind a trait object.
+    Native(Box<dyn Program>),
+    /// A compiled bytecode program, stored inline.
+    Vm(VmProgram),
+}
+
+impl ProcProgram {
+    #[inline]
+    fn peek(&self) -> Op {
+        match self {
+            ProcProgram::Native(p) => p.peek(),
+            ProcProgram::Vm(v) => v.peek_op(),
+        }
+    }
+
+    #[inline]
+    fn apply(&mut self, outcome: Outcome) {
+        match self {
+            ProcProgram::Native(p) => p.apply(outcome),
+            ProcProgram::Vm(v) => v.apply_outcome(outcome),
+        }
+    }
+
+    #[inline]
+    fn recover(&mut self) -> bool {
+        match self {
+            ProcProgram::Native(p) => p.recover(),
+            ProcProgram::Vm(v) => v.do_recover(),
+        }
+    }
+
+    #[inline]
+    fn fork(&self) -> ProcProgram {
+        match self {
+            ProcProgram::Native(p) => ProcProgram::Native(p.fork()),
+            ProcProgram::Vm(v) => ProcProgram::Vm(v.clone()),
+        }
+    }
+
+    #[inline]
+    fn state_hash(&self, h: &mut FxHasher) {
+        match self {
+            ProcProgram::Native(p) => p.state_hash(h),
+            ProcProgram::Vm(v) => v.hash_state(h),
+        }
+    }
+
+    #[inline]
+    fn state_hash_permuted(&self, perm: &Permutation, h: &mut FxHasher) -> bool {
+        match self {
+            ProcProgram::Native(p) => p.state_hash_permuted(perm, h),
+            ProcProgram::Vm(v) => v.hash_state_permuted(perm, h),
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn Program {
+        match self {
+            ProcProgram::Native(p) => &**p,
+            ProcProgram::Vm(v) => v,
+        }
+    }
+}
+
 struct ProcEntry {
-    program: Box<dyn Program>,
+    program: ProcProgram,
     buffer: WriteBuffer,
     in_fence: bool,
     section: Section,
@@ -384,8 +455,12 @@ impl Machine {
         let procs = (0..n)
             .map(|i| {
                 let pid = ProcId(i as u32);
+                let program = match system.vm_program(pid) {
+                    Some(vm) => ProcProgram::Vm(vm),
+                    None => ProcProgram::Native(system.program(pid)),
+                };
                 ProcEntry {
-                    program: system.program(pid),
+                    program,
                     buffer: WriteBuffer::new(),
                     in_fence: false,
                     section: Section::Ncs,
@@ -539,7 +614,7 @@ impl Machine {
 
     /// Read-only view of `p`'s program (for litmus-test assertions).
     pub fn program(&self, p: ProcId) -> Option<&dyn Program> {
-        self.procs.get(p.index()).map(|e| &*e.program)
+        self.procs.get(p.index()).map(|e| e.program.as_dyn())
     }
 
     /// Whether `p`'s write buffer is empty.

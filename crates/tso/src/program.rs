@@ -11,6 +11,7 @@ use crate::ids::{ProcId, Value};
 use crate::op::{Op, Outcome};
 use crate::perm::Permutation;
 use crate::vars::VarSpec;
+use crate::vm::{VmProgram, VmSystem};
 
 /// A deterministic per-process step machine.
 ///
@@ -125,6 +126,27 @@ pub trait System: Send + Sync {
     fn symmetric(&self) -> bool {
         false
     }
+
+    /// Spawns the *compiled* program for process `pid`, if this system
+    /// carries bytecode. The machine stores such programs inline in its
+    /// process table (no per-fork box, no trait-object dispatch on the
+    /// peek/apply/hash path). The default — native systems — returns
+    /// `None`, leaving behaviour and performance unchanged.
+    fn vm_program(&self, pid: ProcId) -> Option<VmProgram> {
+        let _ = pid;
+        None
+    }
+
+    /// Compiles the whole system to bytecode, if a compiler exists for
+    /// it. `Checker::vm(true)` calls this and points the search at the
+    /// compiled system; the returned [`VmSystem`] must be observationally
+    /// identical (same name, variable layout, symmetry claim, and
+    /// state-for-state behaviour — the VM differential suite pins this).
+    /// The default returns `None`: the checker then falls back to the
+    /// native programs.
+    fn compile_vm(&self) -> Option<VmSystem> {
+        None
+    }
 }
 
 impl<S: System + ?Sized> System for &S {
@@ -143,6 +165,12 @@ impl<S: System + ?Sized> System for &S {
     fn symmetric(&self) -> bool {
         (**self).symmetric()
     }
+    fn vm_program(&self, pid: ProcId) -> Option<VmProgram> {
+        (**self).vm_program(pid)
+    }
+    fn compile_vm(&self) -> Option<VmSystem> {
+        (**self).compile_vm()
+    }
 }
 
 impl<S: System + ?Sized> System for Box<S> {
@@ -160,6 +188,12 @@ impl<S: System + ?Sized> System for Box<S> {
     }
     fn symmetric(&self) -> bool {
         (**self).symmetric()
+    }
+    fn vm_program(&self, pid: ProcId) -> Option<VmProgram> {
+        (**self).vm_program(pid)
+    }
+    fn compile_vm(&self) -> Option<VmSystem> {
+        (**self).compile_vm()
     }
 }
 

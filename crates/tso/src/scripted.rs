@@ -10,11 +10,13 @@
 
 use std::sync::Arc;
 
+use crate::bytecode::{BInstr, Bytecode, Cmp, Operand, SymMode, VRef, DISCARD, NREGS};
 use crate::ids::{ProcId, Value, VarId};
 use crate::op::{Op, Outcome};
 use crate::perm::Permutation;
 use crate::program::{Program, System};
 use crate::vars::VarSpec;
+use crate::vm::VmSystem;
 
 /// Number of registers available to a script.
 pub const REGS: usize = 16;
@@ -390,6 +392,169 @@ impl System for ScriptSystem {
 
     fn symmetric(&self) -> bool {
         self.pid_equivariant
+    }
+
+    fn compile_vm(&self) -> Option<VmSystem> {
+        let code = self
+            .scripts
+            .iter()
+            .enumerate()
+            .map(|(pid, script)| lower_script(script, pid as u32))
+            .collect();
+        Some(VmSystem::new(
+            self.name.clone(),
+            self.vars(),
+            code,
+            self.symmetric(),
+        ))
+    }
+}
+
+/// Lowers a script to [`Bytecode`] index-for-index, so a compiled
+/// program's rest state `(pc, regs, halted)` always equals the
+/// interpreting [`ScriptProgram`]'s.
+///
+/// Instruction `i` lands at pc `i`; pc `len` holds a `Halt` (running off
+/// the end of a script halts); every [`Instr::Cas`] branches to a pair
+/// of stubs past the end that materialise the success flag (and jump
+/// straight back to `i + 1`), reproducing the `success_reg` convention
+/// without a rest state the interpreter doesn't have.
+fn lower_script(script: &[Instr], me: u32) -> Bytecode {
+    let len = script.len();
+    assert!(len + 1 + 4 * len < u16::MAX as usize, "script too long");
+    // A jump target past the end halts natively; route it to the Halt at
+    // `len` so it cannot land in the stub region.
+    let target_of = |t: usize| t.min(len) as u16;
+    let obs_reg = |sr: usize| {
+        if sr + 1 < NREGS {
+            (sr + 1) as u8
+        } else {
+            DISCARD
+        }
+    };
+    let mut code: Vec<BInstr> = Vec::with_capacity(len + 1);
+    let mut stubs: Vec<BInstr> = Vec::new();
+    for (i, instr) in script.iter().enumerate() {
+        let lowered = match *instr {
+            Instr::Read { var, reg } => BInstr::Read {
+                var: VRef::Direct(var),
+                dst: reg as u8,
+            },
+            Instr::ReadIdx { base, idx_reg, reg } => BInstr::Read {
+                var: VRef::Indexed {
+                    base,
+                    idx: idx_reg as u8,
+                    off: 0,
+                },
+                dst: reg as u8,
+            },
+            Instr::Write { var, value } => BInstr::Write {
+                var: VRef::Direct(var),
+                val: Operand::Imm(value),
+            },
+            Instr::WriteReg { var, reg } => BInstr::Write {
+                var: VRef::Direct(var),
+                val: Operand::Reg(reg as u8),
+            },
+            Instr::WriteIdx { base, idx_reg, reg } => BInstr::Write {
+                var: VRef::Indexed {
+                    base,
+                    idx: idx_reg as u8,
+                    off: 0,
+                },
+                val: Operand::Reg(reg as u8),
+            },
+            Instr::Cas {
+                var,
+                expected,
+                new,
+                success_reg,
+            } => {
+                let stub_base = (len + 1 + stubs.len()) as u16;
+                let back = (i + 1) as u16;
+                stubs.extend_from_slice(&[
+                    // success: flag := 1
+                    BInstr::Li {
+                        dst: success_reg as u8,
+                        imm: 1,
+                    },
+                    BInstr::Jmp { target: back },
+                    // failure: flag := 0
+                    BInstr::Li {
+                        dst: success_reg as u8,
+                        imm: 0,
+                    },
+                    BInstr::Jmp { target: back },
+                ]);
+                BInstr::Cas {
+                    var: VRef::Direct(var),
+                    expected: Operand::Imm(expected),
+                    new: Operand::Imm(new),
+                    ok_obs: obs_reg(success_reg),
+                    fail_obs: obs_reg(success_reg),
+                    ok: stub_base,
+                    fail: stub_base + 2,
+                }
+            }
+            Instr::Fence => BInstr::Fence,
+            Instr::Enter => BInstr::Enter,
+            Instr::Cs => BInstr::Cs,
+            Instr::Exit => BInstr::Exit,
+            Instr::Invoke { op, arg } => BInstr::Invoke {
+                op,
+                arg: Operand::Imm(arg),
+            },
+            Instr::ReturnReg { reg } => BInstr::Return {
+                src: Operand::Reg(reg as u8),
+            },
+            Instr::SetReg { reg, value } => BInstr::Li {
+                dst: reg as u8,
+                imm: value,
+            },
+            Instr::CopyReg { dst, src } => BInstr::Mov {
+                dst: dst as u8,
+                src: src as u8,
+            },
+            Instr::AddConst { reg, delta } => BInstr::Add {
+                dst: reg as u8,
+                delta,
+            },
+            Instr::JumpIfZero { reg, target } => BInstr::Br {
+                a: Operand::Reg(reg as u8),
+                cmp: Cmp::Eq,
+                b: Operand::Imm(0),
+                target: target_of(target),
+            },
+            Instr::JumpIfNonZero { reg, target } => BInstr::Br {
+                a: Operand::Reg(reg as u8),
+                cmp: Cmp::Ne,
+                b: Operand::Imm(0),
+                target: target_of(target),
+            },
+            Instr::JumpIfEq { a, b, target } => BInstr::Br {
+                a: Operand::Reg(a as u8),
+                cmp: Cmp::Eq,
+                b: Operand::Reg(b as u8),
+                target: target_of(target),
+            },
+            Instr::Jump { target } => BInstr::Jmp {
+                target: target_of(target),
+            },
+            Instr::Halt => BInstr::Halt,
+        };
+        code.push(lowered);
+    }
+    code.push(BInstr::Halt);
+    code.extend(stubs);
+    Bytecode {
+        code,
+        init_regs: [0; NREGS],
+        recover_pc: None,
+        // A script's registers never hold a pid (see
+        // `ScriptProgram::state_hash_permuted`): the concrete hash
+        // stands in under every renaming.
+        sym: SymMode::Equivariant,
+        me,
     }
 }
 

@@ -13,20 +13,24 @@
 #   5. symmetry + swarm resilience: the whole portfolio verified
 #      bounded-exhaustively at n = 3 with symmetry reduction engaged,
 #      then the swarm determinism pin across 1/2/4/8 worker threads
-#   6. the crash-fault model: exhaustive n = 2 with a crash budget of 1;
+#   6. the bytecode VM, timed: the VM-vs-native differential oracle
+#      (portfolio verdicts, witnesses and state counts pinned equal
+#      through `Checker::vm(true)`) plus the per-step lockstep and
+#      encode/decode property tests
+#   7. the crash-fault model: exhaustive n = 2 with a crash budget of 1;
 #      the crash-gated negative control (unfenced recoverable bakery)
 #      must be caught and shrunk with its crash, and the telemetry it
 #      emits — crash events included — must pass schema validation
-#   7. telemetry: rerun the explorer with TPA_OBS_* set and validate the
+#   8. telemetry: rerun the explorer with TPA_OBS_* set and validate the
 #      JSONL run log and the Perfetto trace with obs_validate
-#   8. formatting check
+#   9. formatting check
 #
 # Every stage runs under `timeout` (default 900 s per stage, override
 # with SMOKE_STAGE_TIMEOUT) so a wedged stage fails the smoke run
 # instead of hanging it — the same discipline the checker itself applies
 # to its searches.
 #
-# Stages 3-7 redirect BENCH_check.json to a scratch dir so a smoke run
+# Stages 3-8 redirect BENCH_check.json to a scratch dir so a smoke run
 # never clobbers the committed benchmark record.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,34 +41,38 @@ trap 'rm -rf "$SCRATCH"' EXIT
 STAGE_TIMEOUT="${SMOKE_STAGE_TIMEOUT:-900}"
 t() { timeout --foreground "$STAGE_TIMEOUT" "$@"; }
 
-echo "== [1/8] tier-1: build + tests =="
+echo "== [1/9] tier-1: build + tests =="
 t cargo build --offline --release --workspace
 t cargo test --offline -q --workspace
 
-echo "== [2/8] clippy (-D warnings) =="
+echo "== [2/9] clippy (-D warnings) =="
 t cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== [3/8] experiment harness (quick) =="
+echo "== [3/9] experiment harness (quick) =="
 TPA_BENCH_JSON="$SCRATCH/bench_report_all.json" \
     t cargo run --offline --release -p tpa-bench --bin report_all -- --quick
 
-echo "== [4/8] parallel explorer smoke (quick, 4 threads, timed) =="
+echo "== [4/9] parallel explorer smoke (quick, 4 threads, timed) =="
 time TPA_BENCH_JSON="$SCRATCH/bench_c1.json" \
     t cargo run --offline --release -p tpa-bench --bin exp_c1_explorer -- --quick --threads 4
 
-echo "== [5/8] symmetry reduction (n = 3 exhaustive) + multi-threaded swarm =="
+echo "== [5/9] symmetry reduction (n = 3 exhaustive) + multi-threaded swarm =="
 time t cargo test --offline --release -q \
     --test lock_correctness exhaustive_exclusion_every_lock_n3_with_symmetry
 time t cargo test --offline --release -q -p tpa-check \
     --test swarm_resilience swarm_witness_is_deterministic_across_thread_counts
 
-echo "== [6/8] crash-fault model (quick, negative control + telemetry) =="
+echo "== [6/9] bytecode VM: differential oracle + lockstep properties (timed) =="
+time t cargo test --offline --release -q -p tpa-check --test vm_differential
+time t cargo test --offline --release -q --test vm_props
+
+echo "== [7/9] crash-fault model (quick, negative control + telemetry) =="
 TPA_OBS_JSONL="$SCRATCH/crash.jsonl" \
     t cargo run --offline --release -p tpa-bench --bin exp_r1_crash -- --quick --threads 4
 test -s "$SCRATCH/crash.jsonl" || { echo "crash-model run log missing"; exit 1; }
 t cargo run --offline --release -p tpa-bench --bin obs_validate -- "$SCRATCH/crash.jsonl"
 
-echo "== [7/8] telemetry: JSONL + Perfetto export, schema-validated =="
+echo "== [8/9] telemetry: JSONL + Perfetto export, schema-validated =="
 TPA_BENCH_JSON="$SCRATCH/bench_obs.json" \
 TPA_OBS_JSONL="$SCRATCH/run.jsonl" \
 TPA_OBS_TRACE="$SCRATCH/trace.json" \
@@ -74,7 +82,7 @@ test -s "$SCRATCH/trace.json" || { echo "telemetry trace missing"; exit 1; }
 t cargo run --offline --release -p tpa-bench --bin obs_validate -- \
     "$SCRATCH/run.jsonl" "$SCRATCH/trace.json"
 
-echo "== [8/8] cargo fmt --check =="
+echo "== [9/9] cargo fmt --check =="
 t cargo fmt --all -- --check
 
 echo "smoke: all green"

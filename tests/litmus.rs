@@ -204,3 +204,245 @@ fn iriw_is_forbidden_under_tso() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Classic named litmus shapes (IRIW, R, 2+2W, S) as scripts, pushed through
+// the exhaustive checker on BOTH execution paths — native `ScriptProgram`s
+// and the compiled bytecode VM (`Checker::vm(true)`). For every shape the
+// two paths must agree exactly: same verdict, same unique-state count on a
+// pass, same lexicographically-least witness on a violation. Under TSO all
+// four forbidden outcomes are unreachable; under PSO (per-variable buffers,
+// write-write reordering) R, 2+2W and S become reachable and the checker
+// must exhibit them through the VM too.
+// ---------------------------------------------------------------------------
+
+use tpa::check::invariant::{Invariant, Violation};
+use tpa::tso::machine::NextEvent;
+
+/// A litmus invariant: fires when every process has halted (so every
+/// buffer has drained — the scripts fence before halting) and the final
+/// registers/memory match the forbidden outcome.
+struct ForbiddenOutcome {
+    label: &'static str,
+    predicate: fn(&Machine) -> bool,
+}
+
+impl Invariant for ForbiddenOutcome {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+    fn check(&self, m: &Machine) -> Option<Violation> {
+        let all_halted = (0..m.n()).all(|p| m.peek_next(ProcId(p as u32)) == NextEvent::Halted);
+        (all_halted && (self.predicate)(m)).then(|| Violation {
+            invariant: self.label,
+            detail: "forbidden litmus outcome reached".into(),
+        })
+    }
+}
+
+fn reg(m: &Machine, p: u32, r: usize) -> Value {
+    m.program(ProcId(p)).unwrap().register(r).unwrap()
+}
+
+/// Checks one litmus on both paths and pins them against each other.
+/// Returns whether the forbidden outcome was reachable.
+fn litmus_both_paths(
+    sys: &ScriptSystem,
+    model: MemoryModel,
+    label: &'static str,
+    predicate: fn(&Machine) -> bool,
+) -> bool {
+    let run = |vm: bool| {
+        Checker::new(sys)
+            .model(model)
+            .invariants(vec![Box::new(ForbiddenOutcome { label, predicate })])
+            .vm(vm)
+            .exhaustive()
+    };
+    let native = run(false);
+    let vm = run(true);
+    assert!(vm.vm, "{label}: vm run did not engage the compiler");
+    match (&native.verdict, &vm.verdict) {
+        (Verdict::Pass, Verdict::Pass) => {
+            assert!(
+                native.stats.complete && vm.stats.complete,
+                "{label}: truncated"
+            );
+            assert_eq!(
+                native.stats.unique_states, vm.stats.unique_states,
+                "{label}: vm explored a different state set"
+            );
+            false
+        }
+        (Verdict::Violation { found: a, .. }, Verdict::Violation { found: b, .. }) => {
+            assert_eq!(a, b, "{label}: vm witness differs from native");
+            true
+        }
+        (n, v) => panic!(
+            "{label}: paths disagree (native {}, vm {})",
+            if n.passed() { "pass" } else { "violation" },
+            if v.passed() { "pass" } else { "violation" },
+        ),
+    }
+}
+
+/// IRIW: two writers, two readers reading the two variables in opposite
+/// orders. With a single shared memory the readers can never disagree on
+/// the commit order — forbidden under TSO *and* PSO, on both paths.
+#[test]
+fn iriw_forbidden_on_both_paths() {
+    let sys = ScriptSystem::new(4, 2, |pid| match pid.0 {
+        0 => vec![Instr::Write { var: 0, value: 1 }, Instr::Fence, Instr::Halt],
+        1 => vec![Instr::Write { var: 1, value: 1 }, Instr::Fence, Instr::Halt],
+        2 => vec![
+            Instr::Read { var: 0, reg: 0 },
+            Instr::Read { var: 1, reg: 1 },
+            Instr::Halt,
+        ],
+        _ => vec![
+            Instr::Read { var: 1, reg: 0 },
+            Instr::Read { var: 0, reg: 1 },
+            Instr::Halt,
+        ],
+    });
+    let forbidden = |m: &Machine| {
+        reg(m, 2, 0) == 1 && reg(m, 2, 1) == 0 && reg(m, 3, 0) == 1 && reg(m, 3, 1) == 0
+    };
+    for model in [MemoryModel::Tso, MemoryModel::Pso] {
+        assert!(
+            !litmus_both_paths(&sys, model, "iriw", forbidden),
+            "IRIW outcome reachable under {model:?}"
+        );
+    }
+}
+
+/// R: p0 writes x then y; p1 overwrites y, fences, reads x. Seeing the
+/// final y = 2 alongside r(x) = 0 needs p0's writes reordered — forbidden
+/// under TSO, reachable under PSO.
+#[test]
+fn r_forbidden_under_tso_reachable_under_pso_on_both_paths() {
+    let sys = ScriptSystem::new(2, 2, |pid| {
+        if pid.0 == 0 {
+            vec![
+                Instr::Write { var: 0, value: 1 },
+                Instr::Write { var: 1, value: 1 },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        } else {
+            vec![
+                Instr::Write { var: 1, value: 2 },
+                Instr::Fence,
+                Instr::Read { var: 0, reg: 0 },
+                Instr::Halt,
+            ]
+        }
+    });
+    let forbidden = |m: &Machine| m.value(VarId(1)) == 2 && reg(m, 1, 0) == 0;
+    assert!(!litmus_both_paths(
+        &sys,
+        MemoryModel::Tso,
+        "litmus-r",
+        forbidden
+    ));
+    assert!(litmus_both_paths(
+        &sys,
+        MemoryModel::Pso,
+        "litmus-r",
+        forbidden
+    ));
+}
+
+/// 2+2W: both processes write both variables in opposite orders. Both
+/// "first" writes surviving needs write-write reordering — forbidden
+/// under TSO, reachable under PSO.
+#[test]
+fn two_plus_two_w_forbidden_under_tso_reachable_under_pso_on_both_paths() {
+    let sys = ScriptSystem::new(2, 2, |pid| {
+        if pid.0 == 0 {
+            vec![
+                Instr::Write { var: 0, value: 1 },
+                Instr::Write { var: 1, value: 2 },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        } else {
+            vec![
+                Instr::Write { var: 1, value: 1 },
+                Instr::Write { var: 0, value: 2 },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        }
+    });
+    let forbidden = |m: &Machine| m.value(VarId(0)) == 1 && m.value(VarId(1)) == 1;
+    assert!(!litmus_both_paths(
+        &sys,
+        MemoryModel::Tso,
+        "litmus-2+2w",
+        forbidden
+    ));
+    assert!(litmus_both_paths(
+        &sys,
+        MemoryModel::Pso,
+        "litmus-2+2w",
+        forbidden
+    ));
+}
+
+/// S: p0 writes x = 2 then y = 1; p1 reads y and then overwrites x.
+/// Reading y = 1 while p0's x = 2 still wins the final write order needs
+/// p0's writes reordered — forbidden under TSO, reachable under PSO.
+#[test]
+fn s_forbidden_under_tso_reachable_under_pso_on_both_paths() {
+    let sys = ScriptSystem::new(2, 2, |pid| {
+        if pid.0 == 0 {
+            vec![
+                Instr::Write { var: 0, value: 2 },
+                Instr::Write { var: 1, value: 1 },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        } else {
+            vec![
+                Instr::Read { var: 1, reg: 0 },
+                Instr::Write { var: 0, value: 1 },
+                Instr::Fence,
+                Instr::Halt,
+            ]
+        }
+    });
+    let forbidden = |m: &Machine| reg(m, 1, 0) == 1 && m.value(VarId(0)) == 2;
+    assert!(!litmus_both_paths(
+        &sys,
+        MemoryModel::Tso,
+        "litmus-s",
+        forbidden
+    ));
+    assert!(litmus_both_paths(
+        &sys,
+        MemoryModel::Pso,
+        "litmus-s",
+        forbidden
+    ));
+}
+
+/// SB (store buffer): the positive control — reachable under TSO, and
+/// both paths must exhibit it with the identical lex-least witness.
+#[test]
+fn store_buffer_reachable_on_both_paths() {
+    let sys = store_buffer();
+    let forbidden = |m: &Machine| reg(m, 0, 0) == 0 && reg(m, 1, 0) == 0;
+    assert!(litmus_both_paths(
+        &sys,
+        MemoryModel::Tso,
+        "litmus-sb",
+        forbidden
+    ));
+    assert!(litmus_both_paths(
+        &sys,
+        MemoryModel::Pso,
+        "litmus-sb",
+        forbidden
+    ));
+}
